@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure panel or claim) or one
+ablation indexed in DESIGN.md.  The scenario horizons are shortened relative
+to the paper's 1000 iterations so the whole harness completes in a few
+minutes; the qualitative shape being checked is unaffected by the horizon.
+Set the environment variable ``REPRO_FULL_HORIZON=1`` to run the paper's full
+1000-slot horizon instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.scenario import ScenarioConfig
+
+
+def _horizon(default: int) -> int:
+    if os.environ.get("REPRO_FULL_HORIZON") == "1":
+        return 1000
+    return default
+
+
+@pytest.fixture(scope="session")
+def bench_horizon() -> int:
+    """Number of slots simulated by the benchmark scenarios."""
+    return _horizon(300)
+
+
+@pytest.fixture(scope="session")
+def fig1a_scenario(bench_horizon) -> ScenarioConfig:
+    """The Fig. 1a scenario (4 RSUs x 5 contents)."""
+    return ScenarioConfig.fig1a(seed=0).with_overrides(num_slots=bench_horizon)
+
+
+@pytest.fixture(scope="session")
+def fig1b_scenario(bench_horizon) -> ScenarioConfig:
+    """The Fig. 1b scenario (5 RSUs, random requests)."""
+    return ScenarioConfig.fig1b(seed=0).with_overrides(num_slots=bench_horizon)

@@ -1,0 +1,69 @@
+"""Benchmark E1 — Fig. 1a: AoI-aware content caching.
+
+Regenerates the two panels of Fig. 1a: the AoI trajectories of two contents
+cached at RSU 1 under the MDP update policy, and the cumulative MBS reward
+(Eq. 1).  The paper's qualitative claims, asserted here:
+
+* every tracked content is refreshed before its AoI exceeds ``A_max`` (up to
+  a small transient from the random initial ages), and
+* the cumulative reward keeps rising over the whole run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import build_fig1a_data, render_fig1a
+from repro.analysis.stats import is_non_decreasing, linear_trend
+
+
+@pytest.fixture(scope="module")
+def fig1a_result(fig1a_scenario):
+    return build_fig1a_data(fig1a_scenario)
+
+
+def test_bench_fig1a(benchmark, fig1a_scenario):
+    """Time the full Fig. 1a pipeline (solve the MDP + simulate the run)."""
+    data = benchmark(build_fig1a_data, fig1a_scenario)
+    benchmark.extra_info["num_slots"] = int(data.times.size)
+    benchmark.extra_info["final_cumulative_reward"] = float(
+        data.cumulative_reward[-1]
+    )
+    for label in data.content_ages:
+        benchmark.extra_info[f"violation_fraction[{label}]"] = float(
+            data.violation_fraction(label)
+        )
+    assert data.cumulative_reward[-1] > 0
+
+
+def test_fig1a_contents_stay_below_max_age(fig1a_result):
+    for label in fig1a_result.content_ages:
+        assert fig1a_result.violation_fraction(label) < 0.05, label
+
+
+def test_fig1a_cumulative_reward_rises(fig1a_result):
+    cumulative = fig1a_result.cumulative_reward
+    assert is_non_decreasing(cumulative[10:])
+    slope, _ = linear_trend(cumulative)
+    assert slope > 0
+
+
+def test_fig1a_report(fig1a_result, capsys):
+    """Print the regenerated figure so the harness output mirrors the paper."""
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print("E1 / Fig. 1a — AoI-aware content caching (MDP update policy)")
+        print("=" * 78)
+        print(render_fig1a(fig1a_result))
+        for label, ages in fig1a_result.content_ages.items():
+            print(
+                f"  {label}: A_max={fig1a_result.content_max_ages[label]:.0f}, "
+                f"mean AoI={ages.mean():.2f}, peak AoI={ages.max():.0f}, "
+                f"violations={fig1a_result.violation_fraction(label):.1%}"
+            )
+        print(
+            f"  cumulative reward after {fig1a_result.times.size} slots: "
+            f"{fig1a_result.cumulative_reward[-1]:.1f}"
+        )

@@ -1,0 +1,65 @@
+"""Benchmark E2 — Fig. 1b: delay-aware content service.
+
+Regenerates the latency-queue comparison of Fig. 1b: the UV latency Q[t]
+under the proposed Lyapunov service policy versus the two comparison
+algorithms (always-serve and cost-greedy).  Asserted shape:
+
+* the Lyapunov queue stays bounded (stability constraint of Eq. 4),
+* its time-average cost is no higher than always-serve, and
+* its time-average latency is far below cost-greedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import build_fig1b_data, render_fig1b
+
+
+@pytest.fixture(scope="module")
+def fig1b_result(fig1b_scenario):
+    return build_fig1b_data(fig1b_scenario)
+
+
+def test_bench_fig1b(benchmark, fig1b_scenario):
+    """Time the three-policy Fig. 1b comparison."""
+    data = benchmark(build_fig1b_data, fig1b_scenario)
+    for name in data.latency:
+        benchmark.extra_info[f"time_avg_cost[{name}]"] = float(
+            data.time_average_cost[name]
+        )
+        benchmark.extra_info[f"time_avg_backlog[{name}]"] = float(
+            data.time_average_backlog[name]
+        )
+    assert set(data.latency) == {"lyapunov", "always-serve", "cost-greedy"}
+
+
+def test_fig1b_lyapunov_queue_is_stable(fig1b_result):
+    latency = fig1b_result.latency["lyapunov"]
+    half = len(latency) // 2
+    assert latency[half:].mean() <= 2.0 * latency[:half].mean() + 10.0
+
+
+def test_fig1b_lyapunov_cost_not_above_always_serve(fig1b_result):
+    assert (
+        fig1b_result.time_average_cost["lyapunov"]
+        <= fig1b_result.time_average_cost["always-serve"] + 1e-9
+    )
+
+
+def test_fig1b_lyapunov_latency_below_cost_greedy(fig1b_result):
+    assert (
+        fig1b_result.time_average_backlog["lyapunov"]
+        <= fig1b_result.time_average_backlog["cost-greedy"] + 1e-9
+    )
+
+
+def test_fig1b_report(fig1b_result, capsys):
+    """Print the regenerated figure so the harness output mirrors the paper."""
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print("E2 / Fig. 1b — Delay-aware content service (Lyapunov vs. baselines)")
+        print("=" * 78)
+        print(render_fig1b(fig1b_result))

@@ -1,0 +1,96 @@
+"""Benchmark E3 — Section II-C extreme cases of Eq. (5).
+
+The paper verifies its drift-plus-penalty rule by inspecting the two extreme
+queue states: an empty queue (Q[t] = 0) should lead to pure cost
+minimisation (never serve), while a saturated queue (Q[t] -> inf) should lead
+to pure departure maximisation (always serve).  This benchmark times the
+controller's decision evaluation and asserts both limits, plus the threshold
+behaviour in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lyapunov import LyapunovServiceController, run_backlog_simulation
+from repro.core.policies import ServiceObservation
+
+
+def _observation(backlog: float, cost: float = 1.0) -> ServiceObservation:
+    return ServiceObservation(
+        time_slot=0,
+        rsu_id=0,
+        queue_backlog=backlog,
+        service_cost=cost,
+        departure=1.0,
+    )
+
+
+def test_bench_decision_throughput(benchmark):
+    """Time 10k Eq. (5) evaluations across a range of queue states."""
+    controller = LyapunovServiceController(tradeoff_v=10.0)
+    backlogs = np.linspace(0.0, 100.0, 10_000)
+
+    def evaluate_all():
+        return sum(
+            controller.evaluate(_observation(float(b))).serve for b in backlogs
+        )
+
+    served = benchmark(evaluate_all)
+    benchmark.extra_info["fraction_served"] = served / backlogs.size
+    assert 0 < served < backlogs.size
+
+
+def test_empty_queue_never_serves():
+    controller = LyapunovServiceController(tradeoff_v=10.0)
+    assert controller.evaluate(_observation(0.0)).serve is False
+
+
+def test_saturated_queue_always_serves():
+    controller = LyapunovServiceController(tradeoff_v=10.0)
+    assert controller.evaluate(_observation(1e12)).serve is True
+
+
+def test_threshold_scales_with_v():
+    """The serve threshold on Q is V*C/b, so doubling V doubles it."""
+    for v in (5.0, 10.0, 20.0):
+        controller = LyapunovServiceController(tradeoff_v=v)
+        below = _observation(v * 1.0 - 0.5)
+        above = _observation(v * 1.0 + 0.5)
+        assert controller.evaluate(below).serve is False
+        assert controller.evaluate(above).serve is True
+
+
+def test_extremes_report(capsys):
+    """Show the long-run behaviour at both extremes of the backlog range."""
+    starved = run_backlog_simulation(
+        LyapunovServiceController(tradeoff_v=10.0),
+        num_slots=200,
+        arrival_fn=lambda t: 0.0,
+        cost_fn=lambda t: 1.0,
+    )
+    flooded = run_backlog_simulation(
+        LyapunovServiceController(tradeoff_v=10.0),
+        num_slots=200,
+        arrival_fn=lambda t: 5.0,
+        cost_fn=lambda t: 1.0,
+        departure=6.0,
+        initial_backlog=1000.0,
+    )
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print("E3 — Eq. (5) extreme cases")
+        print("=" * 78)
+        print(
+            f"  no arrivals (Q=0):      service rate = {starved.record.service_rate:.2%}, "
+            f"time-avg cost = {starved.time_average_cost:.3f}"
+        )
+        print(
+            f"  flooded (Q huge):       service rate = {flooded.record.service_rate:.2%}, "
+            f"time-avg cost = {flooded.time_average_cost:.3f}, "
+            f"stable = {flooded.stable}"
+        )
+    assert starved.record.service_rate < 0.05
+    assert flooded.record.service_rate > 0.9

@@ -1,0 +1,70 @@
+"""Benchmark E6 — ablation: caching-policy comparison.
+
+Compares the MDP update policy against the standard baselines (never, always,
+periodic, random, threshold, myopic) on the Fig. 1a scenario, reporting the
+total Eq. (1) reward, mean AoI, violation rate, and MBS cost of each.
+Asserted shape: the MDP policy earns the highest (or tied-highest) total
+reward and keeps violations low at a fraction of the always-update cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import caching_policy_comparison, format_table, service_policy_comparison
+
+
+@pytest.fixture(scope="module")
+def caching_rows(fig1a_scenario):
+    horizon = min(fig1a_scenario.num_slots, 200)
+    return caching_policy_comparison(config=fig1a_scenario, num_slots=horizon)
+
+
+@pytest.fixture(scope="module")
+def service_rows(fig1b_scenario):
+    horizon = min(fig1b_scenario.num_slots, 300)
+    return service_policy_comparison(config=fig1b_scenario, num_slots=horizon)
+
+
+def test_bench_policy_comparison(benchmark, fig1a_scenario):
+    """Time the full seven-policy caching comparison."""
+    horizon = min(fig1a_scenario.num_slots, 120)
+    rows = benchmark(
+        caching_policy_comparison, config=fig1a_scenario, num_slots=horizon
+    )
+    for row in rows:
+        benchmark.extra_info[f"reward[{row['policy']}]"] = row["total_reward"]
+    assert any(row["policy"] == "mdp" for row in rows)
+
+
+def test_mdp_has_highest_reward(caching_rows):
+    rows = {row["policy"]: row for row in caching_rows}
+    best_baseline = max(
+        value["total_reward"] for name, value in rows.items() if name != "mdp"
+    )
+    assert rows["mdp"]["total_reward"] >= best_baseline - 1e-6
+
+
+def test_mdp_violations_competitive_with_always_update(caching_rows):
+    rows = {row["policy"]: row for row in caching_rows}
+    assert rows["mdp"]["violation_fraction"] <= rows["never"]["violation_fraction"]
+    assert rows["mdp"]["violation_fraction"] <= 0.10
+
+
+def test_mdp_cost_below_always_update(caching_rows):
+    rows = {row["policy"]: row for row in caching_rows}
+    assert rows["mdp"]["total_cost"] <= rows["always"]["total_cost"] + 1e-9
+
+
+def test_policy_comparison_report(caching_rows, service_rows, capsys):
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print("E6a — caching policy comparison (Fig. 1a scenario)")
+        print("=" * 78)
+        print(format_table(caching_rows))
+        print()
+        print("=" * 78)
+        print("E6b — service policy comparison (Fig. 1b scenario)")
+        print("=" * 78)
+        print(format_table(service_rows))

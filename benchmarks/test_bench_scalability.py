@@ -1,0 +1,77 @@
+"""Benchmark E7 — scalability: solver and simulator throughput vs. system size.
+
+Measures the wall-clock cost of solving the cache-management MDP and running
+the simulator as the number of RSUs and cached contents grows, confirming the
+factored controller's cost grows roughly linearly in the number of contents
+(rather than exponentially as the exact joint formulation would).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import format_table, scalability_sweep
+from repro.core.caching_mdp import CachingMDPConfig, MDPCachingPolicy
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import CacheSimulator
+
+SIZES = [
+    {"num_rsus": 1, "contents_per_rsu": 5},
+    {"num_rsus": 2, "contents_per_rsu": 5},
+    {"num_rsus": 4, "contents_per_rsu": 5},
+    {"num_rsus": 8, "contents_per_rsu": 5},
+    {"num_rsus": 8, "contents_per_rsu": 10},
+]
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return scalability_sweep(SIZES, num_slots=100, seed=0)
+
+
+def test_bench_paper_scale_simulation(benchmark):
+    """Time the paper-scale (4 RSUs x 5 contents) simulation of 100 slots."""
+    config = ScenarioConfig.fig1a(seed=0).with_overrides(num_slots=100)
+
+    def run():
+        policy = MDPCachingPolicy(config.build_mdp_config())
+        return CacheSimulator(config, policy).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["total_reward"] = result.total_reward
+    assert result.metrics.num_slots_recorded == 100
+
+
+def test_bench_large_scale_simulation(benchmark):
+    """Time a 2x-larger-than-paper instance (8 RSUs x 10 contents)."""
+    config = ScenarioConfig(
+        num_rsus=8, contents_per_rsu=10, num_slots=50, seed=0
+    )
+
+    def run():
+        policy = MDPCachingPolicy(config.build_mdp_config())
+        return CacheSimulator(config, policy).run()
+
+    result = benchmark(run)
+    assert result.metrics.num_slots_recorded == 50
+
+
+def test_throughput_scales_sublinearly_in_contents(sweep_rows):
+    """Wall time should grow far slower than the exponential joint state space."""
+    by_size = {
+        (int(row["num_rsus"]), int(row["contents_per_rsu"])): row for row in sweep_rows
+    }
+    small = by_size[(1, 5)]["wall_seconds"]
+    large = by_size[(8, 10)]["wall_seconds"]
+    # 16x more contents should cost well under 200x more time (it is roughly
+    # linear in practice); the loose bound keeps the check robust on slow CI.
+    assert large <= 200.0 * max(small, 1e-3)
+
+
+def test_scalability_report(sweep_rows, capsys):
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print("E7 — scalability of the MDP caching controller")
+        print("=" * 78)
+        print(format_table(sweep_rows))

@@ -1,0 +1,51 @@
+"""Benchmark E5 — ablation: Lyapunov trade-off coefficient V sweep.
+
+Sweeps ``V`` on the Fig. 1b scenario and reports the classic drift-plus-
+penalty trade-off: the time-average service cost decreases towards its
+optimum as O(1/V) while the time-average backlog grows as O(V).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import format_table, v_sweep
+
+V_VALUES = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0]
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(fig1b_scenario):
+    horizon = min(fig1b_scenario.num_slots, 300)
+    return v_sweep(V_VALUES, config=fig1b_scenario, num_slots=horizon)
+
+
+def test_bench_v_sweep(benchmark, fig1b_scenario):
+    """Time one sweep point of the Lyapunov controller simulation."""
+    horizon = min(fig1b_scenario.num_slots, 300)
+    rows = benchmark(v_sweep, [10.0], config=fig1b_scenario, num_slots=horizon)
+    benchmark.extra_info["cost_at_v10"] = rows[0]["time_average_cost"]
+    benchmark.extra_info["backlog_at_v10"] = rows[0]["time_average_backlog"]
+    assert len(rows) == 1
+
+
+def test_cost_decreases_and_backlog_increases_with_v(sweep_rows):
+    costs = [row["time_average_cost"] for row in sweep_rows]
+    backlogs = [row["time_average_backlog"] for row in sweep_rows]
+    assert costs[-1] <= costs[0] + 1e-9
+    assert backlogs[-1] >= backlogs[0] - 1e-9
+
+
+def test_all_moderate_v_runs_are_stable(sweep_rows):
+    for row in sweep_rows:
+        if row["tradeoff_v"] <= 20.0:
+            assert row["stable"] == 1.0, row
+
+
+def test_v_sweep_report(sweep_rows, capsys):
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print("E5 — Lyapunov V sweep on the Fig. 1b scenario")
+        print("=" * 78)
+        print(format_table(sweep_rows))

@@ -1,0 +1,49 @@
+"""Benchmark E4 — ablation: reward weight w sweep.
+
+Sweeps the Eq. (1) AoI weight ``w`` on the Fig. 1a scenario and reports the
+AoI / MBS-cost trade-off the weight is supposed to steer: raising ``w`` buys
+fresher caches (lower mean AoI, fewer violations) at the price of more
+updates and higher backhaul cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import format_table, weight_sweep
+
+WEIGHTS = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(fig1a_scenario):
+    horizon = min(fig1a_scenario.num_slots, 200)
+    return weight_sweep(WEIGHTS, config=fig1a_scenario, num_slots=horizon)
+
+
+def test_bench_weight_sweep(benchmark, fig1a_scenario):
+    """Time one end-to-end sweep point (solve + simulate) at w = 1."""
+    horizon = min(fig1a_scenario.num_slots, 200)
+    rows = benchmark(weight_sweep, [1.0], config=fig1a_scenario, num_slots=horizon)
+    benchmark.extra_info["mean_age_at_w1"] = rows[0]["mean_age"]
+    benchmark.extra_info["total_cost_at_w1"] = rows[0]["total_cost"]
+    assert len(rows) == 1
+
+
+def test_weight_monotonically_trades_aoi_for_cost(sweep_rows):
+    ages = [row["mean_age"] for row in sweep_rows]
+    costs = [row["total_cost"] for row in sweep_rows]
+    # Freshness should improve (weakly) and cost should grow (weakly) with w;
+    # allow small non-monotonicities from the stochastic workload by checking
+    # the endpoints.
+    assert ages[-1] <= ages[0] + 1e-9
+    assert costs[-1] >= costs[0] - 1e-9
+
+
+def test_weight_sweep_report(sweep_rows, capsys):
+    with capsys.disabled():
+        print()
+        print("=" * 78)
+        print("E4 — AoI weight (w) sweep on the Fig. 1a scenario")
+        print("=" * 78)
+        print(format_table(sweep_rows))

@@ -1,0 +1,131 @@
+"""repro — reproduction of "AoI-Aware Markov Decision Policies for Caching".
+
+The library implements, end to end, the two-stage scheme of Park, Jung,
+Choi, and Kim (ICDCS 2022): an MDP-based cache-update controller for
+road-side units (stage 1) and a Lyapunov drift-plus-penalty content-service
+controller (stage 2), together with the vehicular-network substrate, the
+baseline policies, the simulators, and the experiment harness needed to
+regenerate the paper's evaluation.
+
+Quickstart::
+
+    from repro import ScenarioConfig, MDPCachingPolicy, CacheSimulator
+
+    config = ScenarioConfig.fig1a(seed=0)
+    policy = MDPCachingPolicy(config.build_mdp_config())
+    result = CacheSimulator(config, policy).run(num_slots=200)
+    print(result.summary())
+"""
+
+from repro.baselines import (
+    AlwaysServePolicy,
+    AlwaysUpdatePolicy,
+    BacklogThresholdPolicy,
+    CostGreedyPolicy,
+    FixedProbabilityPolicy,
+    MyopicUpdatePolicy,
+    NeverServePolicy,
+    NeverUpdatePolicy,
+    PeriodicUpdatePolicy,
+    RandomUpdatePolicy,
+    ThresholdUpdatePolicy,
+    standard_caching_baselines,
+    standard_service_baselines,
+)
+from repro.core import (
+    AoICounter,
+    AoIProcess,
+    AoIVector,
+    CacheObservation,
+    CachingMDPConfig,
+    CachingPolicy,
+    ContentUpdateMDP,
+    LyapunovServiceController,
+    MDPCachingPolicy,
+    QLearningSolver,
+    RSUCachingMDP,
+    ServiceObservation,
+    ServicePolicy,
+    TabularMDP,
+    UtilityFunction,
+    policy_iteration,
+    run_backlog_simulation,
+    value_iteration,
+)
+from repro.exceptions import (
+    CacheError,
+    ConfigurationError,
+    ModelError,
+    QueueError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+from repro.net import (
+    ContentCatalog,
+    RequestGenerator,
+    RoadTopology,
+    RSUCache,
+    VehicleFleet,
+)
+from repro.sim import (
+    CacheSimulator,
+    JointSimulator,
+    ScenarioConfig,
+    ServiceSimulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlwaysServePolicy",
+    "AlwaysUpdatePolicy",
+    "BacklogThresholdPolicy",
+    "CostGreedyPolicy",
+    "FixedProbabilityPolicy",
+    "MyopicUpdatePolicy",
+    "NeverServePolicy",
+    "NeverUpdatePolicy",
+    "PeriodicUpdatePolicy",
+    "RandomUpdatePolicy",
+    "ThresholdUpdatePolicy",
+    "standard_caching_baselines",
+    "standard_service_baselines",
+    "AoICounter",
+    "AoIProcess",
+    "AoIVector",
+    "CacheObservation",
+    "CachingMDPConfig",
+    "CachingPolicy",
+    "ContentUpdateMDP",
+    "LyapunovServiceController",
+    "MDPCachingPolicy",
+    "QLearningSolver",
+    "RSUCachingMDP",
+    "ServiceObservation",
+    "ServicePolicy",
+    "TabularMDP",
+    "UtilityFunction",
+    "policy_iteration",
+    "run_backlog_simulation",
+    "value_iteration",
+    "CacheError",
+    "ConfigurationError",
+    "ModelError",
+    "QueueError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "ValidationError",
+    "ContentCatalog",
+    "RequestGenerator",
+    "RoadTopology",
+    "RSUCache",
+    "VehicleFleet",
+    "CacheSimulator",
+    "JointSimulator",
+    "ScenarioConfig",
+    "ServiceSimulator",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Parameter sweeps and policy-comparison experiment runners.
+
+These functions implement the ablation experiments indexed in DESIGN.md
+(E4-E7): the reward-weight sweep, the Lyapunov-V sweep, the caching-policy
+comparison, and the scalability measurement.  Each returns a list of plain
+dictionaries (one row per configuration) so benchmarks, examples, and the
+EXPERIMENTS.md generation all consume the same output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.caching import standard_caching_baselines
+from repro.baselines.service import AlwaysServePolicy, CostGreedyPolicy
+from repro.core.caching_mdp import CachingMDPConfig, MDPCachingPolicy
+from repro.core.lyapunov import LyapunovServiceController
+from repro.core.policies import CachingPolicy, ServicePolicy
+from repro.exceptions import ValidationError
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import CacheSimulator, ServiceSimulator
+from repro.utils.validation import check_positive_int
+
+
+def weight_sweep(
+    weights: Sequence[float],
+    *,
+    config: Optional[ScenarioConfig] = None,
+    num_slots: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Sweep the Eq. (1) AoI weight ``w`` and report the AoI/cost trade-off.
+
+    For each weight the MDP policy is re-solved and re-simulated; the row
+    records the mean cache age, violation fraction, total MBS cost, and total
+    reward.  Raising ``w`` should buy fresher caches at higher cost (E4).
+    """
+    if not weights:
+        raise ValidationError("weights must be non-empty")
+    base = config or ScenarioConfig.fig1a()
+    rows: List[Dict[str, float]] = []
+    for weight in weights:
+        scenario = base.with_overrides(aoi_weight=float(weight))
+        policy = MDPCachingPolicy(scenario.build_mdp_config())
+        result = CacheSimulator(scenario, policy).run(num_slots=num_slots)
+        summary = result.metrics.summary()
+        rows.append(
+            {
+                "weight": float(weight),
+                "mean_age": summary["mean_age"],
+                "violation_fraction": summary["violation_fraction"],
+                "total_cost": summary["total_cost"],
+                "total_updates": summary["total_updates"],
+                "total_reward": summary["total_reward"],
+            }
+        )
+    return rows
+
+
+def v_sweep(
+    v_values: Sequence[float],
+    *,
+    config: Optional[ScenarioConfig] = None,
+    num_slots: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Sweep the Lyapunov trade-off coefficient ``V`` (E5).
+
+    For each ``V`` the Lyapunov controller is simulated on the Fig. 1b
+    scenario; the row records the time-average cost and backlog.  The classic
+    drift-plus-penalty result predicts cost decreasing (towards its optimum)
+    and backlog increasing roughly linearly in ``V``.
+    """
+    if not v_values:
+        raise ValidationError("v_values must be non-empty")
+    base = config or ScenarioConfig.fig1b()
+    rows: List[Dict[str, float]] = []
+    for v in v_values:
+        controller = LyapunovServiceController(float(v))
+        result = ServiceSimulator(base, controller).run(num_slots=num_slots)
+        rows.append(
+            {
+                "tradeoff_v": float(v),
+                "time_average_cost": result.time_average_cost,
+                "time_average_backlog": result.metrics.time_average_backlog,
+                "peak_backlog": result.metrics.peak_backlog,
+                "service_rate": result.metrics.service_rate,
+                "stable": float(result.metrics.is_stable()),
+            }
+        )
+    return rows
+
+
+def caching_policy_comparison(
+    *,
+    config: Optional[ScenarioConfig] = None,
+    policies: Optional[Dict[str, CachingPolicy]] = None,
+    num_slots: Optional[int] = None,
+    rng_seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Compare the MDP caching policy against the standard baselines (E6)."""
+    scenario = config or ScenarioConfig.fig1a()
+    if policies is None:
+        policies = {"mdp": MDPCachingPolicy(scenario.build_mdp_config())}
+        policies.update(
+            standard_caching_baselines(weight=scenario.aoi_weight, rng=rng_seed)
+        )
+    rows: List[Dict[str, float]] = []
+    for name, policy in policies.items():
+        result = CacheSimulator(scenario, policy).run(num_slots=num_slots)
+        summary = result.metrics.summary()
+        rows.append(
+            {
+                "policy": name,
+                "total_reward": summary["total_reward"],
+                "mean_age": summary["mean_age"],
+                "violation_fraction": summary["violation_fraction"],
+                "total_cost": summary["total_cost"],
+                "total_updates": summary["total_updates"],
+            }
+        )
+    return rows
+
+
+def service_policy_comparison(
+    *,
+    config: Optional[ScenarioConfig] = None,
+    policies: Optional[Dict[str, ServicePolicy]] = None,
+    num_slots: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Compare the Lyapunov service policy against the baselines (Fig. 1b table)."""
+    scenario = config or ScenarioConfig.fig1b()
+    if policies is None:
+        policies = {
+            "lyapunov": LyapunovServiceController(scenario.tradeoff_v),
+            "always-serve": AlwaysServePolicy(),
+            "cost-greedy": CostGreedyPolicy(backlog_cap=50.0),
+        }
+    rows: List[Dict[str, float]] = []
+    for name, policy in policies.items():
+        result = ServiceSimulator(scenario, policy).run(num_slots=num_slots)
+        summary = result.metrics.summary()
+        rows.append(
+            {
+                "policy": name,
+                "time_average_cost": summary["time_average_cost"],
+                "time_average_backlog": summary["time_average_backlog"],
+                "peak_backlog": summary["peak_backlog"],
+                "total_served": summary["total_served"],
+                "stable": summary["stable"],
+            }
+        )
+    return rows
+
+
+def scalability_sweep(
+    sizes: Sequence[Dict[str, int]],
+    *,
+    num_slots: int = 100,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Measure solve and simulation time as the system grows (E7).
+
+    Parameters
+    ----------
+    sizes:
+        Each entry is ``{"num_rsus": ..., "contents_per_rsu": ...}``.
+    num_slots:
+        Horizon of the timed simulation runs.
+    seed:
+        Scenario seed.
+    """
+    if not sizes:
+        raise ValidationError("sizes must be non-empty")
+    num_slots = check_positive_int(num_slots, "num_slots")
+    rows: List[Dict[str, float]] = []
+    for size in sizes:
+        scenario = ScenarioConfig(
+            num_rsus=int(size["num_rsus"]),
+            contents_per_rsu=int(size["contents_per_rsu"]),
+            num_slots=num_slots,
+            seed=seed,
+        )
+        policy = MDPCachingPolicy(scenario.build_mdp_config())
+        start = time.perf_counter()
+        result = CacheSimulator(scenario, policy).run()
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "num_rsus": float(scenario.num_rsus),
+                "contents_per_rsu": float(scenario.contents_per_rsu),
+                "num_contents": float(scenario.num_contents),
+                "num_slots": float(num_slots),
+                "wall_seconds": float(elapsed),
+                "slots_per_second": float(num_slots / elapsed) if elapsed > 0 else float("inf"),
+                "total_reward": result.total_reward,
+            }
+        )
+    return rows
+
+
+def format_table(rows: Sequence[Dict[str, object]], *, precision: int = 4) -> str:
+    """Format a list of result rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.{precision}g}")
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(str(column)), max(len(row[i]) for row in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rendered
+    )
+    return "\n".join([header, separator, body])

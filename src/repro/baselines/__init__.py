@@ -1,0 +1,35 @@
+"""Baseline caching and service policies used for comparison experiments."""
+
+from repro.baselines.caching import (
+    AlwaysUpdatePolicy,
+    MyopicUpdatePolicy,
+    NeverUpdatePolicy,
+    PeriodicUpdatePolicy,
+    RandomUpdatePolicy,
+    ThresholdUpdatePolicy,
+    standard_caching_baselines,
+)
+from repro.baselines.service import (
+    AlwaysServePolicy,
+    BacklogThresholdPolicy,
+    CostGreedyPolicy,
+    FixedProbabilityPolicy,
+    NeverServePolicy,
+    standard_service_baselines,
+)
+
+__all__ = [
+    "AlwaysUpdatePolicy",
+    "MyopicUpdatePolicy",
+    "NeverUpdatePolicy",
+    "PeriodicUpdatePolicy",
+    "RandomUpdatePolicy",
+    "ThresholdUpdatePolicy",
+    "standard_caching_baselines",
+    "AlwaysServePolicy",
+    "BacklogThresholdPolicy",
+    "CostGreedyPolicy",
+    "FixedProbabilityPolicy",
+    "NeverServePolicy",
+    "standard_service_baselines",
+]

@@ -1,0 +1,129 @@
+"""Command-line interface for the reproduction harness.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``list`` — show every registered experiment (the E1-E7 index of DESIGN.md).
+* ``run`` — run one or more experiments and print their reports.
+* ``figures`` — regenerate the paper's Fig. 1a / Fig. 1b as ASCII charts.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli run E1 E2 --slots 300
+    python -m repro.cli run all --slots 1000 --seed 1
+    python -m repro.cli figures --slots 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    available_experiments,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.analysis.figures import (
+    build_fig1a_data,
+    build_fig1b_data,
+    render_fig1a,
+    render_fig1b,
+)
+from repro.sim.scenario import ScenarioConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'AoI-Aware Markov Decision Policies "
+            "for Caching' (ICDCS 2022)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (E1..E7) or 'all'",
+    )
+    run_parser.add_argument(
+        "--slots",
+        type=int,
+        default=300,
+        help="simulation horizon in slots (paper uses 1000; default 300)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0, help="master scenario seed (default 0)"
+    )
+
+    figures_parser = subparsers.add_parser(
+        "figures", help="regenerate Fig. 1a and Fig. 1b as ASCII charts"
+    )
+    figures_parser.add_argument("--slots", type=int, default=300)
+    figures_parser.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_list(out) -> int:
+    experiments = available_experiments()
+    out.write("Registered experiments\n")
+    out.write("----------------------\n")
+    for key in sorted(experiments):
+        out.write(f"  {key}  {experiments[key]}\n")
+    return 0
+
+
+def _command_run(arguments, out) -> int:
+    requested = [item.strip() for item in arguments.experiments]
+    if any(item.lower() == "all" for item in requested):
+        reports = run_all_experiments(num_slots=arguments.slots, seed=arguments.seed)
+    else:
+        reports = [
+            run_experiment(item, num_slots=arguments.slots, seed=arguments.seed)
+            for item in requested
+        ]
+    for report in reports:
+        out.write(report.render() + "\n\n")
+    failed = [report.experiment_id for report in reports if not report.passed]
+    if failed:
+        out.write(f"FAILED claims: {', '.join(failed)}\n")
+        return 1
+    out.write(f"All {len(reports)} experiment claim(s) reproduced.\n")
+    return 0
+
+
+def _command_figures(arguments, out) -> int:
+    fig1a_config = ScenarioConfig.fig1a(seed=arguments.seed).with_overrides(
+        num_slots=arguments.slots
+    )
+    fig1b_config = ScenarioConfig.fig1b(seed=arguments.seed).with_overrides(
+        num_slots=arguments.slots
+    )
+    out.write(render_fig1a(build_fig1a_data(fig1a_config)) + "\n\n")
+    out.write(render_fig1b(build_fig1b_data(fig1b_config)) + "\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "list":
+        return _command_list(out)
+    if arguments.command == "run":
+        return _command_run(arguments, out)
+    if arguments.command == "figures":
+        return _command_figures(arguments, out)
+    raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Core contribution: AoI primitives, the caching MDP, and the Lyapunov controller."""
+
+from repro.core.aoi import (
+    AoICounter,
+    AoIProcess,
+    AoIStatistics,
+    AoIVector,
+    aoi_utility,
+    aoi_violation,
+)
+from repro.core.caching_mdp import (
+    AgeGrid,
+    CachingMDPConfig,
+    ContentUpdateMDP,
+    MDPCachingPolicy,
+    RSUCachingMDP,
+)
+from repro.core.lyapunov import (
+    DriftPenaltyRecord,
+    LyapunovRunResult,
+    LyapunovServiceController,
+    ServiceDecision,
+    run_backlog_simulation,
+)
+from repro.core.online import OnlineLearningConfig, QLearningCachingPolicy
+from repro.core.mdp import (
+    DiscreteSpace,
+    MDPModel,
+    ProductSpace,
+    TabularMDP,
+    Transition,
+    build_tabular,
+    uniform_random_policy,
+)
+from repro.core.policies import (
+    CacheObservation,
+    CachingPolicy,
+    ServiceObservation,
+    ServicePolicy,
+    StatelessCachingPolicy,
+    StatelessServicePolicy,
+)
+from repro.core.reward import (
+    RewardBreakdown,
+    UtilityFunction,
+    aoi_utility_term,
+    cost_term,
+    post_action_ages,
+)
+from repro.core.solvers import (
+    QLearningConfig,
+    QLearningSolver,
+    SolverResult,
+    policy_evaluation,
+    policy_iteration,
+    value_iteration,
+)
+
+__all__ = [
+    "AoICounter",
+    "AoIProcess",
+    "AoIStatistics",
+    "AoIVector",
+    "aoi_utility",
+    "aoi_violation",
+    "AgeGrid",
+    "CachingMDPConfig",
+    "ContentUpdateMDP",
+    "MDPCachingPolicy",
+    "RSUCachingMDP",
+    "OnlineLearningConfig",
+    "QLearningCachingPolicy",
+    "DriftPenaltyRecord",
+    "LyapunovRunResult",
+    "LyapunovServiceController",
+    "ServiceDecision",
+    "run_backlog_simulation",
+    "DiscreteSpace",
+    "MDPModel",
+    "ProductSpace",
+    "TabularMDP",
+    "Transition",
+    "build_tabular",
+    "uniform_random_policy",
+    "CacheObservation",
+    "CachingPolicy",
+    "ServiceObservation",
+    "ServicePolicy",
+    "StatelessCachingPolicy",
+    "StatelessServicePolicy",
+    "RewardBreakdown",
+    "UtilityFunction",
+    "aoi_utility_term",
+    "cost_term",
+    "post_action_ages",
+    "QLearningConfig",
+    "QLearningSolver",
+    "SolverResult",
+    "policy_evaluation",
+    "policy_iteration",
+    "value_iteration",
+]

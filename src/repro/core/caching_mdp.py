@@ -1,0 +1,601 @@
+"""The paper's cache-management MDP and the policies derived from it.
+
+The MBS's decision problem (Section II-B of the paper) is: given the ages of
+every content cached at every RSU and each RSU's content population, choose
+which content (at most one per RSU per slot) to refresh so as to maximise
+the discounted sum of the total utility ``U(t) = w*U_AoI(t) - U_cost(t)``.
+
+Because the reward of Eq. (1) is additive across RSUs and the "one update
+per RSU per slot" constraint couples only contents *within* an RSU, the
+global MDP factorises exactly into independent per-RSU MDPs.  This module
+exposes both granularities:
+
+* :class:`RSUCachingMDP` — the exact per-RSU MDP over the joint (discretised)
+  ages of that RSU's cached contents.  Solvable exactly for the paper-scale
+  instances (5 contents per RSU with single-digit age ceilings).
+* :class:`ContentUpdateMDP` — the single-content relaxation (state = one age
+  counter, action = update / skip).  Its optimal Q-values provide per-content
+  update *advantages* that scale to arbitrarily many contents.
+* :class:`MDPCachingPolicy` — the deployable controller: it selects, for each
+  RSU, the content with the largest positive Q-advantage (exact per-RSU
+  solution when the joint state space is small enough, per-content
+  decomposition otherwise), respecting the one-update-per-slot constraint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mdp import DiscreteSpace, MDPModel, TabularMDP, build_tabular
+from repro.core.policies import CacheObservation, CachingPolicy
+from repro.core.reward import UtilityFunction
+from repro.core.solvers import SolverResult, value_iteration
+from repro.exceptions import ConfigurationError, ModelError, ValidationError
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class AgeGrid:
+    """Discretisation of an AoI counter onto the integer grid ``1 .. ceiling``.
+
+    The MDP solvers need finite state spaces; ages are therefore clamped to
+    integer slots saturating at *ceiling*.  The grid also converts between
+    continuous simulator ages and MDP state indices.
+    """
+
+    def __init__(self, ceiling: int) -> None:
+        self._ceiling = check_positive_int(ceiling, "ceiling")
+
+    @property
+    def ceiling(self) -> int:
+        """Largest representable age."""
+        return self._ceiling
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable age levels (ages 1..ceiling)."""
+        return self._ceiling
+
+    def index_of(self, age: float) -> int:
+        """Return the 0-based grid index of *age* (clamped to the grid)."""
+        if not np.isfinite(age) or age < 0:
+            raise ValidationError(f"age must be finite and >= 0, got {age}")
+        clamped = int(min(max(round(age), 1), self._ceiling))
+        return clamped - 1
+
+    def age_of(self, index: int) -> int:
+        """Return the age represented by grid *index*."""
+        if not 0 <= index < self._ceiling:
+            raise ValidationError(
+                f"index {index} out of range [0, {self._ceiling})"
+            )
+        return index + 1
+
+    def next_age(self, age: int) -> int:
+        """Return the age after one slot without an update (saturating)."""
+        return min(int(age) + 1, self._ceiling)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"AgeGrid(ceiling={self._ceiling})"
+
+
+@dataclass(frozen=True)
+class CachingMDPConfig:
+    """Static parameters of the cache-management MDP.
+
+    Attributes
+    ----------
+    weight:
+        AoI weight ``w`` of Eq. (1).
+    discount:
+        Discount factor used when solving for the long-run policy.
+    age_ceiling:
+        Saturation age of the discretised AoI state.  ``None`` derives it per
+        content as ``ceil(2 * A_max)`` capped at *max_age_ceiling*.
+    max_age_ceiling:
+        Upper bound on any derived ceiling, keeping exact per-RSU state
+        spaces tractable.
+    refresh_age:
+        Age of a freshly pushed copy.
+    violation_penalty:
+        Penalty subtracted from the reward for every content whose
+        post-action age exceeds its ``A_max``.  The paper treats the maximum
+        AoI as a requirement ("each content is updated before the AoI value
+        exceeds the maximum A_max_h"); this Lagrangian-style penalty encodes
+        that requirement in the reward so the solved policy honours it even
+        when the raw Eq. (1) trade-off alone would let a rarely requested
+        content go stale.  Set it to 0 to optimise the unconstrained Eq. (1).
+    """
+
+    weight: float = 1.0
+    discount: float = 0.9
+    age_ceiling: Optional[int] = None
+    max_age_ceiling: int = 12
+    refresh_age: float = 1.0
+    violation_penalty: float = 10.0
+
+    def validate(self) -> "CachingMDPConfig":
+        """Validate all fields and return ``self``."""
+        check_non_negative(self.weight, "weight")
+        check_in_range(self.discount, "discount", 0.0, 1.0, inclusive=False)
+        if self.age_ceiling is not None:
+            check_positive_int(self.age_ceiling, "age_ceiling")
+        check_positive_int(self.max_age_ceiling, "max_age_ceiling")
+        check_positive(self.refresh_age, "refresh_age")
+        check_non_negative(self.violation_penalty, "violation_penalty")
+        return self
+
+    def ceiling_for(self, max_age: float) -> int:
+        """Return the discretisation ceiling to use for a content with *max_age*."""
+        if self.age_ceiling is not None:
+            return int(self.age_ceiling)
+        derived = int(np.ceil(2.0 * float(max_age)))
+        return int(max(2, min(derived, self.max_age_ceiling)))
+
+
+class ContentUpdateMDP(MDPModel):
+    """Single-content update MDP.
+
+    State: the (discretised) age of one cached copy.  Action 0 = skip,
+    action 1 = refresh.  The age evolves deterministically: it increases by
+    one each slot unless refreshed, in which case it restarts from the
+    refresh age.  The reward is the single-content slice of Eq. (1):
+    ``w * (A_max / A(x)) * p - C * x``.
+
+    This is the factored building block the scalable controller uses — its
+    optimal Q-function yields, for every current age, the *advantage* of
+    updating versus skipping, which ranks contents within an RSU.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_age: float,
+        popularity: float,
+        update_cost: float,
+        config: Optional[CachingMDPConfig] = None,
+    ) -> None:
+        self._config = (config or CachingMDPConfig()).validate()
+        self._max_age = check_positive(max_age, "max_age")
+        self._popularity = check_non_negative(popularity, "popularity")
+        self._update_cost = check_non_negative(update_cost, "update_cost")
+        self._grid = AgeGrid(self._config.ceiling_for(max_age))
+
+    @property
+    def grid(self) -> AgeGrid:
+        """The age discretisation grid."""
+        return self._grid
+
+    @property
+    def max_age(self) -> float:
+        """Maximum tolerable age of the content."""
+        return self._max_age
+
+    @property
+    def popularity(self) -> float:
+        """Content-population weight ``p`` of the content."""
+        return self._popularity
+
+    @property
+    def update_cost(self) -> float:
+        """Transfer cost ``C`` charged when the content is refreshed."""
+        return self._update_cost
+
+    @property
+    def num_states(self) -> int:
+        return self._grid.num_levels
+
+    @property
+    def num_actions(self) -> int:
+        return 2
+
+    def transition_distribution(self, state: int, action: int) -> Dict[int, float]:
+        age = self._grid.age_of(state)
+        if action == 1:
+            next_age = self._grid.next_age(int(round(self._config.refresh_age)))
+        elif action == 0:
+            next_age = self._grid.next_age(age)
+        else:
+            raise ValidationError(f"action must be 0 or 1, got {action}")
+        return {self._grid.index_of(next_age): 1.0}
+
+    def expected_reward(self, state: int, action: int) -> float:
+        age = self._grid.age_of(state)
+        if action == 1:
+            post_age = self._config.refresh_age
+            cost = self._update_cost
+        elif action == 0:
+            post_age = float(age)
+            cost = 0.0
+        else:
+            raise ValidationError(f"action must be 0 or 1, got {action}")
+        aoi_utility = (self._max_age / max(post_age, 1.0)) * self._popularity
+        reward = self._config.weight * aoi_utility - cost
+        if post_age > self._max_age:
+            reward -= self._config.violation_penalty
+        return reward
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"ContentUpdateMDP(max_age={self._max_age:g}, popularity={self._popularity:g}, "
+            f"update_cost={self._update_cost:g}, ceiling={self._grid.ceiling})"
+        )
+
+
+class RSUCachingMDP(MDPModel):
+    """Exact per-RSU cache-management MDP.
+
+    State: the joint (discretised) ages of the RSU's cached contents.
+    Action: index ``0`` means "no update this slot"; action ``h+1`` refreshes
+    the RSU's ``h``-th content.  Rewards follow Eq. (1) restricted to this
+    RSU.  Ages advance deterministically, so the transition model is a
+    deterministic function of (state, action).
+
+    The joint state space has ``prod_h ceiling_h`` states, so this exact
+    formulation is appropriate for paper-scale RSUs (a handful of contents
+    with single-digit ceilings); larger instances should use the factored
+    :class:`ContentUpdateMDP` decomposition via :class:`MDPCachingPolicy`.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_ages: Sequence[float],
+        popularity: Sequence[float],
+        update_costs: Sequence[float],
+        config: Optional[CachingMDPConfig] = None,
+        max_states: int = 200_000,
+    ) -> None:
+        self._config = (config or CachingMDPConfig()).validate()
+        max_ages = np.asarray(max_ages, dtype=float)
+        popularity = np.asarray(popularity, dtype=float)
+        update_costs = np.asarray(update_costs, dtype=float)
+        if max_ages.ndim != 1 or max_ages.size == 0:
+            raise ConfigurationError("max_ages must be a non-empty 1-D sequence")
+        if popularity.shape != max_ages.shape or update_costs.shape != max_ages.shape:
+            raise ConfigurationError(
+                "max_ages, popularity, and update_costs must have the same length"
+            )
+        if np.any(max_ages <= 0):
+            raise ConfigurationError("max_ages must be > 0")
+        if np.any(popularity < 0) or np.any(update_costs < 0):
+            raise ConfigurationError("popularity and update_costs must be >= 0")
+        self._max_ages = max_ages
+        self._popularity = popularity
+        self._update_costs = update_costs
+        self._grids = [AgeGrid(self._config.ceiling_for(a)) for a in max_ages]
+        self._shape = tuple(grid.num_levels for grid in self._grids)
+        num_states = int(np.prod(self._shape))
+        if num_states > max_states:
+            raise ConfigurationError(
+                f"joint state space has {num_states} states, exceeding max_states="
+                f"{max_states}; lower age_ceiling or use the factored controller"
+            )
+        self._num_states = num_states
+        self._utility = UtilityFunction(
+            max_ages,
+            update_costs,
+            weight=self._config.weight,
+            refresh_age=self._config.refresh_age,
+        )
+
+    @property
+    def config(self) -> CachingMDPConfig:
+        """The MDP configuration."""
+        return self._config
+
+    @property
+    def num_contents(self) -> int:
+        """Number of contents cached at this RSU."""
+        return int(self._max_ages.size)
+
+    @property
+    def grids(self) -> List[AgeGrid]:
+        """Per-content age grids."""
+        return list(self._grids)
+
+    @property
+    def num_states(self) -> int:
+        return self._num_states
+
+    @property
+    def num_actions(self) -> int:
+        # Action 0 = no update; action h+1 = update content h.
+        return self.num_contents + 1
+
+    # ------------------------------------------------------------------
+    # State encoding
+    # ------------------------------------------------------------------
+    def encode_ages(self, ages: Sequence[float]) -> int:
+        """Return the state index for continuous per-content *ages*."""
+        ages = np.asarray(ages, dtype=float)
+        if ages.shape != self._max_ages.shape:
+            raise ValidationError(
+                f"ages must have shape {self._max_ages.shape}, got {ages.shape}"
+            )
+        indices = tuple(
+            grid.index_of(age) for grid, age in zip(self._grids, ages)
+        )
+        return int(np.ravel_multi_index(indices, self._shape))
+
+    def decode_state(self, state: int) -> np.ndarray:
+        """Return the per-content ages encoded by state index *state*."""
+        if not 0 <= state < self._num_states:
+            raise ValidationError(
+                f"state {state} out of range [0, {self._num_states})"
+            )
+        indices = np.unravel_index(state, self._shape)
+        return np.asarray(
+            [grid.age_of(int(i)) for grid, i in zip(self._grids, indices)],
+            dtype=float,
+        )
+
+    def action_vector(self, action: int) -> np.ndarray:
+        """Return the binary per-content update vector of MDP *action*."""
+        if not 0 <= action < self.num_actions:
+            raise ValidationError(
+                f"action {action} out of range [0, {self.num_actions})"
+            )
+        vector = np.zeros(self.num_contents, dtype=int)
+        if action > 0:
+            vector[action - 1] = 1
+        return vector
+
+    # ------------------------------------------------------------------
+    # MDPModel interface
+    # ------------------------------------------------------------------
+    def transition_distribution(self, state: int, action: int) -> Dict[int, float]:
+        ages = self.decode_state(state)
+        updates = self.action_vector(action)
+        next_ages = []
+        for grid, age, updated in zip(self._grids, ages, updates):
+            if updated:
+                next_ages.append(grid.next_age(int(round(self._config.refresh_age))))
+            else:
+                next_ages.append(grid.next_age(int(age)))
+        next_state = self.encode_ages(np.asarray(next_ages, dtype=float))
+        return {next_state: 1.0}
+
+    def expected_reward(self, state: int, action: int) -> float:
+        ages = self.decode_state(state)
+        updates = self.action_vector(action)
+        breakdown = self._utility.evaluate(
+            ages[np.newaxis, :],
+            updates[np.newaxis, :],
+            self._popularity[np.newaxis, :],
+        )
+        post_ages = np.where(updates > 0, self._config.refresh_age, ages)
+        violations = int(np.count_nonzero(post_ages > self._max_ages))
+        return breakdown.total - self._config.violation_penalty * violations
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"RSUCachingMDP(num_contents={self.num_contents}, "
+            f"num_states={self.num_states})"
+        )
+
+
+@dataclass
+class _SolvedContentModel:
+    """Optimal Q-values of one :class:`ContentUpdateMDP` (internal cache)."""
+
+    mdp: ContentUpdateMDP
+    q_values: np.ndarray
+
+    def advantage(self, age: float) -> float:
+        """Q(update) - Q(skip) at the given current age."""
+        state = self.mdp.grid.index_of(age)
+        return float(self.q_values[state, 1] - self.q_values[state, 0])
+
+
+@dataclass
+class _SolvedRSUModel:
+    """Optimal policy of one :class:`RSUCachingMDP` (internal cache)."""
+
+    mdp: RSUCachingMDP
+    result: SolverResult
+
+    def decide(self, ages: np.ndarray) -> np.ndarray:
+        """Return the binary update vector prescribed for continuous *ages*."""
+        state = self.mdp.encode_ages(ages)
+        action = int(self.result.policy[state])
+        return self.mdp.action_vector(action)
+
+
+class MDPCachingPolicy(CachingPolicy):
+    """The paper's MDP-based cache-update controller.
+
+    Two operating modes share one public interface:
+
+    * ``mode="exact"`` — solve each RSU's joint :class:`RSUCachingMDP` by
+      value iteration and act with the resulting optimal policy.  Exact but
+      exponential in the number of contents per RSU.
+    * ``mode="factored"`` — solve one :class:`ContentUpdateMDP` per (RSU,
+      content), and each slot refresh the content with the largest strictly
+      positive Q-advantage, which respects the one-update-per-RSU constraint
+      while scaling linearly.
+    * ``mode="auto"`` (default) — exact when the joint space of each RSU has
+      at most *exact_state_limit* states, factored otherwise.
+
+    The models are solved lazily on the first :meth:`decide` call (they need
+    the observation's popularity and cost parameters) and re-solved whenever
+    those parameters change.
+
+    Parameters
+    ----------
+    config:
+        MDP configuration (weight ``w``, discount, age discretisation).
+    mode:
+        ``"exact"``, ``"factored"``, or ``"auto"``.
+    exact_state_limit:
+        Joint-state-space threshold for the automatic mode.
+    """
+
+    name = "mdp"
+
+    def __init__(
+        self,
+        config: Optional[CachingMDPConfig] = None,
+        *,
+        mode: str = "auto",
+        exact_state_limit: int = 2_000,
+    ) -> None:
+        if mode not in ("exact", "factored", "auto"):
+            raise ConfigurationError(
+                f"mode must be 'exact', 'factored', or 'auto', got {mode!r}"
+            )
+        self._config = (config or CachingMDPConfig()).validate()
+        self._mode = mode
+        self._exact_state_limit = check_positive_int(
+            exact_state_limit, "exact_state_limit"
+        )
+        self._content_models: Dict[Tuple[int, int], _SolvedContentModel] = {}
+        self._rsu_models: Dict[int, _SolvedRSUModel] = {}
+        self._rsu_mode: Dict[int, str] = {}
+        self._params_signature: Optional[Tuple] = None
+
+    @property
+    def config(self) -> CachingMDPConfig:
+        """The MDP configuration in use."""
+        return self._config
+
+    @property
+    def mode(self) -> str:
+        """The requested operating mode."""
+        return self._mode
+
+    def reset(self) -> None:
+        """Drop all solved models (they will be rebuilt on the next decide)."""
+        self._content_models.clear()
+        self._rsu_models.clear()
+        self._rsu_mode.clear()
+        self._params_signature = None
+
+    # ------------------------------------------------------------------
+    # CachingPolicy interface
+    # ------------------------------------------------------------------
+    def decide(self, observation: CacheObservation) -> np.ndarray:
+        self._ensure_models(observation)
+        actions = np.zeros(
+            (observation.num_rsus, observation.contents_per_rsu), dtype=int
+        )
+        for rsu in range(observation.num_rsus):
+            ages = np.asarray(observation.ages[rsu], dtype=float)
+            if self._rsu_mode[rsu] == "exact":
+                actions[rsu] = self._rsu_models[rsu].decide(ages)
+            else:
+                actions[rsu] = self._factored_decision(rsu, ages)
+        return self.validate_actions(actions, observation)
+
+    def update_advantages(self, observation: CacheObservation) -> np.ndarray:
+        """Return the per-(RSU, content) Q-advantage of updating right now.
+
+        Exposed for diagnostics and for the ablation experiments; positive
+        entries are contents the factored controller considers worth
+        refreshing.
+        """
+        self._ensure_models(observation)
+        advantages = np.zeros(
+            (observation.num_rsus, observation.contents_per_rsu), dtype=float
+        )
+        for rsu in range(observation.num_rsus):
+            for content in range(observation.contents_per_rsu):
+                model = self._content_models[(rsu, content)]
+                advantages[rsu, content] = model.advantage(
+                    float(observation.ages[rsu, content])
+                )
+        return advantages
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _factored_decision(self, rsu: int, ages: np.ndarray) -> np.ndarray:
+        decision = np.zeros(ages.size, dtype=int)
+        advantages = np.asarray(
+            [
+                self._content_models[(rsu, content)].advantage(float(ages[content]))
+                for content in range(ages.size)
+            ]
+        )
+        best = int(np.argmax(advantages))
+        if advantages[best] > 1e-12:
+            decision[best] = 1
+        return decision
+
+    def _ensure_models(self, observation: CacheObservation) -> None:
+        signature = (
+            observation.num_rsus,
+            observation.contents_per_rsu,
+            tuple(np.round(np.asarray(observation.max_ages, dtype=float).ravel(), 9)),
+            tuple(np.round(np.asarray(observation.popularity, dtype=float).ravel(), 9)),
+            tuple(np.round(np.asarray(observation.update_costs, dtype=float).ravel(), 9)),
+        )
+        if signature == self._params_signature:
+            return
+        self.reset()
+        self._params_signature = signature
+        for rsu in range(observation.num_rsus):
+            max_ages = np.asarray(observation.max_ages[rsu], dtype=float)
+            popularity = np.asarray(observation.popularity[rsu], dtype=float)
+            costs = np.asarray(observation.update_costs[rsu], dtype=float)
+            self._build_content_models(rsu, max_ages, popularity, costs)
+            self._rsu_mode[rsu] = self._select_mode(max_ages)
+            if self._rsu_mode[rsu] == "exact":
+                self._build_rsu_model(rsu, max_ages, popularity, costs)
+
+    def _select_mode(self, max_ages: np.ndarray) -> str:
+        if self._mode in ("exact", "factored"):
+            return self._mode
+        joint_states = int(
+            np.prod([self._config.ceiling_for(a) for a in max_ages])
+        )
+        return "exact" if joint_states <= self._exact_state_limit else "factored"
+
+    def _build_content_models(
+        self,
+        rsu: int,
+        max_ages: np.ndarray,
+        popularity: np.ndarray,
+        costs: np.ndarray,
+    ) -> None:
+        for content in range(max_ages.size):
+            mdp = ContentUpdateMDP(
+                max_age=float(max_ages[content]),
+                popularity=float(popularity[content]),
+                update_cost=float(costs[content]),
+                config=self._config,
+            )
+            result = value_iteration(
+                mdp, discount=self._config.discount, tolerance=1e-9
+            )
+            self._content_models[(rsu, content)] = _SolvedContentModel(
+                mdp=mdp, q_values=result.q_values
+            )
+
+    def _build_rsu_model(
+        self,
+        rsu: int,
+        max_ages: np.ndarray,
+        popularity: np.ndarray,
+        costs: np.ndarray,
+    ) -> None:
+        mdp = RSUCachingMDP(
+            max_ages=max_ages,
+            popularity=popularity,
+            update_costs=costs,
+            config=self._config,
+            max_states=self._exact_state_limit,
+        )
+        result = value_iteration(mdp, discount=self._config.discount, tolerance=1e-7)
+        self._rsu_models[rsu] = _SolvedRSUModel(mdp=mdp, result=result)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"MDPCachingPolicy(mode={self._mode!r}, weight={self._config.weight:g})"

@@ -1,0 +1,236 @@
+"""Online (model-free) cache-update control via Q-learning.
+
+The exact and factored controllers in :mod:`repro.core.caching_mdp` assume
+the MBS knows the reward parameters (popularity, update costs) up front.  In
+practice these drift with the road environment, so this module provides an
+*online* variant that learns per-content update Q-values from the rewards it
+actually observes — the natural extension the paper's MDP formulation invites
+and the one its related-work section cites AoI caching papers for.
+
+:class:`QLearningCachingPolicy` plugs into the same
+:class:`~repro.core.policies.CachingPolicy` interface as every other policy,
+so it can be dropped into the simulators and the comparison experiments
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.caching_mdp import AgeGrid
+from repro.core.policies import CacheObservation, CachingPolicy
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive_int,
+)
+
+
+@dataclass
+class OnlineLearningConfig:
+    """Hyper-parameters of :class:`QLearningCachingPolicy`.
+
+    Attributes
+    ----------
+    weight:
+        AoI weight ``w`` of Eq. (1) used to compute the observed rewards.
+    discount:
+        Discount factor of the learned Q-values.
+    learning_rate:
+        Q-learning step size.
+    epsilon:
+        Initial exploration probability (per RSU per slot).
+    epsilon_decay:
+        Multiplicative decay applied to epsilon after every slot.
+    min_epsilon:
+        Floor on the exploration probability.
+    age_ceiling:
+        Discretisation ceiling of the learned per-content age states.
+    """
+
+    weight: float = 1.0
+    discount: float = 0.9
+    learning_rate: float = 0.1
+    epsilon: float = 0.2
+    epsilon_decay: float = 0.999
+    min_epsilon: float = 0.01
+    age_ceiling: int = 12
+
+    def validate(self) -> "OnlineLearningConfig":
+        """Validate all fields and return ``self``."""
+        check_non_negative(self.weight, "weight")
+        check_in_range(self.discount, "discount", 0.0, 1.0)
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValidationError(
+                f"learning_rate must be in (0, 1], got {self.learning_rate}"
+            )
+        check_in_range(self.epsilon, "epsilon", 0.0, 1.0)
+        check_in_range(self.epsilon_decay, "epsilon_decay", 0.0, 1.0)
+        check_in_range(self.min_epsilon, "min_epsilon", 0.0, 1.0)
+        check_positive_int(self.age_ceiling, "age_ceiling")
+        return self
+
+
+class QLearningCachingPolicy(CachingPolicy):
+    """Model-free cache-update controller learning per-content Q-values.
+
+    One Q-table is learned per (RSU, content slot): states are discretised
+    ages, actions are skip/update.  Each slot the policy
+
+    1. updates the previous slot's Q-entries using the reward it observed
+       (the per-content slice of Eq. (1) evaluated with the true ages,
+       popularity, and costs reported in the observation),
+    2. selects, per RSU, either an exploratory random content (with
+       probability epsilon) or the content with the largest learned
+       positive update advantage.
+
+    The policy therefore needs no prior knowledge of popularity or costs and
+    adapts when they drift — at the price of a learning transient that the
+    comparison benchmark quantifies.
+
+    Parameters
+    ----------
+    config:
+        Learning hyper-parameters.
+    rng:
+        Seed or generator for exploration.
+    """
+
+    name = "q-learning"
+
+    def __init__(
+        self,
+        config: Optional[OnlineLearningConfig] = None,
+        *,
+        rng: RandomSource = None,
+    ) -> None:
+        self._config = (config or OnlineLearningConfig()).validate()
+        self._rng = ensure_rng(rng)
+        self._grid = AgeGrid(self._config.age_ceiling)
+        self._q: Dict[Tuple[int, int], np.ndarray] = {}
+        self._previous: Optional[Dict[str, np.ndarray]] = None
+        self._epsilon = self._config.epsilon
+        self._updates_applied = 0
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration probability."""
+        return self._epsilon
+
+    @property
+    def updates_applied(self) -> int:
+        """Number of Q-table updates applied so far."""
+        return self._updates_applied
+
+    def reset(self) -> None:
+        """Forget everything learned and restart exploration."""
+        self._q.clear()
+        self._previous = None
+        self._epsilon = self._config.epsilon
+        self._updates_applied = 0
+
+    def q_table(self, rsu: int, content_slot: int) -> np.ndarray:
+        """Return a copy of the learned Q-table for one cached content."""
+        key = (int(rsu), int(content_slot))
+        if key not in self._q:
+            raise ValidationError(f"no Q-table learned yet for {key}")
+        return self._q[key].copy()
+
+    # ------------------------------------------------------------------
+    # CachingPolicy interface
+    # ------------------------------------------------------------------
+    def decide(self, observation: CacheObservation) -> np.ndarray:
+        ages = np.asarray(observation.ages, dtype=float)
+        num_rsus, per_rsu = ages.shape
+        self._ensure_tables(num_rsus, per_rsu)
+        self._learn_from_previous(observation)
+
+        actions = np.zeros((num_rsus, per_rsu), dtype=int)
+        for rsu in range(num_rsus):
+            if self._rng.random() < self._epsilon:
+                # Exploration: update a random content (or none, with equal
+                # probability), so both actions of every state get visited.
+                choice = int(self._rng.integers(per_rsu + 1))
+                if choice < per_rsu:
+                    actions[rsu, choice] = 1
+            else:
+                advantages = np.asarray(
+                    [
+                        self._advantage(rsu, slot, ages[rsu, slot])
+                        for slot in range(per_rsu)
+                    ]
+                )
+                best = int(np.argmax(advantages))
+                if advantages[best] > 0:
+                    actions[rsu, best] = 1
+
+        self._remember(observation, actions)
+        self._epsilon = max(
+            self._config.min_epsilon, self._epsilon * self._config.epsilon_decay
+        )
+        return self.validate_actions(actions, observation)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_tables(self, num_rsus: int, per_rsu: int) -> None:
+        for rsu in range(num_rsus):
+            for slot in range(per_rsu):
+                self._q.setdefault(
+                    (rsu, slot), np.zeros((self._grid.num_levels, 2), dtype=float)
+                )
+
+    def _advantage(self, rsu: int, slot: int, age: float) -> float:
+        table = self._q[(rsu, slot)]
+        state = self._grid.index_of(age)
+        return float(table[state, 1] - table[state, 0])
+
+    def _remember(self, observation: CacheObservation, actions: np.ndarray) -> None:
+        self._previous = {
+            "ages": np.asarray(observation.ages, dtype=float).copy(),
+            "actions": actions.copy(),
+            "max_ages": np.asarray(observation.max_ages, dtype=float).copy(),
+            "popularity": np.asarray(observation.popularity, dtype=float).copy(),
+            "costs": np.asarray(observation.update_costs, dtype=float).copy(),
+        }
+
+    def _learn_from_previous(self, observation: CacheObservation) -> None:
+        if self._previous is None:
+            return
+        previous = self._previous
+        current_ages = np.asarray(observation.ages, dtype=float)
+        if current_ages.shape != previous["ages"].shape:
+            # Topology changed between calls; drop the stale experience.
+            self._previous = None
+            return
+        num_rsus, per_rsu = current_ages.shape
+        for rsu in range(num_rsus):
+            for slot in range(per_rsu):
+                action = int(previous["actions"][rsu, slot])
+                state = self._grid.index_of(previous["ages"][rsu, slot])
+                post_age = 1.0 if action else previous["ages"][rsu, slot]
+                reward = (
+                    self._config.weight
+                    * previous["popularity"][rsu, slot]
+                    * previous["max_ages"][rsu, slot]
+                    / max(post_age, 1.0)
+                    - previous["costs"][rsu, slot] * action
+                )
+                next_state = self._grid.index_of(current_ages[rsu, slot])
+                table = self._q[(rsu, slot)]
+                target = reward + self._config.discount * table[next_state].max()
+                table[state, action] += self._config.learning_rate * (
+                    target - table[state, action]
+                )
+                self._updates_applied += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"QLearningCachingPolicy(epsilon={self._epsilon:.3f}, "
+            f"updates={self._updates_applied})"
+        )

@@ -1,0 +1,255 @@
+"""The paper's utility / reward functions (Eqs. 1-3).
+
+The MBS evaluates a cache-update decision ``x`` through the total utility
+
+``U(t) = w * U_AoI(t) - U_cost(t)``                                 (Eq. 1)
+
+where the AoI utility aggregates per-(RSU, content) freshness weighted by
+content population
+
+``U_AoI(t) = sum_k sum_h (A_max_h / A_{k,h}(x_{k,h}(t))) * p_{k,h}(t)``  (Eq. 2)
+
+and the cost term charges the MBS backhaul for every pushed update
+
+``U_cost(t) = sum_k sum_h C_{k,h}(x_{k,h}(t))``                     (Eq. 3)
+
+The functions in this module are pure: they map (ages, action, popularity,
+costs) arrays to scalars, so they are reused unchanged by the MDP model, by
+the simulator's online accounting, and by the figure-regeneration code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def _as_2d(array: Sequence, name: str) -> np.ndarray:
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+def post_action_ages(ages: Sequence, actions: Sequence, *, refresh_age: float = 1.0) -> np.ndarray:
+    """Return the ages ``A_{k,h}(x_{k,h}(t))`` after applying update *actions*.
+
+    Where the binary action is 1 the cached copy is replaced by the fresh MBS
+    version (age ``refresh_age``); where it is 0 the age is unchanged.
+
+    Parameters
+    ----------
+    ages:
+        Pre-action ages, shape ``(num_rsus, num_contents)`` (or 1-D for a
+        single RSU).
+    actions:
+        Binary update decisions with the same shape.
+    refresh_age:
+        Age of a freshly delivered copy (1 slot by default).
+    """
+    ages_arr = _as_2d(ages, "ages")
+    actions_arr = _as_2d(actions, "actions")
+    if actions_arr.shape != ages_arr.shape:
+        raise ValidationError(
+            f"actions shape {actions_arr.shape} does not match ages shape {ages_arr.shape}"
+        )
+    if not np.all(np.isin(actions_arr, (0.0, 1.0))):
+        raise ValidationError("actions must be binary (0 or 1)")
+    check_positive(refresh_age, "refresh_age")
+    return np.where(actions_arr > 0, float(refresh_age), ages_arr)
+
+
+def aoi_utility_term(
+    ages: Sequence,
+    max_ages: Sequence,
+    popularity: Optional[Sequence] = None,
+) -> float:
+    """Evaluate Eq. (2): ``sum_k sum_h (A_max_h / A_{k,h}) * p_{k,h}``.
+
+    Parameters
+    ----------
+    ages:
+        Post-action ages ``A_{k,h}(x)``, shape ``(num_rsus, num_contents)``.
+    max_ages:
+        Maximum tolerable ages ``A_max_h``; either a 1-D vector of length
+        ``num_contents`` (shared across RSUs) or the full 2-D matrix.
+    popularity:
+        Content-population weights ``p_{k,h}``; defaults to all ones.
+    """
+    ages_arr = _as_2d(ages, "ages")
+    max_arr = np.asarray(max_ages, dtype=float)
+    if max_arr.ndim == 1:
+        if max_arr.size != ages_arr.shape[1]:
+            raise ValidationError(
+                f"max_ages has {max_arr.size} entries but ages has "
+                f"{ages_arr.shape[1]} contents per RSU"
+            )
+        max_arr = np.broadcast_to(max_arr, ages_arr.shape)
+    elif max_arr.shape != ages_arr.shape:
+        raise ValidationError(
+            f"max_ages shape {max_arr.shape} does not match ages shape {ages_arr.shape}"
+        )
+    if np.any(max_arr <= 0):
+        raise ValidationError("max_ages must be > 0")
+    if np.any(ages_arr < 0) or not np.all(np.isfinite(ages_arr)):
+        raise ValidationError("ages must be finite and >= 0")
+    if popularity is None:
+        pop_arr = np.ones_like(ages_arr)
+    else:
+        pop_arr = _as_2d(popularity, "popularity")
+        if pop_arr.shape != ages_arr.shape:
+            raise ValidationError(
+                f"popularity shape {pop_arr.shape} does not match ages shape {ages_arr.shape}"
+            )
+        if np.any(pop_arr < 0):
+            raise ValidationError("popularity weights must be >= 0")
+    utilities = max_arr / np.maximum(ages_arr, 1.0)
+    return float(np.sum(utilities * pop_arr))
+
+
+def cost_term(actions: Sequence, unit_costs: Sequence) -> float:
+    """Evaluate Eq. (3): ``sum_k sum_h C_{k,h}(x_{k,h})``.
+
+    A content update (action 1) charges the corresponding per-transfer cost;
+    a skipped update (action 0) is free.
+
+    Parameters
+    ----------
+    actions:
+        Binary update decisions, shape ``(num_rsus, num_contents)``.
+    unit_costs:
+        Per-(RSU, content) transfer costs ``C_{k,h}``, same shape (or a 1-D
+        vector shared across RSUs).
+    """
+    actions_arr = _as_2d(actions, "actions")
+    if not np.all(np.isin(actions_arr, (0.0, 1.0))):
+        raise ValidationError("actions must be binary (0 or 1)")
+    costs_arr = np.asarray(unit_costs, dtype=float)
+    if costs_arr.ndim == 1:
+        if costs_arr.size != actions_arr.shape[1]:
+            raise ValidationError(
+                f"unit_costs has {costs_arr.size} entries but actions has "
+                f"{actions_arr.shape[1]} contents per RSU"
+            )
+        costs_arr = np.broadcast_to(costs_arr, actions_arr.shape)
+    elif costs_arr.shape != actions_arr.shape:
+        raise ValidationError(
+            f"unit_costs shape {costs_arr.shape} does not match actions shape "
+            f"{actions_arr.shape}"
+        )
+    if np.any(costs_arr < 0) or not np.all(np.isfinite(costs_arr)):
+        raise ValidationError("unit_costs must be finite and >= 0")
+    return float(np.sum(actions_arr * costs_arr))
+
+
+@dataclass(frozen=True)
+class RewardBreakdown:
+    """The three components of Eq. (1) for one decision epoch."""
+
+    aoi_utility: float
+    cost: float
+    weight: float
+
+    @property
+    def total(self) -> float:
+        """Total utility ``w * U_AoI - U_cost``."""
+        return self.weight * self.aoi_utility - self.cost
+
+    def as_dict(self) -> dict:
+        """Return the breakdown as a plain dictionary."""
+        return {
+            "aoi_utility": self.aoi_utility,
+            "cost": self.cost,
+            "weight": self.weight,
+            "total": self.total,
+        }
+
+
+class UtilityFunction:
+    """Configured evaluator of the paper's total utility (Eq. 1).
+
+    Binds the AoI weight ``w`` plus the static per-content parameters
+    (maximum ages and unit update costs) so that callers only pass the
+    time-varying quantities: current ages, the chosen action, and the
+    popularity weights.
+
+    Parameters
+    ----------
+    max_ages:
+        Per-content maximum ages ``A_max_h`` (1-D, shared by all RSUs) or the
+        per-(RSU, content) matrix.
+    unit_costs:
+        Per-content (or per-(RSU, content)) update costs ``C_{k,h}``.
+    weight:
+        The AoI weight ``w`` of Eq. (1).
+    refresh_age:
+        Age of a freshly delivered copy.
+    """
+
+    def __init__(
+        self,
+        max_ages: Sequence,
+        unit_costs: Sequence,
+        *,
+        weight: float = 1.0,
+        refresh_age: float = 1.0,
+    ) -> None:
+        self._max_ages = np.asarray(max_ages, dtype=float)
+        if np.any(self._max_ages <= 0) or not np.all(np.isfinite(self._max_ages)):
+            raise ValidationError("max_ages must be finite and > 0")
+        self._unit_costs = np.asarray(unit_costs, dtype=float)
+        if np.any(self._unit_costs < 0) or not np.all(np.isfinite(self._unit_costs)):
+            raise ValidationError("unit_costs must be finite and >= 0")
+        self._weight = check_non_negative(weight, "weight")
+        self._refresh_age = check_positive(refresh_age, "refresh_age")
+
+    @property
+    def weight(self) -> float:
+        """The AoI weight ``w``."""
+        return self._weight
+
+    @property
+    def max_ages(self) -> np.ndarray:
+        """Copy of the configured maximum ages."""
+        return self._max_ages.copy()
+
+    @property
+    def unit_costs(self) -> np.ndarray:
+        """Copy of the configured unit costs."""
+        return self._unit_costs.copy()
+
+    @property
+    def refresh_age(self) -> float:
+        """Age assigned to a freshly delivered copy."""
+        return self._refresh_age
+
+    def evaluate(
+        self,
+        ages: Sequence,
+        actions: Sequence,
+        popularity: Optional[Sequence] = None,
+    ) -> RewardBreakdown:
+        """Evaluate Eq. (1) for pre-action *ages* and binary *actions*."""
+        new_ages = post_action_ages(ages, actions, refresh_age=self._refresh_age)
+        aoi = aoi_utility_term(new_ages, self._max_ages, popularity)
+        cost = cost_term(actions, self._unit_costs)
+        return RewardBreakdown(aoi_utility=aoi, cost=cost, weight=self._weight)
+
+    def total(
+        self,
+        ages: Sequence,
+        actions: Sequence,
+        popularity: Optional[Sequence] = None,
+    ) -> float:
+        """Shortcut returning only the scalar total utility."""
+        return self.evaluate(ages, actions, popularity).total
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"UtilityFunction(weight={self._weight:g})"

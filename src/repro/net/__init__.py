@@ -1,0 +1,70 @@
+"""Vehicular-network substrate: topology, contents, channels, mobility, queues."""
+
+from repro.net.cache import CacheEntry, MBSContentStore, RSUCache
+from repro.net.channel import (
+    ConstantCostModel,
+    CostModel,
+    DistanceCostModel,
+    FadingCostModel,
+    LinkBudget,
+)
+from repro.net.content import ContentCatalog, ContentDescriptor, zipf_popularity
+from repro.net.environment import (
+    DynamicContentRequirements,
+    DynamicPopularityModel,
+    RegionState,
+    RegionStateProcess,
+)
+from repro.net.mobility import (
+    MobilityModel,
+    RandomSpeedMobility,
+    UniformSpeedMobility,
+    Vehicle,
+    VehicleFleet,
+)
+from repro.net.queueing import BacklogQueue, RequestQueue, ServedRequest
+from repro.net.requests import (
+    ArrivalProcess,
+    BernoulliArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+    Request,
+    RequestGenerator,
+)
+from repro.net.topology import MacroBaseStation, Region, RoadTopology, RSU
+
+__all__ = [
+    "CacheEntry",
+    "MBSContentStore",
+    "RSUCache",
+    "ConstantCostModel",
+    "CostModel",
+    "DistanceCostModel",
+    "FadingCostModel",
+    "LinkBudget",
+    "ContentCatalog",
+    "ContentDescriptor",
+    "zipf_popularity",
+    "DynamicContentRequirements",
+    "DynamicPopularityModel",
+    "RegionState",
+    "RegionStateProcess",
+    "MobilityModel",
+    "RandomSpeedMobility",
+    "UniformSpeedMobility",
+    "Vehicle",
+    "VehicleFleet",
+    "BacklogQueue",
+    "RequestQueue",
+    "ServedRequest",
+    "ArrivalProcess",
+    "BernoulliArrivals",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "Request",
+    "RequestGenerator",
+    "MacroBaseStation",
+    "Region",
+    "RoadTopology",
+    "RSU",
+]

@@ -1,0 +1,189 @@
+"""Communication-cost models.
+
+Two links matter in the paper's system:
+
+* **MBS -> RSU** backhaul, used when the MBS pushes a fresh content version
+  into an RSU cache.  Its cost ``C_{k,h}(x_{k,h}(t))`` is the negative term of
+  the MDP reward (Eq. 3); frequent updates keep AoI low but inflate this cost.
+* **RSU -> UV** access link, used when an RSU serves a queued request.  Its
+  cost ``C(alpha[t])`` is the penalty term of the Lyapunov objective (Eq. 4).
+
+The paper does not fix a particular cost function, so this module provides a
+small family of models sharing one interface: a constant per-transfer cost,
+a distance/size-proportional cost, and a time-varying fading cost whose
+per-slot fluctuation exercises the "rapidly changing road environment" the
+scheme is supposed to adapt to.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class CostModel(abc.ABC):
+    """Cost of one content transfer over a link, possibly time-varying."""
+
+    @abc.abstractmethod
+    def cost(self, *, distance: float = 0.0, size: float = 1.0, time_slot: int = 0) -> float:
+        """Return the cost of transferring *size* units over *distance* metres."""
+
+    def advance(self, time_slot: int) -> None:
+        """Advance any internal time-varying state to *time_slot*.
+
+        Stateless models ignore this; the fading model resamples its
+        per-slot channel gain here so that repeated :meth:`cost` queries
+        within one slot are consistent.
+        """
+
+
+class ConstantCostModel(CostModel):
+    """A fixed cost per transfer, independent of distance, size, and time.
+
+    This is the simplest instantiation of Eq. (3): every cache update costs
+    the same amount of backhaul resources.
+    """
+
+    def __init__(self, unit_cost: float = 1.0) -> None:
+        self._unit_cost = check_non_negative(unit_cost, "unit_cost")
+
+    @property
+    def unit_cost(self) -> float:
+        """The fixed per-transfer cost."""
+        return self._unit_cost
+
+    def cost(self, *, distance: float = 0.0, size: float = 1.0, time_slot: int = 0) -> float:
+        check_non_negative(distance, "distance")
+        check_positive(size, "size")
+        return self._unit_cost
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ConstantCostModel(unit_cost={self._unit_cost:g})"
+
+
+class DistanceCostModel(CostModel):
+    """Cost proportional to file size and affine in link distance.
+
+    ``cost = size * (base + slope * distance)``.  A far-away RSU costs more
+    backhaul resources to update than one next to the MBS, which makes the
+    MDP policy spatially selective.
+    """
+
+    def __init__(self, *, base: float = 1.0, slope: float = 0.001) -> None:
+        self._base = check_non_negative(base, "base")
+        self._slope = check_non_negative(slope, "slope")
+        if self._base == 0.0 and self._slope == 0.0:
+            raise ConfigurationError("base and slope cannot both be zero")
+
+    @property
+    def base(self) -> float:
+        """Distance-independent cost component per unit size."""
+        return self._base
+
+    @property
+    def slope(self) -> float:
+        """Additional cost per metre per unit size."""
+        return self._slope
+
+    def cost(self, *, distance: float = 0.0, size: float = 1.0, time_slot: int = 0) -> float:
+        check_non_negative(distance, "distance")
+        check_positive(size, "size")
+        return float(size) * (self._base + self._slope * float(distance))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"DistanceCostModel(base={self._base:g}, slope={self._slope:g})"
+
+
+class FadingCostModel(CostModel):
+    """Time-varying cost driven by a per-slot log-normal channel fluctuation.
+
+    ``cost(t) = size * (base + slope * distance) * gain(t)`` where ``gain(t)``
+    is redrawn each slot from a log-normal distribution with unit median.
+    This models the rapidly changing wireless environment: the same transfer
+    is cheap in a good slot and expensive in a bad one, so both the MDP
+    policy and the Lyapunov controller face genuinely stochastic costs.
+
+    Parameters
+    ----------
+    base, slope:
+        Same meaning as :class:`DistanceCostModel`.
+    sigma:
+        Standard deviation of the underlying normal; larger values give
+        burstier costs.
+    rng:
+        Seed or generator driving the per-slot gains.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 1.0,
+        slope: float = 0.001,
+        sigma: float = 0.25,
+        rng: RandomSource = None,
+    ) -> None:
+        self._static = DistanceCostModel(base=base, slope=slope)
+        self._sigma = check_non_negative(sigma, "sigma")
+        self._rng = ensure_rng(rng)
+        self._current_slot = -1
+        self._gain = 1.0
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of the log-gain."""
+        return self._sigma
+
+    @property
+    def current_gain(self) -> float:
+        """Channel gain in the most recently advanced slot."""
+        return self._gain
+
+    def advance(self, time_slot: int) -> None:
+        if time_slot < 0:
+            raise ValidationError(f"time_slot must be >= 0, got {time_slot}")
+        if time_slot != self._current_slot:
+            self._current_slot = int(time_slot)
+            self._gain = float(np.exp(self._rng.normal(0.0, self._sigma)))
+
+    def cost(self, *, distance: float = 0.0, size: float = 1.0, time_slot: int = 0) -> float:
+        self.advance(time_slot)
+        return self._static.cost(distance=distance, size=size) * self._gain
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"FadingCostModel(base={self._static.base:g}, slope={self._static.slope:g}, "
+            f"sigma={self._sigma:g})"
+        )
+
+
+@dataclass
+class LinkBudget:
+    """Aggregate accounting of the cost spent on a link over a simulation run."""
+
+    total_cost: float = 0.0
+    num_transfers: int = 0
+
+    def charge(self, cost: float) -> None:
+        """Record one transfer of the given *cost*."""
+        cost = check_non_negative(cost, "cost")
+        self.total_cost += cost
+        self.num_transfers += 1
+
+    @property
+    def mean_cost(self) -> float:
+        """Average cost per transfer (NaN when no transfer happened)."""
+        if self.num_transfers == 0:
+            return float("nan")
+        return self.total_cost / self.num_transfers
+
+    def reset(self) -> None:
+        """Clear the accumulated statistics."""
+        self.total_cost = 0.0
+        self.num_transfers = 0

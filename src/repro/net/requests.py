@@ -1,0 +1,291 @@
+"""Content-request workload generation.
+
+The paper's evaluation states that "the content requested by the UV to the
+RSU is randomly generated".  This module turns that into a configurable
+workload generator: every slot, each RSU receives a random number of
+requests, each for one of the contents that RSU caches.  Three arrival
+processes and two popularity profiles cover the paper's setup plus the
+workload-sensitivity extensions.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.net.content import ContentCatalog, zipf_popularity
+from repro.net.topology import RoadTopology
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_probability_vector,
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single content request issued by a UV to an RSU.
+
+    Attributes
+    ----------
+    request_id:
+        Globally unique identifier.
+    time_slot:
+        Slot in which the request was issued.
+    rsu_id:
+        The RSU the request was sent to.
+    content_id:
+        The requested content.
+    vehicle_id:
+        The issuing vehicle, or ``-1`` when the workload is generated
+        synthetically without an explicit fleet.
+    deadline:
+        Latest slot by which the request must be served (for example because
+        the vehicle leaves RSU coverage then); ``None`` means no deadline.
+    """
+
+    request_id: int
+    time_slot: int
+    rsu_id: int
+    content_id: int
+    vehicle_id: int = -1
+    deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.time_slot < 0:
+            raise ValidationError(f"time_slot must be >= 0, got {self.time_slot}")
+        if self.rsu_id < 0:
+            raise ValidationError(f"rsu_id must be >= 0, got {self.rsu_id}")
+        if self.content_id < 0:
+            raise ValidationError(f"content_id must be >= 0, got {self.content_id}")
+        if self.deadline is not None and self.deadline < self.time_slot:
+            raise ValidationError(
+                f"deadline ({self.deadline}) must be >= time_slot ({self.time_slot})"
+            )
+
+
+class ArrivalProcess(abc.ABC):
+    """Number of requests arriving at one RSU in one slot."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw the number of arrivals for one RSU in one slot."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected number of arrivals per RSU per slot."""
+
+
+class BernoulliArrivals(ArrivalProcess):
+    """Zero or one request per slot with probability *rate* — the paper's setup."""
+
+    def __init__(self, rate: float = 0.5) -> None:
+        self._rate = check_probability(rate, "rate")
+
+    @property
+    def rate(self) -> float:
+        """Per-slot arrival probability."""
+        return self._rate
+
+    @property
+    def mean(self) -> float:
+        return self._rate
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.random() < self._rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"BernoulliArrivals(rate={self._rate:g})"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Poisson-distributed request count per slot with mean *rate*."""
+
+    def __init__(self, rate: float = 1.0) -> None:
+        self._rate = check_non_negative(rate, "rate")
+
+    @property
+    def rate(self) -> float:
+        """Mean arrivals per slot."""
+        return self._rate
+
+    @property
+    def mean(self) -> float:
+        return self._rate
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.poisson(self._rate))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"PoissonArrivals(rate={self._rate:g})"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Exactly *count* requests per slot — useful for worst-case load tests."""
+
+    def __init__(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        self._count = int(count)
+
+    @property
+    def count(self) -> int:
+        """Fixed number of arrivals per slot."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return float(self._count)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"DeterministicArrivals(count={self._count})"
+
+
+class RequestGenerator:
+    """Generates per-RSU request batches for each simulation slot.
+
+    Each slot, every RSU independently draws an arrival count from the
+    arrival process and then draws that many content ids from the RSU's
+    local popularity distribution (restricted to the contents the RSU
+    caches, per the paper's "only the content of the region covered by the
+    RSU is cached").
+
+    Parameters
+    ----------
+    topology:
+        Road geometry; defines which contents each RSU can be asked for.
+    catalog:
+        Content catalog providing the global popularity profile.
+    arrivals:
+        Arrival process applied independently at every RSU.
+    zipf_exponent:
+        When not ``None``, overrides the catalog popularity with a Zipf
+        profile of this exponent over each RSU's local contents.
+    rng:
+        Seed or generator for the workload.
+    """
+
+    def __init__(
+        self,
+        topology: RoadTopology,
+        catalog: ContentCatalog,
+        *,
+        arrivals: Optional[ArrivalProcess] = None,
+        zipf_exponent: Optional[float] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        if catalog.num_contents != topology.num_regions:
+            raise ConfigurationError(
+                f"catalog has {catalog.num_contents} contents but topology has "
+                f"{topology.num_regions} regions; the paper's model requires one "
+                "content per region"
+            )
+        self._topology = topology
+        self._catalog = catalog
+        self._arrivals = arrivals or BernoulliArrivals(0.5)
+        self._rng = ensure_rng(rng)
+        self._id_counter = itertools.count()
+        self._local_popularity: Dict[int, np.ndarray] = {}
+        self._local_contents: Dict[int, Tuple[int, ...]] = {}
+        for rsu in topology.rsus:
+            contents = rsu.covered_regions
+            self._local_contents[rsu.rsu_id] = contents
+            if zipf_exponent is None:
+                weights = catalog.subset_popularity(contents)
+            else:
+                weights = zipf_popularity(len(contents), zipf_exponent)
+            self._local_popularity[rsu.rsu_id] = check_probability_vector(
+                weights, f"popularity of RSU {rsu.rsu_id}"
+            )
+
+    @property
+    def arrivals(self) -> ArrivalProcess:
+        """The arrival process applied at each RSU."""
+        return self._arrivals
+
+    @property
+    def mean_load_per_rsu(self) -> float:
+        """Expected number of requests per RSU per slot."""
+        return self._arrivals.mean
+
+    def local_popularity(self, rsu_id: int) -> np.ndarray:
+        """Popularity distribution over RSU *rsu_id*'s cached contents."""
+        if rsu_id not in self._local_popularity:
+            raise ValidationError(f"unknown RSU id {rsu_id}")
+        return self._local_popularity[rsu_id].copy()
+
+    def content_population(self, rsu_id: int) -> Dict[int, float]:
+        """Return ``{content_id: probability}`` for RSU *rsu_id*.
+
+        This is the content-population term ``p_{k,h}(t)`` of the MDP state
+        and of the Eq. (2) reward: the weight the MBS puts on keeping each
+        RSU content fresh, proportional to how often it is requested.
+        """
+        contents = self._local_contents[self._check_rsu(rsu_id)]
+        weights = self._local_popularity[rsu_id]
+        return {int(h): float(w) for h, w in zip(contents, weights)}
+
+    def generate_slot(
+        self,
+        time_slot: int,
+        *,
+        deadline_slots: Optional[int] = None,
+    ) -> List[Request]:
+        """Generate all requests issued in *time_slot* across all RSUs."""
+        if time_slot < 0:
+            raise ValidationError(f"time_slot must be >= 0, got {time_slot}")
+        requests: List[Request] = []
+        for rsu in self._topology.rsus:
+            count = self._arrivals.sample(self._rng)
+            if count <= 0:
+                continue
+            contents = self._local_contents[rsu.rsu_id]
+            weights = self._local_popularity[rsu.rsu_id]
+            chosen = self._rng.choice(len(contents), size=count, p=weights)
+            for index in np.atleast_1d(chosen):
+                deadline = (
+                    None if deadline_slots is None else int(time_slot + deadline_slots)
+                )
+                requests.append(
+                    Request(
+                        request_id=next(self._id_counter),
+                        time_slot=int(time_slot),
+                        rsu_id=rsu.rsu_id,
+                        content_id=int(contents[int(index)]),
+                        deadline=deadline,
+                    )
+                )
+        return requests
+
+    def generate_trace(
+        self, num_slots: int, *, deadline_slots: Optional[int] = None
+    ) -> List[Request]:
+        """Generate a full request trace of *num_slots* slots."""
+        if num_slots <= 0:
+            raise ValidationError(f"num_slots must be > 0, got {num_slots}")
+        trace: List[Request] = []
+        for t in range(int(num_slots)):
+            trace.extend(self.generate_slot(t, deadline_slots=deadline_slots))
+        return trace
+
+    def _check_rsu(self, rsu_id: int) -> int:
+        if rsu_id not in self._local_contents:
+            raise ValidationError(f"unknown RSU id {rsu_id}")
+        return int(rsu_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"RequestGenerator(num_rsus={self._topology.num_rsus}, "
+            f"arrivals={self._arrivals!r})"
+        )

@@ -1,0 +1,25 @@
+"""Discrete-time simulation of the vehicular caching system."""
+
+from repro.sim.metrics import CacheMetrics, RewardTrace, ServiceMetrics
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import (
+    CacheSimulationResult,
+    CacheSimulator,
+    JointSimulationResult,
+    JointSimulator,
+    ServiceSimulationResult,
+    ServiceSimulator,
+)
+
+__all__ = [
+    "CacheMetrics",
+    "RewardTrace",
+    "ServiceMetrics",
+    "ScenarioConfig",
+    "CacheSimulationResult",
+    "CacheSimulator",
+    "JointSimulationResult",
+    "JointSimulator",
+    "ServiceSimulationResult",
+    "ServiceSimulator",
+]

@@ -1,0 +1,326 @@
+"""Metric collection for simulation runs.
+
+The simulators in :mod:`repro.sim.simulator` are deliberately thin loops;
+everything the experiments need to report — AoI sample paths, per-slot reward
+breakdowns, cumulative reward, queue backlogs, service costs — is recorded by
+the collectors in this module, which the figure-regeneration code then reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aoi import AoIProcess
+from repro.core.reward import RewardBreakdown
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class RewardTrace:
+    """Per-slot reward components of the cache-management stage (Eq. 1)."""
+
+    aoi_utilities: List[float] = field(default_factory=list)
+    costs: List[float] = field(default_factory=list)
+    totals: List[float] = field(default_factory=list)
+
+    def record(self, breakdown: RewardBreakdown) -> None:
+        """Append one slot's reward breakdown."""
+        self.aoi_utilities.append(float(breakdown.aoi_utility))
+        self.costs.append(float(breakdown.cost))
+        self.totals.append(float(breakdown.total))
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+    @property
+    def cumulative_reward(self) -> np.ndarray:
+        """Running sum of the total utility — the rising curve of Fig. 1a."""
+        return np.cumsum(np.asarray(self.totals, dtype=float))
+
+    @property
+    def total_reward(self) -> float:
+        """Sum of the per-slot total utilities."""
+        return float(np.sum(self.totals))
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of the per-slot MBS costs (Eq. 3 accumulated)."""
+        return float(np.sum(self.costs))
+
+    @property
+    def total_aoi_utility(self) -> float:
+        """Sum of the per-slot AoI utilities (Eq. 2 accumulated)."""
+        return float(np.sum(self.aoi_utilities))
+
+    @property
+    def mean_reward(self) -> float:
+        """Average per-slot total utility."""
+        if not self.totals:
+            return float("nan")
+        return float(np.mean(self.totals))
+
+
+class CacheMetrics:
+    """Collector for the cache-management stage.
+
+    Records, per slot: the full AoI matrix, the chosen action matrix, and the
+    reward breakdown; and maintains per-(RSU, content) :class:`AoIProcess`
+    traces so that individual contents can be plotted as in Fig. 1a.
+    """
+
+    def __init__(
+        self,
+        num_rsus: int,
+        contents_per_rsu: int,
+        max_ages: np.ndarray,
+    ) -> None:
+        max_ages = np.asarray(max_ages, dtype=float)
+        if max_ages.shape != (num_rsus, contents_per_rsu):
+            raise ValidationError(
+                f"max_ages must have shape ({num_rsus}, {contents_per_rsu}), "
+                f"got {max_ages.shape}"
+            )
+        self._num_rsus = int(num_rsus)
+        self._contents_per_rsu = int(contents_per_rsu)
+        self.reward = RewardTrace()
+        self._age_history: List[np.ndarray] = []
+        self._action_history: List[np.ndarray] = []
+        self._processes: Dict[Tuple[int, int], AoIProcess] = {
+            (k, h): AoIProcess(
+                float(max_ages[k, h]), label=f"rsu{k}-content{h}"
+            )
+            for k in range(num_rsus)
+            for h in range(contents_per_rsu)
+        }
+
+    @property
+    def num_slots_recorded(self) -> int:
+        """Number of slots recorded so far."""
+        return len(self._age_history)
+
+    def record_slot(
+        self,
+        time_slot: int,
+        ages: np.ndarray,
+        actions: np.ndarray,
+        breakdown: RewardBreakdown,
+    ) -> None:
+        """Record one decision epoch of the cache-management stage."""
+        ages = np.asarray(ages, dtype=float)
+        actions = np.asarray(actions, dtype=int)
+        expected = (self._num_rsus, self._contents_per_rsu)
+        if ages.shape != expected or actions.shape != expected:
+            raise ValidationError(
+                f"ages/actions must have shape {expected}, got {ages.shape} / "
+                f"{actions.shape}"
+            )
+        self._age_history.append(ages.copy())
+        self._action_history.append(actions.copy())
+        self.reward.record(breakdown)
+        for (k, h), process in self._processes.items():
+            process.record(time_slot, float(ages[k, h]))
+
+    # ------------------------------------------------------------------
+    # Post-run accessors
+    # ------------------------------------------------------------------
+    def age_trace(self, rsu: int, content_slot: int) -> AoIProcess:
+        """Return the AoI sample path of one cached copy."""
+        key = (int(rsu), int(content_slot))
+        if key not in self._processes:
+            raise ValidationError(
+                f"no trace for RSU {rsu}, content slot {content_slot}"
+            )
+        return self._processes[key]
+
+    def age_matrix_history(self) -> np.ndarray:
+        """Return the full age history, shape ``(num_slots, num_rsus, contents)``."""
+        if not self._age_history:
+            return np.zeros((0, self._num_rsus, self._contents_per_rsu))
+        return np.stack(self._age_history)
+
+    def action_matrix_history(self) -> np.ndarray:
+        """Return the full action history, same shape as the age history."""
+        if not self._action_history:
+            return np.zeros((0, self._num_rsus, self._contents_per_rsu), dtype=int)
+        return np.stack(self._action_history)
+
+    @property
+    def total_updates(self) -> int:
+        """Total number of MBS-pushed updates over the run."""
+        return int(self.action_matrix_history().sum())
+
+    @property
+    def mean_age(self) -> float:
+        """Mean age across all cached copies and all slots."""
+        history = self.age_matrix_history()
+        if history.size == 0:
+            return float("nan")
+        return float(history.mean())
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of (slot, RSU, content) samples exceeding their ``A_max``."""
+        history = self.age_matrix_history()
+        if history.size == 0:
+            return float("nan")
+        max_ages = np.asarray(
+            [
+                [self._processes[(k, h)].max_age for h in range(self._contents_per_rsu)]
+                for k in range(self._num_rsus)
+            ]
+        )
+        return float(np.mean(history > max_ages[np.newaxis, :, :]))
+
+    def summary(self) -> Dict[str, float]:
+        """Return the headline metrics of the run as a dictionary."""
+        return {
+            "num_slots": float(self.num_slots_recorded),
+            "total_reward": self.reward.total_reward,
+            "mean_reward": self.reward.mean_reward,
+            "total_cost": self.reward.total_cost,
+            "total_aoi_utility": self.reward.total_aoi_utility,
+            "total_updates": float(self.total_updates),
+            "mean_age": self.mean_age,
+            "violation_fraction": self.violation_fraction,
+        }
+
+
+class ServiceMetrics:
+    """Collector for the content-service stage (one entry per RSU per slot)."""
+
+    def __init__(self, num_rsus: int) -> None:
+        if num_rsus <= 0:
+            raise ValidationError(f"num_rsus must be > 0, got {num_rsus}")
+        self._num_rsus = int(num_rsus)
+        self._backlogs: List[np.ndarray] = []
+        self._latencies: List[np.ndarray] = []
+        self._costs: List[np.ndarray] = []
+        self._decisions: List[np.ndarray] = []
+        self._served_counts: List[np.ndarray] = []
+
+    @property
+    def num_slots_recorded(self) -> int:
+        """Number of slots recorded so far."""
+        return len(self._backlogs)
+
+    def record_slot(
+        self,
+        backlogs: Sequence[float],
+        latencies: Sequence[float],
+        costs: Sequence[float],
+        decisions: Sequence[bool],
+        served_counts: Sequence[int],
+    ) -> None:
+        """Record one slot of the service stage across all RSUs."""
+        arrays = []
+        for name, values in (
+            ("backlogs", backlogs),
+            ("latencies", latencies),
+            ("costs", costs),
+            ("decisions", decisions),
+            ("served_counts", served_counts),
+        ):
+            arr = np.asarray(values, dtype=float)
+            if arr.shape != (self._num_rsus,):
+                raise ValidationError(
+                    f"{name} must have shape ({self._num_rsus},), got {arr.shape}"
+                )
+            arrays.append(arr)
+        self._backlogs.append(arrays[0])
+        self._latencies.append(arrays[1])
+        self._costs.append(arrays[2])
+        self._decisions.append(arrays[3])
+        self._served_counts.append(arrays[4])
+
+    # ------------------------------------------------------------------
+    # Post-run accessors
+    # ------------------------------------------------------------------
+    def backlog_history(self, rsu: Optional[int] = None) -> np.ndarray:
+        """Backlog Q[t] per slot, for one RSU or summed over all RSUs."""
+        return self._history(self._backlogs, rsu)
+
+    def latency_history(self, rsu: Optional[int] = None) -> np.ndarray:
+        """Accumulated waiting time per slot (the Fig. 1b latency curve)."""
+        return self._history(self._latencies, rsu)
+
+    def cost_history(self, rsu: Optional[int] = None) -> np.ndarray:
+        """Service cost spent per slot."""
+        return self._history(self._costs, rsu)
+
+    def _history(self, store: List[np.ndarray], rsu: Optional[int]) -> np.ndarray:
+        if not store:
+            return np.zeros(0)
+        stacked = np.stack(store)
+        if rsu is None:
+            return stacked.sum(axis=1)
+        if not 0 <= rsu < self._num_rsus:
+            raise ValidationError(f"rsu {rsu} out of range [0, {self._num_rsus})")
+        return stacked[:, rsu]
+
+    @property
+    def total_cost(self) -> float:
+        """Total service cost across RSUs and slots."""
+        return float(self.cost_history().sum())
+
+    @property
+    def time_average_cost(self) -> float:
+        """Time-average service cost (the Eq. 4 objective, summed over RSUs)."""
+        history = self.cost_history()
+        if history.size == 0:
+            return float("nan")
+        return float(history.mean())
+
+    @property
+    def time_average_backlog(self) -> float:
+        """Time-average total backlog across RSUs."""
+        history = self.backlog_history()
+        if history.size == 0:
+            return float("nan")
+        return float(history.mean())
+
+    @property
+    def peak_backlog(self) -> float:
+        """Peak total backlog across RSUs."""
+        history = self.backlog_history()
+        if history.size == 0:
+            return float("nan")
+        return float(history.max())
+
+    @property
+    def total_served(self) -> int:
+        """Total number of requests served across RSUs and slots."""
+        if not self._served_counts:
+            return 0
+        return int(np.stack(self._served_counts).sum())
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of (RSU, slot) pairs in which the RSU decided to serve."""
+        if not self._decisions:
+            return float("nan")
+        return float(np.stack(self._decisions).mean())
+
+    def is_stable(self) -> bool:
+        """Heuristic stability check on the total-backlog sample path."""
+        history = self.backlog_history()
+        if history.size < 4:
+            return True
+        half = history.size // 2
+        first, second = history[:half], history[half:]
+        return float(second.mean()) <= 2.0 * float(first.mean()) + 1.0
+
+    def summary(self) -> Dict[str, float]:
+        """Return the headline metrics of the run as a dictionary."""
+        return {
+            "num_slots": float(self.num_slots_recorded),
+            "total_cost": self.total_cost,
+            "time_average_cost": self.time_average_cost,
+            "time_average_backlog": self.time_average_backlog,
+            "peak_backlog": self.peak_backlog,
+            "total_served": float(self.total_served),
+            "service_rate": self.service_rate,
+            "stable": float(self.is_stable()),
+        }

@@ -1,0 +1,274 @@
+"""Scenario configuration for the vehicular caching simulations.
+
+A :class:`ScenarioConfig` bundles every knob of the paper's evaluation
+(Section III) — topology size, content age limits, reward weight, cost model,
+workload, horizon — into one validated object that the simulators and the
+benchmark harness consume.  Factory methods reproduce the paper's two setups:
+
+* :meth:`ScenarioConfig.fig1a` — 4 RSUs with 5 cached contents each
+  (20 contents total), 1000 iterations, used for the AoI/cumulative-reward
+  experiment.
+* :meth:`ScenarioConfig.fig1b` — 5 RSUs covering all regions, random UV
+  requests, 1000 iterations, used for the latency/queue experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.caching_mdp import CachingMDPConfig
+from repro.exceptions import ConfigurationError
+from repro.net.channel import ConstantCostModel, CostModel, DistanceCostModel, FadingCostModel
+from repro.net.content import ContentCatalog
+from repro.net.requests import ArrivalProcess, BernoulliArrivals, PoissonArrivals
+from repro.net.topology import RoadTopology
+from repro.utils.rng import RandomSource, ensure_rng, spawn_streams
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+@dataclass
+class ScenarioConfig:
+    """Full description of one simulation scenario.
+
+    Attributes
+    ----------
+    num_rsus:
+        Number of road-side units ``N_R``.
+    contents_per_rsu:
+        Number of contents each RSU caches (``L'``, one per covered region).
+        The total number of regions/contents is ``num_rsus * contents_per_rsu``.
+    num_slots:
+        Simulation horizon (the paper uses 1000 iterations).
+    min_max_age, max_max_age:
+        Range from which each content's ``A_max`` is drawn uniformly at
+        random (integer slots), per the paper's random region states.
+    aoi_weight:
+        The reward weight ``w`` of Eq. (1).
+    discount:
+        Discount factor of the cache-management MDP.
+    update_cost:
+        Base MBS->RSU transfer cost; interpreted by *cost_model_kind*.
+    cost_model_kind:
+        ``"constant"``, ``"distance"``, or ``"fading"`` (see
+        :mod:`repro.net.channel`).
+    cost_sigma:
+        Log-normal sigma of the fading cost model (ignored otherwise).
+    service_cost:
+        Base RSU->UV service cost used by the Lyapunov stage.
+    tradeoff_v:
+        The Lyapunov trade-off coefficient ``V``.
+    arrival_rate:
+        Mean requests per RSU per slot.
+    arrival_kind:
+        ``"bernoulli"`` (the paper's at-most-one-request workload) or
+        ``"poisson"``.
+    zipf_exponent:
+        Skew of the request popularity over each RSU's local contents
+        (0 = uniform, the paper's setting).
+    region_length:
+        Physical length of each road region in metres.
+    random_initial_ages:
+        Whether to randomise the initial cache ages (the paper does).
+    deadline_slots:
+        Optional request deadline (slots after issue) used by deadline-aware
+        service baselines; ``None`` disables deadlines.
+    age_ceiling:
+        Optional override of the MDP age-discretisation ceiling.
+    seed:
+        Master seed from which all component streams are derived.
+    """
+
+    num_rsus: int = 4
+    contents_per_rsu: int = 5
+    num_slots: int = 1000
+    min_max_age: float = 5.0
+    max_max_age: float = 10.0
+    aoi_weight: float = 1.0
+    discount: float = 0.9
+    update_cost: float = 2.0
+    cost_model_kind: str = "constant"
+    cost_sigma: float = 0.25
+    service_cost: float = 1.0
+    tradeoff_v: float = 10.0
+    arrival_rate: float = 0.5
+    arrival_kind: str = "bernoulli"
+    zipf_exponent: float = 0.0
+    region_length: float = 100.0
+    random_initial_ages: bool = True
+    deadline_slots: Optional[int] = None
+    age_ceiling: Optional[int] = None
+    seed: Optional[int] = 0
+
+    # ------------------------------------------------------------------
+    # Validation and derived quantities
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_rsus, "num_rsus")
+        check_positive_int(self.contents_per_rsu, "contents_per_rsu")
+        check_positive_int(self.num_slots, "num_slots")
+        check_positive(self.min_max_age, "min_max_age")
+        check_positive(self.max_max_age, "max_max_age")
+        if self.max_max_age < self.min_max_age:
+            raise ConfigurationError(
+                f"max_max_age ({self.max_max_age}) must be >= min_max_age "
+                f"({self.min_max_age})"
+            )
+        check_non_negative(self.aoi_weight, "aoi_weight")
+        check_in_range(self.discount, "discount", 0.0, 1.0, inclusive=False)
+        check_non_negative(self.update_cost, "update_cost")
+        check_non_negative(self.service_cost, "service_cost")
+        check_non_negative(self.tradeoff_v, "tradeoff_v")
+        check_non_negative(self.arrival_rate, "arrival_rate")
+        check_non_negative(self.zipf_exponent, "zipf_exponent")
+        check_positive(self.region_length, "region_length")
+        if self.cost_model_kind not in ("constant", "distance", "fading"):
+            raise ConfigurationError(
+                "cost_model_kind must be 'constant', 'distance', or 'fading', "
+                f"got {self.cost_model_kind!r}"
+            )
+        if self.arrival_kind not in ("bernoulli", "poisson"):
+            raise ConfigurationError(
+                f"arrival_kind must be 'bernoulli' or 'poisson', got {self.arrival_kind!r}"
+            )
+        if self.arrival_kind == "bernoulli" and self.arrival_rate > 1.0:
+            raise ConfigurationError(
+                "bernoulli arrival_rate must be <= 1; use arrival_kind='poisson' "
+                "for heavier load"
+            )
+        if self.deadline_slots is not None:
+            check_positive_int(self.deadline_slots, "deadline_slots")
+        if self.age_ceiling is not None:
+            check_positive_int(self.age_ceiling, "age_ceiling")
+
+    @property
+    def num_regions(self) -> int:
+        """Total number of road regions (== total number of contents)."""
+        return self.num_rsus * self.contents_per_rsu
+
+    @property
+    def num_contents(self) -> int:
+        """Total number of contents managed by the MBS."""
+        return self.num_regions
+
+    # ------------------------------------------------------------------
+    # Factories for the paper's setups
+    # ------------------------------------------------------------------
+    @classmethod
+    def fig1a(cls, *, seed: Optional[int] = 0, **overrides) -> "ScenarioConfig":
+        """The Fig. 1a setup: 4 RSUs x 5 contents, 1000 iterations."""
+        params = dict(
+            num_rsus=4,
+            contents_per_rsu=5,
+            num_slots=1000,
+            min_max_age=6.0,
+            max_max_age=12.0,
+            aoi_weight=5.0,
+            update_cost=1.0,
+            seed=seed,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def fig1b(cls, *, seed: Optional[int] = 0, **overrides) -> "ScenarioConfig":
+        """The Fig. 1b setup: 5 RSUs covering all regions, random requests."""
+        params = dict(
+            num_rsus=5,
+            contents_per_rsu=4,
+            num_slots=1000,
+            arrival_rate=0.6,
+            service_cost=1.0,
+            tradeoff_v=10.0,
+            cost_model_kind="fading",
+            cost_sigma=0.5,
+            seed=seed,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def small(cls, *, seed: Optional[int] = 0, **overrides) -> "ScenarioConfig":
+        """A tiny scenario used by fast unit and integration tests."""
+        params = dict(
+            num_rsus=2,
+            contents_per_rsu=2,
+            num_slots=50,
+            min_max_age=3.0,
+            max_max_age=6.0,
+            seed=seed,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def with_overrides(self, **overrides) -> "ScenarioConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Component builders
+    # ------------------------------------------------------------------
+    def build_topology(self) -> RoadTopology:
+        """Instantiate the road topology described by this config."""
+        return RoadTopology(
+            self.num_regions, self.num_rsus, region_length=self.region_length
+        )
+
+    def build_catalog(self, rng: RandomSource = None) -> ContentCatalog:
+        """Instantiate the content catalog (random per-content ``A_max``)."""
+        return ContentCatalog.random(
+            self.num_contents,
+            min_max_age=self.min_max_age,
+            max_max_age=self.max_max_age,
+            zipf_exponent=self.zipf_exponent,
+            rng=rng if rng is not None else self.seed,
+        )
+
+    def build_update_cost_model(self, rng: RandomSource = None) -> CostModel:
+        """Instantiate the MBS->RSU cost model."""
+        return self._build_cost_model(self.update_cost, rng)
+
+    def build_service_cost_model(self, rng: RandomSource = None) -> CostModel:
+        """Instantiate the RSU->UV cost model."""
+        return self._build_cost_model(self.service_cost, rng)
+
+    def _build_cost_model(self, base: float, rng: RandomSource) -> CostModel:
+        if self.cost_model_kind == "constant":
+            return ConstantCostModel(base)
+        if self.cost_model_kind == "distance":
+            return DistanceCostModel(base=base, slope=base / max(self.road_length(), 1.0))
+        return FadingCostModel(
+            base=base,
+            slope=0.0,
+            sigma=self.cost_sigma,
+            rng=rng if rng is not None else self.seed,
+        )
+
+    def build_arrivals(self) -> ArrivalProcess:
+        """Instantiate the request arrival process."""
+        if self.arrival_kind == "bernoulli":
+            return BernoulliArrivals(self.arrival_rate)
+        return PoissonArrivals(self.arrival_rate)
+
+    def build_mdp_config(self) -> CachingMDPConfig:
+        """Instantiate the cache-management MDP configuration."""
+        return CachingMDPConfig(
+            weight=self.aoi_weight,
+            discount=self.discount,
+            age_ceiling=self.age_ceiling,
+        )
+
+    def road_length(self) -> float:
+        """Total road length in metres."""
+        return self.num_regions * self.region_length
+
+    def spawn_rngs(self, count: int) -> list:
+        """Derive *count* independent random streams from the master seed."""
+        return spawn_streams(self.seed, count)

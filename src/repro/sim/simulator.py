@@ -1,0 +1,523 @@
+"""Discrete-time simulators for the two stages of the paper's scheme.
+
+Three simulators share the scenario configuration:
+
+* :class:`CacheSimulator` — stage 1 only: the MBS runs a caching policy over
+  the RSU caches and the Eq. (1) reward is accounted per slot.  This is the
+  experiment behind Fig. 1a.
+* :class:`ServiceSimulator` — stage 2 only: UV requests arrive at the RSU
+  queues and a service policy decides when to transmit.  This is the
+  experiment behind Fig. 1b.
+* :class:`JointSimulator` — both stages coupled: the service stage's
+  AoI-validity guard reads the cache ages maintained by the caching stage,
+  exercising the full two-stage scheme of the paper's conclusion.
+
+All simulators are deterministic given the scenario seed; randomness is
+derived through independent child streams so that, for example, changing the
+service policy does not perturb the request workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policies import (
+    CacheObservation,
+    CachingPolicy,
+    ServiceObservation,
+    ServicePolicy,
+)
+from repro.core.reward import UtilityFunction
+from repro.exceptions import SimulationError, ValidationError
+from repro.net.cache import MBSContentStore, RSUCache
+from repro.net.channel import CostModel, LinkBudget
+from repro.net.content import ContentCatalog
+from repro.net.queueing import RequestQueue
+from repro.net.requests import RequestGenerator
+from repro.net.topology import RoadTopology
+from repro.sim.metrics import CacheMetrics, ServiceMetrics
+from repro.sim.scenario import ScenarioConfig
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class CacheSimulationResult:
+    """Everything recorded by one :class:`CacheSimulator` run."""
+
+    config: ScenarioConfig
+    policy_name: str
+    metrics: CacheMetrics
+    catalog: ContentCatalog
+    topology: RoadTopology
+
+    @property
+    def cumulative_reward(self) -> np.ndarray:
+        """Running total of the Eq. (1) utility (the rising curve of Fig. 1a)."""
+        return self.metrics.reward.cumulative_reward
+
+    @property
+    def total_reward(self) -> float:
+        """Total utility accumulated over the run."""
+        return self.metrics.reward.total_reward
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics of the run."""
+        summary = self.metrics.summary()
+        summary["policy"] = self.policy_name
+        return summary
+
+
+@dataclass
+class ServiceSimulationResult:
+    """Everything recorded by one :class:`ServiceSimulator` run."""
+
+    config: ScenarioConfig
+    policy_name: str
+    metrics: ServiceMetrics
+
+    @property
+    def latency_history(self) -> np.ndarray:
+        """Total accumulated waiting time per slot (the Fig. 1b curve)."""
+        return self.metrics.latency_history()
+
+    @property
+    def time_average_cost(self) -> float:
+        """Time-average service cost (the Eq. 4 objective)."""
+        return self.metrics.time_average_cost
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics of the run."""
+        summary = self.metrics.summary()
+        summary["policy"] = self.policy_name
+        return summary
+
+
+@dataclass
+class JointSimulationResult:
+    """Everything recorded by one :class:`JointSimulator` run."""
+
+    config: ScenarioConfig
+    caching_policy_name: str
+    service_policy_name: str
+    cache_metrics: CacheMetrics
+    service_metrics: ServiceMetrics
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics of both stages."""
+        summary = {f"cache_{k}": v for k, v in self.cache_metrics.summary().items()}
+        summary.update(
+            {f"service_{k}": v for k, v in self.service_metrics.summary().items()}
+        )
+        summary["caching_policy"] = self.caching_policy_name
+        summary["service_policy"] = self.service_policy_name
+        return summary
+
+
+class _SystemState:
+    """Shared construction of topology, catalog, caches, and parameters."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        streams = config.spawn_rngs(6)
+        (
+            self.catalog_rng,
+            self.init_rng,
+            self.workload_rng,
+            self.update_cost_rng,
+            self.service_cost_rng,
+            self.policy_rng,
+        ) = streams
+        self.topology = config.build_topology()
+        self.catalog = config.build_catalog(self.catalog_rng)
+        self.update_cost_model = config.build_update_cost_model(self.update_cost_rng)
+        self.service_cost_model = config.build_service_cost_model(self.service_cost_rng)
+        self.request_generator = RequestGenerator(
+            self.topology,
+            self.catalog,
+            arrivals=config.build_arrivals(),
+            zipf_exponent=None if config.zipf_exponent == 0 else config.zipf_exponent,
+            rng=self.workload_rng,
+        )
+        self.mbs_store = MBSContentStore(self.catalog)
+        self.caches: List[RSUCache] = []
+        for rsu in self.topology.rsus:
+            cache = RSUCache(rsu.rsu_id, rsu.covered_regions, self.catalog)
+            if config.random_initial_ages:
+                cache.randomize_ages(self.init_rng)
+            self.caches.append(cache)
+        # Static per-(RSU, content-slot) parameter matrices.
+        num_rsus = config.num_rsus
+        per_rsu = config.contents_per_rsu
+        self.max_ages = np.zeros((num_rsus, per_rsu))
+        self.popularity = np.zeros((num_rsus, per_rsu))
+        for k, rsu in enumerate(self.topology.rsus):
+            population = self.request_generator.content_population(rsu.rsu_id)
+            for slot, content_id in enumerate(rsu.covered_regions):
+                self.max_ages[k, slot] = self.catalog[content_id].max_age
+                self.popularity[k, slot] = population[content_id]
+        self.utility = UtilityFunction(
+            self.max_ages,
+            np.zeros_like(self.max_ages),  # costs are supplied per slot
+            weight=config.aoi_weight,
+        )
+
+    def ages_matrix(self) -> np.ndarray:
+        """Current cache ages as a ``(num_rsus, contents_per_rsu)`` matrix."""
+        return np.stack([cache.ages for cache in self.caches])
+
+    def update_costs_matrix(self, time_slot: int) -> np.ndarray:
+        """Per-(RSU, content) MBS->RSU transfer costs for *time_slot*."""
+        num_rsus = self.config.num_rsus
+        per_rsu = self.config.contents_per_rsu
+        costs = np.zeros((num_rsus, per_rsu))
+        for k in range(num_rsus):
+            distance = self.topology.mbs_distance(k)
+            for slot, content_id in enumerate(self.topology.rsus[k].covered_regions):
+                size = self.catalog[content_id].size
+                costs[k, slot] = self.update_cost_model.cost(
+                    distance=distance, size=size, time_slot=time_slot
+                )
+        return costs
+
+    def observation(self, time_slot: int) -> CacheObservation:
+        """Build the MDP observation for *time_slot*."""
+        mbs_ages = np.zeros_like(self.max_ages)
+        for k, rsu in enumerate(self.topology.rsus):
+            for slot, content_id in enumerate(rsu.covered_regions):
+                mbs_ages[k, slot] = self.mbs_store.age_of(content_id)
+        return CacheObservation(
+            time_slot=time_slot,
+            ages=self.ages_matrix(),
+            max_ages=self.max_ages.copy(),
+            popularity=self.popularity.copy(),
+            update_costs=self.update_costs_matrix(time_slot),
+            mbs_ages=mbs_ages,
+        )
+
+
+class CacheSimulator:
+    """Stage-1 simulator: MBS cache management over the RSU caches.
+
+    Parameters
+    ----------
+    config:
+        The scenario to simulate.
+    policy:
+        The caching policy the MBS uses (the paper's
+        :class:`~repro.core.caching_mdp.MDPCachingPolicy` or any baseline).
+    """
+
+    def __init__(self, config: ScenarioConfig, policy: CachingPolicy) -> None:
+        self._config = config
+        self._policy = policy
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario being simulated."""
+        return self._config
+
+    @property
+    def policy(self) -> CachingPolicy:
+        """The caching policy under evaluation."""
+        return self._policy
+
+    def run(self, *, num_slots: Optional[int] = None) -> CacheSimulationResult:
+        """Run the simulation and return the recorded result."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        state = _SystemState(self._config)
+        metrics = CacheMetrics(
+            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
+        )
+        self._policy.reset()
+        mbs_budget = LinkBudget()
+
+        for t in range(num_slots):
+            observation = state.observation(t)
+            actions = self._policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            # Apply the chosen updates to the caches.
+            for k, rsu in enumerate(state.topology.rsus):
+                for slot, content_id in enumerate(rsu.covered_regions):
+                    if actions[k, slot]:
+                        state.caches[k].apply_update(content_id)
+                        mbs_budget.charge(costs[k, slot])
+            metrics.record_slot(t, state.ages_matrix(), actions, breakdown)
+            # Advance time: cached copies age by one slot, the MBS regenerates.
+            for cache in state.caches:
+                cache.tick(1)
+            state.mbs_store.tick(t + 1)
+
+        return CacheSimulationResult(
+            config=self._config,
+            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+            metrics=metrics,
+            catalog=state.catalog,
+            topology=state.topology,
+        )
+
+
+class ServiceSimulator:
+    """Stage-2 simulator: per-RSU service decisions over the request queues.
+
+    Each RSU runs its own instance of the service policy (a fresh copy is not
+    required because policies are either stateless or record only global
+    statistics); the queue backlog follows the latency interpretation of
+    Fig. 1b — the accumulated waiting time of the pending requests.
+
+    Parameters
+    ----------
+    config:
+        The scenario to simulate.
+    policy:
+        The service policy each RSU applies (the paper's
+        :class:`~repro.core.lyapunov.LyapunovServiceController` or a baseline).
+    caches:
+        Optional pre-built RSU caches whose ages feed the AoI-validity guard;
+        when omitted, fresh caches with static ages are used (ages then play
+        no role because they never violate).
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: ServicePolicy,
+        *,
+        service_batch: Optional[int] = None,
+    ) -> None:
+        if service_batch is not None:
+            check_positive_int(service_batch, "service_batch")
+        self._config = config
+        self._policy = policy
+        self._service_batch = service_batch
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario being simulated."""
+        return self._config
+
+    @property
+    def policy(self) -> ServicePolicy:
+        """The service policy under evaluation."""
+        return self._policy
+
+    def run(self, *, num_slots: Optional[int] = None) -> ServiceSimulationResult:
+        """Run the simulation and return the recorded result."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        state = _SystemState(self._config)
+        metrics = ServiceMetrics(self._config.num_rsus)
+        self._policy.reset()
+        queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
+
+        for t in range(num_slots):
+            requests = state.request_generator.generate_slot(
+                t, deadline_slots=self._config.deadline_slots
+            )
+            for request in requests:
+                queues[request.rsu_id].enqueue(request)
+
+            backlogs, latencies, costs, decisions, served_counts = (
+                [], [], [], [], []
+            )
+            for k, queue in enumerate(queues):
+                queue.expire(t)
+                latency = float(queue.total_waiting(t))
+                backlog = float(queue.backlog)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                head = queue.head()
+                head_age = head_max = slack = None
+                if head is not None:
+                    cache = state.caches[k]
+                    if cache.holds(head.content_id):
+                        head_age = cache.age_of(head.content_id)
+                        head_max = state.catalog[head.content_id].max_age
+                    if head.deadline is not None:
+                        slack = float(head.deadline - t)
+                observation = ServiceObservation(
+                    time_slot=t,
+                    rsu_id=k,
+                    queue_backlog=latency,
+                    service_cost=cost,
+                    departure=latency,
+                    head_content_age=head_age,
+                    head_content_max_age=head_max,
+                    head_deadline_slack=slack,
+                )
+                serve = self._policy.decide(observation) and not queue.is_empty
+                served = []
+                spent = 0.0
+                if serve:
+                    batch = (
+                        queue.backlog
+                        if self._service_batch is None
+                        else min(self._service_batch, queue.backlog)
+                    )
+                    served = queue.serve(t, batch)
+                    spent = cost * len(served)
+                backlogs.append(backlog)
+                latencies.append(latency)
+                costs.append(spent)
+                decisions.append(bool(serve))
+                served_counts.append(len(served))
+            metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
+            # The stage-2-only simulator assumes cache management (stage 1)
+            # keeps cached copies valid, so cache ages are not advanced here;
+            # the coupled behaviour is exercised by JointSimulator.
+            state.mbs_store.tick(t + 1)
+
+        return ServiceSimulationResult(
+            config=self._config,
+            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+            metrics=metrics,
+        )
+
+
+class JointSimulator:
+    """Full two-stage simulator coupling cache management and content service.
+
+    Per slot the MBS first applies the caching policy (refreshing cached
+    copies and accruing the Eq. (1) reward), then every RSU applies the
+    service policy to its request queue with the AoI-validity guard reading
+    the *current* cache ages — so a stale cache blocks service until the MBS
+    refreshes it, which is exactly the interplay the paper's two-stage design
+    argues for.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        caching_policy: CachingPolicy,
+        service_policy: ServicePolicy,
+        *,
+        service_batch: Optional[int] = None,
+    ) -> None:
+        if service_batch is not None:
+            check_positive_int(service_batch, "service_batch")
+        self._config = config
+        self._caching_policy = caching_policy
+        self._service_policy = service_policy
+        self._service_batch = service_batch
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario being simulated."""
+        return self._config
+
+    def run(self, *, num_slots: Optional[int] = None) -> JointSimulationResult:
+        """Run the coupled simulation and return both stages' metrics."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        state = _SystemState(self._config)
+        cache_metrics = CacheMetrics(
+            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
+        )
+        service_metrics = ServiceMetrics(self._config.num_rsus)
+        self._caching_policy.reset()
+        self._service_policy.reset()
+        queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
+
+        for t in range(num_slots):
+            # ---- Stage 1: cache management -------------------------------
+            observation = state.observation(t)
+            actions = self._caching_policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            for k, rsu in enumerate(state.topology.rsus):
+                for slot, content_id in enumerate(rsu.covered_regions):
+                    if actions[k, slot]:
+                        state.caches[k].apply_update(content_id)
+            cache_metrics.record_slot(t, state.ages_matrix(), actions, breakdown)
+
+            # ---- Stage 2: content service ---------------------------------
+            requests = state.request_generator.generate_slot(
+                t, deadline_slots=self._config.deadline_slots
+            )
+            for request in requests:
+                queues[request.rsu_id].enqueue(request)
+            backlogs, latencies, spent_costs, decisions, served_counts = (
+                [], [], [], [], []
+            )
+            for k, queue in enumerate(queues):
+                queue.expire(t)
+                latency = float(queue.total_waiting(t))
+                backlog = float(queue.backlog)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                head = queue.head()
+                head_age = head_max = slack = None
+                if head is not None:
+                    cache = state.caches[k]
+                    if cache.holds(head.content_id):
+                        head_age = cache.age_of(head.content_id)
+                        head_max = state.catalog[head.content_id].max_age
+                    if head.deadline is not None:
+                        slack = float(head.deadline - t)
+                service_observation = ServiceObservation(
+                    time_slot=t,
+                    rsu_id=k,
+                    queue_backlog=latency,
+                    service_cost=cost,
+                    departure=latency,
+                    head_content_age=head_age,
+                    head_content_max_age=head_max,
+                    head_deadline_slack=slack,
+                )
+                serve = self._service_policy.decide(service_observation)
+                serve = serve and not queue.is_empty
+                served = []
+                spent = 0.0
+                if serve:
+                    batch = (
+                        queue.backlog
+                        if self._service_batch is None
+                        else min(self._service_batch, queue.backlog)
+                    )
+                    served = queue.serve(t, batch)
+                    spent = cost * len(served)
+                backlogs.append(backlog)
+                latencies.append(latency)
+                spent_costs.append(spent)
+                decisions.append(bool(serve))
+                served_counts.append(len(served))
+            service_metrics.record_slot(
+                backlogs, latencies, spent_costs, decisions, served_counts
+            )
+
+            # ---- Advance time ---------------------------------------------
+            for cache in state.caches:
+                cache.tick(1)
+            state.mbs_store.tick(t + 1)
+
+        return JointSimulationResult(
+            config=self._config,
+            caching_policy_name=getattr(
+                self._caching_policy, "name", type(self._caching_policy).__name__
+            ),
+            service_policy_name=getattr(
+                self._service_policy, "name", type(self._service_policy).__name__
+            ),
+            cache_metrics=cache_metrics,
+            service_metrics=service_metrics,
+        )

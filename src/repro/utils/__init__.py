@@ -1,0 +1,23 @@
+"""Utility helpers shared across the :mod:`repro` library."""
+
+from repro.utils.rng import RandomSource, ensure_rng, spawn_streams
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_probability_vector,
+)
+
+__all__ = [
+    "RandomSource",
+    "ensure_rng",
+    "spawn_streams",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_probability_vector",
+]

@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.experiments (the experiment registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentReport,
+    available_experiments,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRegistry:
+    def test_all_seven_experiments_registered(self):
+        experiments = available_experiments()
+        assert sorted(experiments) == ["E1", "E2", "E3", "E4", "E5", "E6", "E7"]
+
+    def test_titles_are_non_empty(self):
+        assert all(title for title in available_experiments().values())
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValidationError):
+            run_experiment("E99", num_slots=10)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValidationError):
+            run_experiment("E1", num_slots=0)
+
+    def test_id_is_case_insensitive(self):
+        report = run_experiment("e3", num_slots=60)
+        assert report.experiment_id == "E3"
+
+
+class TestExperimentRuns:
+    def test_e1_passes_and_reports_metrics(self):
+        report = run_experiment("E1", num_slots=120, seed=0)
+        assert report.passed
+        assert "final_cumulative_reward" in report.metrics
+
+    def test_e2_passes(self):
+        report = run_experiment("E2", num_slots=120, seed=0)
+        assert report.passed
+        assert "time_avg_cost[lyapunov]" in report.metrics
+
+    def test_e3_passes(self):
+        report = run_experiment("E3", num_slots=120, seed=0)
+        assert report.passed
+        assert report.metrics["service_rate_when_empty"] < 0.05
+
+    def test_e4_includes_table(self):
+        report = run_experiment("E4", num_slots=80, seed=0)
+        assert report.passed
+        assert "weight" in report.table
+
+    def test_e5_includes_table(self):
+        report = run_experiment("E5", num_slots=120, seed=0)
+        assert report.passed
+        assert "tradeoff_v" in report.table
+
+    def test_e6_compares_policies(self):
+        report = run_experiment("E6", num_slots=80, seed=0)
+        assert report.passed
+        assert report.metrics["mdp_total_reward"] >= report.metrics[
+            "best_baseline_total_reward"
+        ] - 1e-6
+
+    def test_e7_reports_scalability(self):
+        report = run_experiment("E7", num_slots=50, seed=0)
+        assert report.passed
+        assert report.metrics["wall_seconds_large"] > 0
+
+    def test_run_all_returns_ordered_reports(self):
+        reports = run_all_experiments(num_slots=60, seed=0)
+        assert [report.experiment_id for report in reports] == [
+            "E1",
+            "E2",
+            "E3",
+            "E4",
+            "E5",
+            "E6",
+            "E7",
+        ]
+
+
+class TestExperimentReport:
+    def test_render_contains_id_claim_and_metrics(self):
+        report = ExperimentReport(
+            experiment_id="EX",
+            title="demo",
+            claim="something holds",
+            passed=True,
+            metrics={"value": 1.25},
+            table="col\n---\n1",
+        )
+        text = report.render()
+        assert "[EX] demo" in text
+        assert "PASS" in text
+        assert "value" in text
+        assert "col" in text
+
+    def test_render_marks_failures(self):
+        report = ExperimentReport(
+            experiment_id="EX", title="demo", claim="c", passed=False
+        )
+        assert "FAIL" in report.render()

@@ -1,0 +1,126 @@
+"""Tests for repro.analysis.sweep (ablation sweeps and comparison tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import (
+    caching_policy_comparison,
+    format_table,
+    scalability_sweep,
+    service_policy_comparison,
+    v_sweep,
+    weight_sweep,
+)
+from repro.exceptions import ValidationError
+from repro.sim.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_fig1a():
+    return ScenarioConfig.fig1a(seed=2).with_overrides(num_slots=80)
+
+
+@pytest.fixture(scope="module")
+def tiny_fig1b():
+    return ScenarioConfig.fig1b(seed=2).with_overrides(num_slots=80)
+
+
+class TestWeightSweep:
+    def test_rows_and_keys(self, tiny_fig1a):
+        rows = weight_sweep([0.5, 5.0], config=tiny_fig1a)
+        assert len(rows) == 2
+        assert {"weight", "mean_age", "total_cost", "total_reward"} <= set(rows[0])
+
+    def test_higher_weight_buys_fresher_caches(self, tiny_fig1a):
+        rows = weight_sweep([0.1, 20.0], config=tiny_fig1a)
+        low, high = rows[0], rows[1]
+        assert high["mean_age"] <= low["mean_age"] + 1e-9
+        assert high["total_cost"] >= low["total_cost"] - 1e-9
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            weight_sweep([])
+
+
+class TestVSweep:
+    def test_rows_and_keys(self, tiny_fig1b):
+        rows = v_sweep([1.0, 50.0], config=tiny_fig1b)
+        assert len(rows) == 2
+        assert {"tradeoff_v", "time_average_cost", "time_average_backlog"} <= set(rows[0])
+
+    def test_larger_v_trades_cost_for_backlog(self, tiny_fig1b):
+        rows = v_sweep([0.5, 200.0], config=tiny_fig1b)
+        low, high = rows[0], rows[1]
+        assert high["time_average_cost"] <= low["time_average_cost"] + 1e-9
+        assert high["time_average_backlog"] >= low["time_average_backlog"] - 1e-9
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValidationError):
+            v_sweep([])
+
+
+class TestCachingPolicyComparison:
+    def test_contains_mdp_and_baselines(self, tiny_fig1a):
+        rows = caching_policy_comparison(config=tiny_fig1a)
+        names = {row["policy"] for row in rows}
+        assert "mdp" in names
+        assert {"never", "always", "random"} <= names
+
+    def test_mdp_reward_at_least_as_good_as_naive_baselines(self, tiny_fig1a):
+        rows = {row["policy"]: row for row in caching_policy_comparison(config=tiny_fig1a)}
+        assert rows["mdp"]["total_reward"] >= rows["never"]["total_reward"]
+        assert rows["mdp"]["total_reward"] >= rows["random"]["total_reward"]
+
+    def test_never_has_zero_cost(self, tiny_fig1a):
+        rows = {row["policy"]: row for row in caching_policy_comparison(config=tiny_fig1a)}
+        assert rows["never"]["total_cost"] == 0.0
+
+
+class TestServicePolicyComparison:
+    def test_contains_expected_policies(self, tiny_fig1b):
+        rows = service_policy_comparison(config=tiny_fig1b)
+        names = {row["policy"] for row in rows}
+        assert names == {"lyapunov", "always-serve", "cost-greedy"}
+
+    def test_lyapunov_cost_not_above_always_serve(self, tiny_fig1b):
+        rows = {row["policy"]: row for row in service_policy_comparison(config=tiny_fig1b)}
+        assert (
+            rows["lyapunov"]["time_average_cost"]
+            <= rows["always-serve"]["time_average_cost"] + 1e-9
+        )
+
+
+class TestScalabilitySweep:
+    def test_rows_and_throughput(self):
+        rows = scalability_sweep(
+            [
+                {"num_rsus": 1, "contents_per_rsu": 2},
+                {"num_rsus": 2, "contents_per_rsu": 2},
+            ],
+            num_slots=30,
+        )
+        assert len(rows) == 2
+        assert all(row["slots_per_second"] > 0 for row in rows)
+        assert rows[1]["num_contents"] == 4.0
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            scalability_sweep([])
+
+
+class TestFormatTable:
+    def test_formats_rows(self):
+        text = format_table([{"a": 1.0, "b": "x"}, {"a": 2.123456, "b": "y"}])
+        assert "a" in text and "b" in text
+        assert "2.123" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_consistent(self):
+        text = format_table([{"name": "long-policy-name", "v": 1.0}])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert len(lines[0]) == len(lines[1])

@@ -1,0 +1,178 @@
+"""Tests for repro.baselines.caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.caching import (
+    AlwaysUpdatePolicy,
+    MyopicUpdatePolicy,
+    NeverUpdatePolicy,
+    PeriodicUpdatePolicy,
+    RandomUpdatePolicy,
+    ThresholdUpdatePolicy,
+    standard_caching_baselines,
+)
+from repro.core.policies import CacheObservation
+from repro.exceptions import ValidationError
+
+
+def make_observation(ages, max_ages=None, popularity=None, costs=None):
+    ages = np.asarray(ages, dtype=float)
+    if max_ages is None:
+        max_ages = np.full_like(ages, 8.0)
+    if popularity is None:
+        popularity = np.full_like(ages, 1.0 / ages.shape[1])
+    if costs is None:
+        costs = np.full_like(ages, 1.0)
+    return CacheObservation(
+        time_slot=0,
+        ages=ages,
+        max_ages=np.asarray(max_ages, dtype=float),
+        popularity=np.asarray(popularity, dtype=float),
+        update_costs=np.asarray(costs, dtype=float),
+    )
+
+
+class TestNeverUpdatePolicy:
+    def test_never_updates(self):
+        policy = NeverUpdatePolicy()
+        actions = policy.decide(make_observation(np.full((3, 4), 20.0)))
+        assert actions.sum() == 0
+
+
+class TestAlwaysUpdatePolicy:
+    def test_updates_stalest_per_rsu(self):
+        ages = np.array([[2.0, 9.0, 5.0], [7.0, 1.0, 3.0]])
+        actions = AlwaysUpdatePolicy().decide(make_observation(ages))
+        np.testing.assert_array_equal(actions, [[0, 1, 0], [1, 0, 0]])
+
+    def test_one_update_per_rsu_every_slot(self):
+        actions = AlwaysUpdatePolicy().decide(make_observation(np.ones((4, 5))))
+        np.testing.assert_array_equal(actions.sum(axis=1), 1)
+
+
+class TestPeriodicUpdatePolicy:
+    def test_cycles_through_contents(self):
+        policy = PeriodicUpdatePolicy(period=1)
+        observation = make_observation(np.ones((1, 3)))
+        chosen = [int(np.argmax(policy.decide(observation))) for _ in range(6)]
+        assert chosen == [0, 1, 2, 0, 1, 2]
+
+    def test_period_spacing(self):
+        policy = PeriodicUpdatePolicy(period=2)
+        observation = make_observation(np.ones((1, 2)))
+        updates = [int(policy.decide(observation).sum()) for _ in range(4)]
+        assert updates == [1, 0, 1, 0]
+
+    def test_reset_restarts_cycle(self):
+        policy = PeriodicUpdatePolicy(period=1)
+        observation = make_observation(np.ones((1, 3)))
+        policy.decide(observation)
+        policy.reset()
+        actions = policy.decide(observation)
+        assert int(np.argmax(actions)) == 0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicUpdatePolicy(period=0)
+
+
+class TestRandomUpdatePolicy:
+    def test_rate_zero_never_updates(self):
+        policy = RandomUpdatePolicy(rate=0.0, rng=0)
+        assert policy.decide(make_observation(np.ones((3, 3)))).sum() == 0
+
+    def test_rate_one_always_updates(self):
+        policy = RandomUpdatePolicy(rate=1.0, rng=0)
+        actions = policy.decide(make_observation(np.ones((3, 3))))
+        np.testing.assert_array_equal(actions.sum(axis=1), 1)
+
+    def test_deterministic_given_seed(self):
+        observation = make_observation(np.ones((2, 4)))
+        a = RandomUpdatePolicy(rate=0.5, rng=3)
+        b = RandomUpdatePolicy(rate=0.5, rng=3)
+        for _ in range(5):
+            np.testing.assert_array_equal(a.decide(observation), b.decide(observation))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomUpdatePolicy(rate=1.5)
+
+
+class TestThresholdUpdatePolicy:
+    def test_no_update_below_threshold(self):
+        policy = ThresholdUpdatePolicy(threshold=0.8)
+        ages = np.array([[2.0, 3.0]])
+        actions = policy.decide(make_observation(ages, max_ages=np.full((1, 2), 10.0)))
+        assert actions.sum() == 0
+
+    def test_updates_most_exceeded_content(self):
+        policy = ThresholdUpdatePolicy(threshold=0.5)
+        ages = np.array([[6.0, 9.0]])
+        actions = policy.decide(make_observation(ages, max_ages=np.full((1, 2), 10.0)))
+        np.testing.assert_array_equal(actions, [[0, 1]])
+
+    def test_threshold_relative_to_each_max_age(self):
+        policy = ThresholdUpdatePolicy(threshold=0.9)
+        ages = np.array([[5.0, 5.0]])
+        max_ages = np.array([[5.0, 50.0]])
+        actions = policy.decide(make_observation(ages, max_ages=max_ages))
+        np.testing.assert_array_equal(actions, [[1, 0]])
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            ThresholdUpdatePolicy(threshold=1.5)
+
+
+class TestMyopicUpdatePolicy:
+    def test_skips_when_gain_negative(self):
+        # Cost far larger than any one-step AoI gain.
+        policy = MyopicUpdatePolicy(weight=1.0)
+        observation = make_observation(
+            np.full((1, 2), 4.0), costs=np.full((1, 2), 100.0)
+        )
+        assert policy.decide(observation).sum() == 0
+
+    def test_updates_best_gain(self):
+        policy = MyopicUpdatePolicy(weight=10.0)
+        ages = np.array([[2.0, 9.0]])
+        actions = policy.decide(make_observation(ages))
+        np.testing.assert_array_equal(actions, [[0, 1]])
+
+    def test_fresh_cache_never_updated(self):
+        policy = MyopicUpdatePolicy(weight=10.0)
+        assert policy.decide(make_observation(np.ones((2, 3)))).sum() == 0
+
+    def test_popularity_breaks_ties(self):
+        policy = MyopicUpdatePolicy(weight=10.0)
+        ages = np.array([[5.0, 5.0]])
+        popularity = np.array([[0.9, 0.1]])
+        actions = policy.decide(make_observation(ages, popularity=popularity))
+        np.testing.assert_array_equal(actions, [[1, 0]])
+
+
+class TestStandardBaselines:
+    def test_registry_contains_expected_policies(self):
+        baselines = standard_caching_baselines(rng=0)
+        assert set(baselines) == {
+            "never",
+            "always",
+            "periodic",
+            "random",
+            "threshold",
+            "myopic",
+        }
+
+    @given(age=st.floats(min_value=1.0, max_value=30.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_baselines_respect_constraint(self, age):
+        observation = make_observation(np.full((3, 4), age))
+        for policy in standard_caching_baselines(rng=1).values():
+            actions = policy.decide(observation)
+            assert actions.shape == (3, 4)
+            assert np.all(actions.sum(axis=1) <= 1)
+            assert set(np.unique(actions)).issubset({0, 1})

@@ -1,0 +1,120 @@
+"""Tests for repro.baselines.service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.service import (
+    AlwaysServePolicy,
+    BacklogThresholdPolicy,
+    CostGreedyPolicy,
+    FixedProbabilityPolicy,
+    NeverServePolicy,
+    standard_service_baselines,
+)
+from repro.core.policies import ServiceObservation
+from repro.exceptions import ValidationError
+
+
+def observation(backlog, *, cost=1.0, slack=None):
+    return ServiceObservation(
+        time_slot=0,
+        rsu_id=0,
+        queue_backlog=backlog,
+        service_cost=cost,
+        departure=1.0,
+        head_deadline_slack=slack,
+    )
+
+
+class TestAlwaysServePolicy:
+    def test_serves_when_backlog_positive(self):
+        assert AlwaysServePolicy().decide(observation(1.0)) is True
+
+    def test_idles_when_empty(self):
+        assert AlwaysServePolicy().decide(observation(0.0)) is False
+
+
+class TestNeverServePolicy:
+    def test_never_serves(self):
+        assert NeverServePolicy().decide(observation(100.0)) is False
+
+
+class TestCostGreedyPolicy:
+    def test_defers_without_trigger(self):
+        policy = CostGreedyPolicy(backlog_cap=None)
+        assert policy.decide(observation(10.0)) is False
+
+    def test_deadline_forces_service(self):
+        policy = CostGreedyPolicy(deadline_slack=1.0, backlog_cap=None)
+        assert policy.decide(observation(10.0, slack=1.0)) is True
+        assert policy.decide(observation(10.0, slack=5.0)) is False
+
+    def test_backlog_cap_forces_service(self):
+        policy = CostGreedyPolicy(backlog_cap=20.0)
+        assert policy.decide(observation(25.0)) is True
+        assert policy.decide(observation(15.0)) is False
+
+    def test_empty_queue_never_served(self):
+        policy = CostGreedyPolicy(backlog_cap=0.0)
+        assert policy.decide(observation(0.0)) is False
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            CostGreedyPolicy(deadline_slack=-1.0)
+        with pytest.raises(ValidationError):
+            CostGreedyPolicy(backlog_cap=-1.0)
+
+
+class TestFixedProbabilityPolicy:
+    def test_probability_zero_never_serves(self):
+        policy = FixedProbabilityPolicy(0.0, rng=0)
+        assert not any(policy.decide(observation(5.0)) for _ in range(20))
+
+    def test_probability_one_always_serves(self):
+        policy = FixedProbabilityPolicy(1.0, rng=0)
+        assert all(policy.decide(observation(5.0)) for _ in range(20))
+
+    def test_empty_queue_never_served(self):
+        policy = FixedProbabilityPolicy(1.0, rng=0)
+        assert policy.decide(observation(0.0)) is False
+
+    def test_deterministic_given_seed(self):
+        a = FixedProbabilityPolicy(0.5, rng=7)
+        b = FixedProbabilityPolicy(0.5, rng=7)
+        decisions_a = [a.decide(observation(5.0)) for _ in range(20)]
+        decisions_b = [b.decide(observation(5.0)) for _ in range(20)]
+        assert decisions_a == decisions_b
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            FixedProbabilityPolicy(1.5)
+
+
+class TestBacklogThresholdPolicy:
+    def test_threshold_behaviour(self):
+        policy = BacklogThresholdPolicy(threshold=5.0)
+        assert policy.decide(observation(6.0)) is True
+        assert policy.decide(observation(5.0)) is False
+        assert policy.decide(observation(0.0)) is False
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            BacklogThresholdPolicy(threshold=-1.0)
+
+
+class TestStandardServiceBaselines:
+    def test_registry_contains_expected_policies(self):
+        baselines = standard_service_baselines(rng=0)
+        assert set(baselines) == {
+            "always-serve",
+            "cost-greedy",
+            "fixed-probability",
+            "backlog-threshold",
+        }
+
+    def test_all_policies_return_bool(self):
+        for policy in standard_service_baselines(rng=0).values():
+            decision = policy.decide(observation(3.0))
+            assert isinstance(decision, bool)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.caching_mdp import CachingMDPConfig, MDPCachingPolicy
+from repro.net.content import ContentCatalog
+from repro.net.topology import RoadTopology
+from repro.sim.scenario import ScenarioConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config():
+    """A tiny scenario that runs in milliseconds."""
+    return ScenarioConfig.small(seed=7)
+
+
+@pytest.fixture
+def fig1a_config():
+    """The paper's Fig. 1a scenario with a short horizon for tests."""
+    return ScenarioConfig.fig1a(seed=3).with_overrides(num_slots=120)
+
+
+@pytest.fixture
+def fig1b_config():
+    """The paper's Fig. 1b scenario with a short horizon for tests."""
+    return ScenarioConfig.fig1b(seed=3).with_overrides(num_slots=120)
+
+
+@pytest.fixture
+def small_topology():
+    """A 4-region, 2-RSU road."""
+    return RoadTopology(4, 2, region_length=100.0)
+
+
+@pytest.fixture
+def small_catalog():
+    """A 4-content catalog with heterogeneous maximum ages."""
+    return ContentCatalog.heterogeneous([4.0, 6.0, 8.0, 10.0])
+
+
+@pytest.fixture
+def mdp_policy(small_config):
+    """An MDP caching policy configured for the small scenario."""
+    return MDPCachingPolicy(small_config.build_mdp_config())

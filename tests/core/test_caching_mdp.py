@@ -1,0 +1,357 @@
+"""Tests for repro.core.caching_mdp (the paper's cache-management MDP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.caching_mdp import (
+    AgeGrid,
+    CachingMDPConfig,
+    ContentUpdateMDP,
+    MDPCachingPolicy,
+    RSUCachingMDP,
+)
+from repro.core.policies import CacheObservation
+from repro.core.solvers import value_iteration
+from repro.exceptions import ConfigurationError, ValidationError
+
+
+def make_observation(
+    ages,
+    max_ages=None,
+    popularity=None,
+    costs=None,
+    time_slot=0,
+) -> CacheObservation:
+    ages = np.asarray(ages, dtype=float)
+    if max_ages is None:
+        max_ages = np.full_like(ages, 6.0)
+    if popularity is None:
+        popularity = np.full_like(ages, 1.0 / ages.shape[1])
+    if costs is None:
+        costs = np.full_like(ages, 1.0)
+    return CacheObservation(
+        time_slot=time_slot,
+        ages=ages,
+        max_ages=np.asarray(max_ages, dtype=float),
+        popularity=np.asarray(popularity, dtype=float),
+        update_costs=np.asarray(costs, dtype=float),
+    )
+
+
+class TestAgeGrid:
+    def test_round_trip(self):
+        grid = AgeGrid(8)
+        for age in range(1, 9):
+            assert grid.age_of(grid.index_of(age)) == age
+
+    def test_clamping(self):
+        grid = AgeGrid(5)
+        assert grid.index_of(100.0) == 4
+        assert grid.index_of(0.2) == 0
+
+    def test_next_age_saturates(self):
+        grid = AgeGrid(5)
+        assert grid.next_age(5) == 5
+        assert grid.next_age(3) == 4
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValidationError):
+            AgeGrid(5).age_of(5)
+
+    def test_invalid_age_rejected(self):
+        with pytest.raises(ValidationError):
+            AgeGrid(5).index_of(float("nan"))
+
+
+class TestCachingMDPConfig:
+    def test_defaults_valid(self):
+        CachingMDPConfig().validate()
+
+    def test_ceiling_for_respects_override(self):
+        config = CachingMDPConfig(age_ceiling=7)
+        assert config.ceiling_for(100.0) == 7
+
+    def test_ceiling_for_derives_from_max_age(self):
+        config = CachingMDPConfig(max_age_ceiling=30)
+        assert config.ceiling_for(5.0) == 10
+
+    def test_ceiling_capped(self):
+        config = CachingMDPConfig(max_age_ceiling=12)
+        assert config.ceiling_for(100.0) == 12
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValidationError):
+            CachingMDPConfig(discount=1.0).validate()
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValidationError):
+            CachingMDPConfig(violation_penalty=-1.0).validate()
+
+
+class TestContentUpdateMDP:
+    def test_state_and_action_counts(self):
+        mdp = ContentUpdateMDP(max_age=5.0, popularity=0.5, update_cost=1.0)
+        assert mdp.num_actions == 2
+        assert mdp.num_states == mdp.grid.num_levels
+
+    def test_transitions_are_deterministic(self):
+        mdp = ContentUpdateMDP(max_age=5.0, popularity=0.5, update_cost=1.0)
+        for state in range(mdp.num_states):
+            for action in (0, 1):
+                distribution = mdp.transition_distribution(state, action)
+                assert sum(distribution.values()) == pytest.approx(1.0)
+                assert len(distribution) == 1
+
+    def test_update_leads_to_fresh_state(self):
+        mdp = ContentUpdateMDP(max_age=5.0, popularity=0.5, update_cost=1.0)
+        stale = mdp.grid.index_of(8)
+        (next_state,) = mdp.transition_distribution(stale, 1).keys()
+        assert mdp.grid.age_of(next_state) == 2  # refreshed to 1, then aged by 1
+
+    def test_skip_ages_by_one(self):
+        mdp = ContentUpdateMDP(max_age=5.0, popularity=0.5, update_cost=1.0)
+        state = mdp.grid.index_of(3)
+        (next_state,) = mdp.transition_distribution(state, 0).keys()
+        assert mdp.grid.age_of(next_state) == 4
+
+    def test_reward_structure(self):
+        mdp = ContentUpdateMDP(
+            max_age=6.0,
+            popularity=0.5,
+            update_cost=2.0,
+            config=CachingMDPConfig(weight=1.0, violation_penalty=0.0),
+        )
+        stale = mdp.grid.index_of(6)
+        skip = mdp.expected_reward(stale, 0)
+        update = mdp.expected_reward(stale, 1)
+        # skip: 0.5 * 6/6 = 0.5; update: 0.5 * 6/1 - 2 = 1.0
+        assert skip == pytest.approx(0.5)
+        assert update == pytest.approx(1.0)
+
+    def test_violation_penalty_applied_to_skip(self):
+        config = CachingMDPConfig(weight=1.0, violation_penalty=10.0)
+        mdp = ContentUpdateMDP(
+            max_age=4.0, popularity=0.5, update_cost=1.0, config=config
+        )
+        violating = mdp.grid.index_of(6)
+        assert mdp.expected_reward(violating, 0) < -5.0
+        assert mdp.expected_reward(violating, 1) > 0.0
+
+    def test_bad_action_rejected(self):
+        mdp = ContentUpdateMDP(max_age=5.0, popularity=0.5, update_cost=1.0)
+        with pytest.raises(ValidationError):
+            mdp.expected_reward(0, 7)
+
+    def test_optimal_policy_refreshes_stale_content(self):
+        mdp = ContentUpdateMDP(
+            max_age=6.0,
+            popularity=1.0,
+            update_cost=1.0,
+            config=CachingMDPConfig(weight=2.0, discount=0.9),
+        )
+        result = value_iteration(mdp, discount=0.9)
+        stale = mdp.grid.index_of(mdp.grid.ceiling)
+        assert result.policy[stale] == 1
+
+    def test_free_updates_always_taken(self):
+        mdp = ContentUpdateMDP(
+            max_age=6.0,
+            popularity=1.0,
+            update_cost=0.0,
+            config=CachingMDPConfig(weight=1.0),
+        )
+        result = value_iteration(mdp, discount=0.9)
+        # With zero cost, updating dominates whenever the content is not fresh.
+        for age in range(2, mdp.grid.ceiling + 1):
+            assert result.policy[mdp.grid.index_of(age)] == 1
+
+
+class TestRSUCachingMDP:
+    @pytest.fixture
+    def rsu_mdp(self):
+        return RSUCachingMDP(
+            max_ages=[4.0, 4.0],
+            popularity=[0.5, 0.5],
+            update_costs=[1.0, 1.0],
+            config=CachingMDPConfig(weight=2.0, age_ceiling=5),
+        )
+
+    def test_state_space_size(self, rsu_mdp):
+        assert rsu_mdp.num_states == 25
+        assert rsu_mdp.num_actions == 3
+
+    def test_encode_decode_round_trip(self, rsu_mdp):
+        for ages in ([1.0, 1.0], [3.0, 5.0], [5.0, 2.0]):
+            state = rsu_mdp.encode_ages(ages)
+            np.testing.assert_allclose(rsu_mdp.decode_state(state), ages)
+
+    def test_action_vector(self, rsu_mdp):
+        np.testing.assert_array_equal(rsu_mdp.action_vector(0), [0, 0])
+        np.testing.assert_array_equal(rsu_mdp.action_vector(2), [0, 1])
+
+    def test_transition_updates_one_content(self, rsu_mdp):
+        state = rsu_mdp.encode_ages([4.0, 3.0])
+        (next_state,) = rsu_mdp.transition_distribution(state, 1).keys()
+        np.testing.assert_allclose(rsu_mdp.decode_state(next_state), [2.0, 4.0])
+
+    def test_no_update_ages_everything(self, rsu_mdp):
+        state = rsu_mdp.encode_ages([2.0, 3.0])
+        (next_state,) = rsu_mdp.transition_distribution(state, 0).keys()
+        np.testing.assert_allclose(rsu_mdp.decode_state(next_state), [3.0, 4.0])
+
+    def test_reward_uses_equation_1(self):
+        mdp = RSUCachingMDP(
+            max_ages=[4.0],
+            popularity=[1.0],
+            update_costs=[2.0],
+            config=CachingMDPConfig(weight=1.0, age_ceiling=6, violation_penalty=0.0),
+        )
+        stale = mdp.encode_ages([4.0])
+        assert mdp.expected_reward(stale, 0) == pytest.approx(1.0)
+        assert mdp.expected_reward(stale, 1) == pytest.approx(4.0 - 2.0)
+
+    def test_violation_penalty_counts_violations(self):
+        mdp = RSUCachingMDP(
+            max_ages=[3.0, 3.0],
+            popularity=[0.5, 0.5],
+            update_costs=[1.0, 1.0],
+            config=CachingMDPConfig(weight=1.0, age_ceiling=6, violation_penalty=5.0),
+        )
+        both_stale = mdp.encode_ages([5.0, 5.0])
+        one_fixed = mdp.expected_reward(both_stale, 1)
+        none_fixed = mdp.expected_reward(both_stale, 0)
+        assert one_fixed > none_fixed
+
+    def test_state_space_limit_enforced(self):
+        with pytest.raises(ConfigurationError):
+            RSUCachingMDP(
+                max_ages=[10.0] * 8,
+                popularity=[0.125] * 8,
+                update_costs=[1.0] * 8,
+                config=CachingMDPConfig(age_ceiling=12),
+                max_states=1000,
+            )
+
+    def test_mismatched_parameter_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RSUCachingMDP(
+                max_ages=[4.0, 4.0],
+                popularity=[1.0],
+                update_costs=[1.0, 1.0],
+            )
+
+    def test_optimal_policy_keeps_ages_bounded(self):
+        mdp = RSUCachingMDP(
+            max_ages=[4.0, 4.0],
+            popularity=[0.5, 0.5],
+            update_costs=[0.5, 0.5],
+            config=CachingMDPConfig(weight=2.0, age_ceiling=6),
+        )
+        result = value_iteration(mdp, discount=0.9, tolerance=1e-7)
+        # Simulate the greedy policy for 40 slots from the all-stale state.
+        # Only one content can be refreshed per slot, so the other content is
+        # necessarily stale during the first few slots; after that warm-up the
+        # policy must keep both ages at or below their maximum.
+        ages = np.array([6.0, 6.0])
+        worst_after_warmup = 0.0
+        for step in range(40):
+            state = mdp.encode_ages(ages)
+            action = int(result.policy[state])
+            updates = mdp.action_vector(action)
+            ages = np.where(updates > 0, 1.0, ages)
+            if step >= 3:
+                worst_after_warmup = max(worst_after_warmup, ages.max())
+            ages = np.minimum(ages + 1.0, 6.0)
+        assert worst_after_warmup <= 4.0
+
+
+class TestMDPCachingPolicy:
+    def test_respects_one_update_per_rsu(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=5.0))
+        observation = make_observation(np.full((3, 4), 6.0))
+        actions = policy.decide(observation)
+        assert actions.shape == (3, 4)
+        assert np.all(actions.sum(axis=1) <= 1)
+
+    def test_fresh_cache_not_updated_when_costly(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=1.0))
+        observation = make_observation(
+            np.ones((2, 3)), costs=np.full((2, 3), 5.0)
+        )
+        actions = policy.decide(observation)
+        assert actions.sum() == 0
+
+    def test_stale_content_selected(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=5.0))
+        ages = np.array([[1.0, 1.0, 9.0]])
+        observation = make_observation(ages, max_ages=np.full((1, 3), 6.0))
+        actions = policy.decide(observation)
+        assert actions[0, 2] == 1
+
+    def test_exact_and_factored_modes_agree_on_small_instance(self):
+        config = CachingMDPConfig(weight=3.0, age_ceiling=5)
+        ages = np.array([[4.0, 2.0]])
+        max_ages = np.array([[4.0, 4.0]])
+        costs = np.array([[0.5, 0.5]])
+        popularity = np.array([[0.5, 0.5]])
+        observation = CacheObservation(
+            time_slot=0,
+            ages=ages,
+            max_ages=max_ages,
+            popularity=popularity,
+            update_costs=costs,
+        )
+        exact = MDPCachingPolicy(config, mode="exact").decide(observation)
+        factored = MDPCachingPolicy(config, mode="factored").decide(observation)
+        np.testing.assert_array_equal(exact, factored)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MDPCachingPolicy(mode="bogus")
+
+    def test_models_are_reused_between_calls(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=2.0))
+        observation = make_observation(np.full((1, 2), 3.0))
+        policy.decide(observation)
+        first_models = dict(policy._content_models)
+        policy.decide(make_observation(np.full((1, 2), 5.0)))
+        assert policy._content_models == first_models
+
+    def test_models_rebuilt_when_parameters_change(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=2.0))
+        policy.decide(make_observation(np.full((1, 2), 3.0)))
+        before = dict(policy._content_models)
+        policy.decide(
+            make_observation(np.full((1, 2), 3.0), costs=np.full((1, 2), 9.0))
+        )
+        assert policy._content_models != before
+
+    def test_update_advantages_shape(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=2.0))
+        observation = make_observation(np.full((2, 3), 4.0))
+        advantages = policy.update_advantages(observation)
+        assert advantages.shape == (2, 3)
+
+    def test_advantage_increases_with_age(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=2.0))
+        fresh = policy.update_advantages(make_observation(np.full((1, 2), 1.0)))
+        stale = policy.update_advantages(make_observation(np.full((1, 2), 8.0)))
+        assert np.all(stale >= fresh)
+
+    def test_reset_clears_models(self):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=2.0))
+        policy.decide(make_observation(np.full((1, 2), 3.0)))
+        policy.reset()
+        assert not policy._content_models
+
+    @given(age=st.floats(min_value=1.0, max_value=12.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_actions_always_binary(self, age):
+        policy = MDPCachingPolicy(CachingMDPConfig(weight=3.0))
+        observation = make_observation(np.full((2, 2), age))
+        actions = policy.decide(observation)
+        assert set(np.unique(actions)).issubset({0, 1})

@@ -1,0 +1,180 @@
+"""Tests for repro.core.reward (Eqs. 1-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reward import (
+    RewardBreakdown,
+    UtilityFunction,
+    aoi_utility_term,
+    cost_term,
+    post_action_ages,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPostActionAges:
+    def test_update_resets_age(self):
+        ages = np.array([[5.0, 3.0]])
+        actions = np.array([[1, 0]])
+        np.testing.assert_allclose(post_action_ages(ages, actions), [[1.0, 3.0]])
+
+    def test_no_update_keeps_age(self):
+        ages = np.array([[5.0, 3.0]])
+        actions = np.array([[0, 0]])
+        np.testing.assert_allclose(post_action_ages(ages, actions), ages)
+
+    def test_custom_refresh_age(self):
+        result = post_action_ages([[7.0]], [[1]], refresh_age=2.0)
+        np.testing.assert_allclose(result, [[2.0]])
+
+    def test_1d_inputs_promoted(self):
+        result = post_action_ages([5.0, 4.0], [1, 0])
+        assert result.shape == (1, 2)
+
+    def test_non_binary_action_rejected(self):
+        with pytest.raises(ValidationError):
+            post_action_ages([[5.0]], [[2]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            post_action_ages([[5.0, 4.0]], [[1]])
+
+
+class TestAoiUtilityTerm:
+    def test_matches_equation_2(self):
+        # Two RSUs x two contents, uniform popularity.
+        ages = np.array([[1.0, 2.0], [4.0, 8.0]])
+        max_ages = np.array([4.0, 8.0])
+        expected = (4 / 1 + 8 / 2) + (4 / 4 + 8 / 8)
+        assert aoi_utility_term(ages, max_ages) == pytest.approx(expected)
+
+    def test_popularity_weighting(self):
+        ages = np.array([[2.0, 2.0]])
+        max_ages = np.array([4.0, 4.0])
+        popularity = np.array([[1.0, 0.0]])
+        assert aoi_utility_term(ages, max_ages, popularity) == pytest.approx(2.0)
+
+    def test_full_matrix_max_ages(self):
+        ages = np.array([[2.0], [4.0]])
+        max_ages = np.array([[4.0], [8.0]])
+        assert aoi_utility_term(ages, max_ages) == pytest.approx(2.0 + 2.0)
+
+    def test_fresher_is_better(self):
+        max_ages = np.array([10.0])
+        fresh = aoi_utility_term([[1.0]], max_ages)
+        stale = aoi_utility_term([[9.0]], max_ages)
+        assert fresh > stale
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            aoi_utility_term([[1.0, 2.0]], [4.0])
+
+    def test_negative_popularity_rejected(self):
+        with pytest.raises(ValidationError):
+            aoi_utility_term([[1.0]], [4.0], [[-1.0]])
+
+    def test_non_positive_max_age_rejected(self):
+        with pytest.raises(ValidationError):
+            aoi_utility_term([[1.0]], [0.0])
+
+    @given(
+        age=st.floats(min_value=1.0, max_value=50.0),
+        max_age=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_single_term_equals_ratio(self, age, max_age):
+        value = aoi_utility_term([[age]], [max_age])
+        assert value == pytest.approx(max_age / age)
+
+
+class TestCostTerm:
+    def test_matches_equation_3(self):
+        actions = np.array([[1, 0], [1, 1]])
+        costs = np.array([[2.0, 3.0], [1.0, 4.0]])
+        assert cost_term(actions, costs) == pytest.approx(2.0 + 1.0 + 4.0)
+
+    def test_no_updates_no_cost(self):
+        assert cost_term([[0, 0]], [2.0, 3.0]) == 0.0
+
+    def test_shared_cost_vector(self):
+        assert cost_term([[1, 1], [0, 1]], [2.0, 3.0]) == pytest.approx(8.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            cost_term([[1]], [-1.0])
+
+    def test_non_binary_action_rejected(self):
+        with pytest.raises(ValidationError):
+            cost_term([[3]], [1.0])
+
+    @given(
+        actions=st.lists(st.integers(0, 1), min_size=1, max_size=6),
+        unit=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_cost_is_count_times_unit(self, actions, unit):
+        costs = [unit] * len(actions)
+        assert cost_term([actions], costs) == pytest.approx(unit * sum(actions))
+
+
+class TestRewardBreakdown:
+    def test_total_formula(self):
+        breakdown = RewardBreakdown(aoi_utility=10.0, cost=4.0, weight=0.5)
+        assert breakdown.total == pytest.approx(0.5 * 10.0 - 4.0)
+
+    def test_as_dict(self):
+        payload = RewardBreakdown(1.0, 2.0, 3.0).as_dict()
+        assert payload["total"] == pytest.approx(1.0)
+
+
+class TestUtilityFunction:
+    def test_evaluate_combines_terms(self):
+        fn = UtilityFunction([4.0, 8.0], [1.0, 1.0], weight=2.0)
+        breakdown = fn.evaluate([[4.0, 8.0]], [[1, 0]])
+        # post ages: [1, 8]; utility = 4/1 + 8/8 = 5 ; cost = 1
+        assert breakdown.aoi_utility == pytest.approx(5.0)
+        assert breakdown.cost == pytest.approx(1.0)
+        assert breakdown.total == pytest.approx(2.0 * 5.0 - 1.0)
+
+    def test_total_shortcut(self):
+        fn = UtilityFunction([4.0], [1.0], weight=1.0)
+        assert fn.total([[2.0]], [[0]]) == pytest.approx(2.0)
+
+    def test_updating_fresher_content_changes_only_cost(self):
+        fn = UtilityFunction([4.0], [1.5], weight=1.0)
+        skip = fn.evaluate([[1.0]], [[0]])
+        update = fn.evaluate([[1.0]], [[1]])
+        assert update.aoi_utility == pytest.approx(skip.aoi_utility)
+        assert update.total == pytest.approx(skip.total - 1.5)
+
+    def test_weight_zero_reduces_to_negative_cost(self):
+        fn = UtilityFunction([4.0], [2.0], weight=0.0)
+        assert fn.total([[4.0]], [[1]]) == pytest.approx(-2.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            UtilityFunction([4.0], [1.0], weight=-1.0)
+
+    def test_invalid_max_age_rejected(self):
+        with pytest.raises(ValidationError):
+            UtilityFunction([0.0], [1.0])
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            UtilityFunction([4.0], [-1.0])
+
+    @given(
+        weight=st.floats(min_value=0.0, max_value=10.0),
+        age=st.floats(min_value=1.0, max_value=20.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_updating_never_reduces_aoi_utility(self, weight, age):
+        fn = UtilityFunction([10.0], [1.0], weight=weight)
+        skip = fn.evaluate([[age]], [[0]])
+        update = fn.evaluate([[age]], [[1]])
+        assert update.aoi_utility >= skip.aoi_utility - 1e-12

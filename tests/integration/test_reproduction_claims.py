@@ -1,0 +1,140 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+Each test corresponds to a statement the paper makes about its evaluation
+(Section III) or its analysis (Section II-C), checked on shortened but
+faithful versions of the paper's scenarios.  These are the claims the
+benchmark harness quantifies; the tests guarantee the claims hold under the
+default configuration so a regression in any module surfaces here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import build_fig1a_data, build_fig1b_data
+from repro.analysis.stats import is_non_decreasing, linear_trend
+from repro.analysis.sweep import v_sweep, weight_sweep
+from repro.baselines.service import AlwaysServePolicy
+from repro.core.lyapunov import LyapunovServiceController, run_backlog_simulation
+from repro.core.policies import ServiceObservation
+from repro.sim.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def fig1a_data():
+    config = ScenarioConfig.fig1a(seed=0).with_overrides(num_slots=300)
+    return build_fig1a_data(config)
+
+
+@pytest.fixture(scope="module")
+def fig1b_data():
+    config = ScenarioConfig.fig1b(seed=0).with_overrides(num_slots=300)
+    return build_fig1b_data(config)
+
+
+class TestFig1aClaims:
+    """Claims: contents are refreshed before exceeding A_max; reward rises."""
+
+    def test_tracked_contents_updated_before_exceeding_max_age(self, fig1a_data):
+        for label, ages in fig1a_data.content_ages.items():
+            max_age = fig1a_data.content_max_ages[label]
+            # Allow a small transient from the random initial ages.
+            violation_fraction = float(np.mean(ages > max_age))
+            assert violation_fraction < 0.05, label
+
+    def test_aoi_traces_show_refresh_sawtooth(self, fig1a_data):
+        for ages in fig1a_data.content_ages.values():
+            # At least one refresh (strict decrease) happens after warm-up.
+            assert np.any(np.diff(ages) < 0)
+
+    def test_cumulative_reward_continues_to_rise(self, fig1a_data):
+        cumulative = fig1a_data.cumulative_reward
+        assert is_non_decreasing(cumulative[10:])
+        slope, _ = linear_trend(cumulative)
+        assert slope > 0
+
+    def test_twenty_contents_managed(self):
+        config = ScenarioConfig.fig1a()
+        assert config.num_contents == 20
+        assert config.num_rsus == 4
+
+
+class TestFig1bClaims:
+    """Claims: the Lyapunov policy balances cost and latency vs. baselines."""
+
+    def test_lyapunov_queue_is_stable(self, fig1b_data):
+        latency = fig1b_data.latency["lyapunov"]
+        half = len(latency) // 2
+        assert latency[half:].mean() <= 2.0 * latency[:half].mean() + 10.0
+
+    def test_lyapunov_cheaper_than_always_serve(self, fig1b_data):
+        assert (
+            fig1b_data.time_average_cost["lyapunov"]
+            <= fig1b_data.time_average_cost["always-serve"] + 1e-9
+        )
+
+    def test_lyapunov_latency_below_cost_greedy(self, fig1b_data):
+        assert (
+            fig1b_data.time_average_backlog["lyapunov"]
+            <= fig1b_data.time_average_backlog["cost-greedy"] + 1e-9
+        )
+
+    def test_service_happens_at_appropriate_times(self, fig1b_data):
+        """The Lyapunov latency trace shows a serve/accumulate sawtooth."""
+        latency = fig1b_data.latency["lyapunov"]
+        assert np.any(np.diff(latency) < 0)
+        assert np.any(np.diff(latency) > 0)
+
+
+class TestSectionIICExtremeCases:
+    """The two extreme cases the paper uses to sanity-check Eq. (5)."""
+
+    def test_empty_queue_minimises_cost(self):
+        controller = LyapunovServiceController(tradeoff_v=10.0)
+        observation = ServiceObservation(
+            time_slot=0,
+            rsu_id=0,
+            queue_backlog=0.0,
+            service_cost=3.0,
+            departure=1.0,
+        )
+        assert controller.decide(observation) is False
+
+    def test_saturated_queue_maximises_departure(self):
+        controller = LyapunovServiceController(tradeoff_v=10.0)
+        observation = ServiceObservation(
+            time_slot=0,
+            rsu_id=0,
+            queue_backlog=1e12,
+            service_cost=3.0,
+            departure=1.0,
+        )
+        assert controller.decide(observation) is True
+
+    def test_queue_emptied_when_decision_is_serve(self):
+        result = run_backlog_simulation(
+            LyapunovServiceController(tradeoff_v=5.0),
+            num_slots=200,
+            arrival_fn=lambda t: 1.0,
+            cost_fn=lambda t: 1.0,
+            departure=5.0,
+        )
+        assert result.stable
+        assert result.record.service_rate > 0.05
+
+
+class TestTradeoffAblations:
+    """The trade-offs the two control knobs (w and V) are supposed to steer."""
+
+    def test_weight_controls_aoi_cost_tradeoff(self):
+        config = ScenarioConfig.fig1a(seed=1).with_overrides(num_slots=120)
+        rows = weight_sweep([0.1, 10.0], config=config)
+        assert rows[1]["mean_age"] <= rows[0]["mean_age"] + 1e-9
+        assert rows[1]["total_updates"] >= rows[0]["total_updates"]
+
+    def test_v_controls_cost_backlog_tradeoff(self):
+        config = ScenarioConfig.fig1b(seed=1).with_overrides(num_slots=200)
+        rows = v_sweep([0.5, 100.0], config=config)
+        assert rows[1]["time_average_cost"] <= rows[0]["time_average_cost"] + 1e-9
+        assert rows[1]["time_average_backlog"] >= rows[0]["time_average_backlog"] - 1e-9

@@ -1,0 +1,187 @@
+"""Tests for repro.net.environment (time-varying road conditions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.net.environment import (
+    DEFAULT_TRANSITIONS,
+    DynamicContentRequirements,
+    DynamicPopularityModel,
+    RegionState,
+    RegionStateProcess,
+)
+
+
+class TestRegionStateProcess:
+    def test_initial_states_default_to_free_flow(self):
+        process = RegionStateProcess(4, rng=0)
+        assert process.states == [RegionState.FREE_FLOW] * 4
+
+    def test_custom_initial_states(self):
+        process = RegionStateProcess(
+            2, initial_states=[RegionState.CONGESTED, RegionState.DENSE], rng=0
+        )
+        assert process.state_of(0) == RegionState.CONGESTED
+        assert process.state_of(1) == RegionState.DENSE
+
+    def test_initial_state_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            RegionStateProcess(3, initial_states=[RegionState.FREE_FLOW], rng=0)
+
+    def test_step_returns_valid_states(self):
+        process = RegionStateProcess(5, rng=0)
+        for _ in range(20):
+            states = process.step()
+            assert all(isinstance(state, RegionState) for state in states)
+
+    def test_history_shape(self):
+        process = RegionStateProcess(3, rng=0)
+        history = process.run(10)
+        assert history.shape == (11, 3)
+
+    def test_deterministic_given_seed(self):
+        a = RegionStateProcess(4, rng=9)
+        b = RegionStateProcess(4, rng=9)
+        np.testing.assert_array_equal(a.run(30), b.run(30))
+
+    def test_occupancy_sums_to_one(self):
+        process = RegionStateProcess(3, rng=1)
+        process.run(50)
+        occupancy = process.occupancy()
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_sticky_transitions_visit_multiple_states(self):
+        process = RegionStateProcess(10, rng=2)
+        history = process.run(200)
+        assert len(np.unique(history)) >= 3
+
+    def test_absorbing_matrix_respected(self):
+        # A matrix that never leaves free flow keeps every region there.
+        matrix = np.eye(4)
+        process = RegionStateProcess(3, transition_matrix=matrix, rng=0)
+        history = process.run(20)
+        assert np.all(history == int(RegionState.FREE_FLOW))
+
+    def test_bad_matrix_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegionStateProcess(2, transition_matrix=np.ones((2, 2)), rng=0)
+
+    def test_non_stochastic_matrix_rejected(self):
+        matrix = DEFAULT_TRANSITIONS.copy()
+        matrix[0, 0] += 0.5
+        with pytest.raises(ValidationError):
+            RegionStateProcess(2, transition_matrix=matrix, rng=0)
+
+    def test_region_index_checked(self):
+        with pytest.raises(ValidationError):
+            RegionStateProcess(2, rng=0).state_of(5)
+
+    def test_negative_regions_rejected(self):
+        with pytest.raises(ValidationError):
+            RegionStateProcess(0, rng=0)
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValidationError):
+            RegionStateProcess(1, rng=0).run(-1)
+
+
+class TestDynamicPopularityModel:
+    def test_popularity_is_distribution(self):
+        process = RegionStateProcess(4, rng=0)
+        model = DynamicPopularityModel(process)
+        popularity = model.popularity_for([0, 1, 2, 3])
+        assert popularity.sum() == pytest.approx(1.0)
+
+    def test_congested_region_gets_more_weight(self):
+        process = RegionStateProcess(
+            2,
+            initial_states=[RegionState.FREE_FLOW, RegionState.CONGESTED],
+            rng=0,
+        )
+        model = DynamicPopularityModel(process)
+        popularity = model.popularity_for([0, 1])
+        assert popularity[1] > popularity[0]
+
+    def test_popularity_matrix_shape(self):
+        process = RegionStateProcess(4, rng=0)
+        model = DynamicPopularityModel(process)
+        matrix = model.popularity_matrix([[0, 1], [2, 3]])
+        assert matrix.shape == (2, 2)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_uneven_rsu_sizes_rejected(self):
+        process = RegionStateProcess(3, rng=0)
+        model = DynamicPopularityModel(process)
+        with pytest.raises(ConfigurationError):
+            model.popularity_matrix([[0, 1], [2]])
+
+    def test_empty_contents_rejected(self):
+        model = DynamicPopularityModel(RegionStateProcess(1, rng=0))
+        with pytest.raises(ValidationError):
+            model.popularity_for([])
+
+    def test_incomplete_urgency_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPopularityModel(
+                RegionStateProcess(1, rng=0),
+                urgency={RegionState.FREE_FLOW: 1.0},
+            )
+
+    def test_popularity_tracks_state_changes(self):
+        process = RegionStateProcess(2, rng=3)
+        model = DynamicPopularityModel(process)
+        before = model.popularity_for([0, 1]).copy()
+        # Force a state change by running the chain until states differ.
+        for _ in range(200):
+            process.step()
+            if process.states != [RegionState.FREE_FLOW, RegionState.FREE_FLOW]:
+                break
+        after = model.popularity_for([0, 1])
+        assert before.shape == after.shape
+
+
+class TestDynamicContentRequirements:
+    def test_free_flow_keeps_base_max_age(self):
+        process = RegionStateProcess(2, rng=0)
+        requirements = DynamicContentRequirements(process, [10.0, 8.0])
+        np.testing.assert_allclose(requirements.effective_max_ages(), [10.0, 8.0])
+
+    def test_urgent_state_tightens_max_age(self):
+        process = RegionStateProcess(
+            1, initial_states=[RegionState.INCIDENT], rng=0
+        )
+        requirements = DynamicContentRequirements(process, [16.0], tightening=0.5)
+        # Incident is urgency level 3: 16 * 0.5^3 = 2.
+        assert requirements.effective_max_age(0) == pytest.approx(2.0)
+
+    def test_floor_respected(self):
+        process = RegionStateProcess(
+            1, initial_states=[RegionState.INCIDENT], rng=0
+        )
+        requirements = DynamicContentRequirements(
+            process, [4.0], tightening=0.5, min_max_age=3.0
+        )
+        assert requirements.effective_max_age(0) == pytest.approx(3.0)
+
+    def test_wrong_length_rejected(self):
+        process = RegionStateProcess(2, rng=0)
+        with pytest.raises(ConfigurationError):
+            DynamicContentRequirements(process, [10.0])
+
+    def test_bad_tightening_rejected(self):
+        process = RegionStateProcess(1, rng=0)
+        with pytest.raises(ConfigurationError):
+            DynamicContentRequirements(process, [10.0], tightening=1.0)
+
+    @given(slots=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_effective_max_age_positive(self, slots):
+        process = RegionStateProcess(3, rng=slots)
+        requirements = DynamicContentRequirements(process, [6.0, 9.0, 12.0])
+        process.run(slots)
+        assert np.all(requirements.effective_max_ages() > 0)

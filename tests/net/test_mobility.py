@@ -1,0 +1,160 @@
+"""Tests for repro.net.mobility (vehicles and fleets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.net.mobility import (
+    RandomSpeedMobility,
+    UniformSpeedMobility,
+    Vehicle,
+    VehicleFleet,
+)
+from repro.net.topology import RoadTopology
+
+
+@pytest.fixture
+def topology():
+    return RoadTopology(4, 2, region_length=100.0)
+
+
+class TestVehicle:
+    def test_advance(self):
+        vehicle = Vehicle(vehicle_id=0, position=0.0, speed=20.0)
+        vehicle.advance(3)
+        assert vehicle.position == pytest.approx(60.0)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValidationError):
+            Vehicle(vehicle_id=0, position=-1.0, speed=10.0)
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(ValidationError):
+            Vehicle(vehicle_id=0, position=0.0, speed=0.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValidationError):
+            Vehicle(vehicle_id=0, position=0.0, speed=10.0).advance(-1)
+
+
+class TestMobilityModels:
+    def test_uniform_speed(self, rng):
+        model = UniformSpeedMobility(15.0)
+        assert model.initial_speed(rng) == 15.0
+
+    def test_uniform_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            UniformSpeedMobility(0.0)
+
+    def test_random_speed_in_range(self, rng):
+        model = RandomSpeedMobility(min_speed=10.0, max_speed=20.0)
+        speeds = [model.initial_speed(rng) for _ in range(50)]
+        assert all(10.0 <= s <= 20.0 for s in speeds)
+
+    def test_random_bad_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomSpeedMobility(min_speed=20.0, max_speed=10.0)
+
+    def test_jitter_keeps_speed_in_range(self, rng):
+        model = RandomSpeedMobility(min_speed=10.0, max_speed=20.0, jitter=5.0)
+        vehicle = Vehicle(vehicle_id=0, position=0.0, speed=15.0)
+        for _ in range(100):
+            vehicle.speed = model.update_speed(vehicle, rng)
+            assert 10.0 <= vehicle.speed <= 20.0
+
+    def test_zero_jitter_keeps_speed_constant(self, rng):
+        model = RandomSpeedMobility(min_speed=10.0, max_speed=20.0, jitter=0.0)
+        vehicle = Vehicle(vehicle_id=0, position=0.0, speed=12.0)
+        assert model.update_speed(vehicle, rng) == 12.0
+
+
+class TestVehicleFleet:
+    def test_initial_vehicles_placed_on_road(self, topology):
+        fleet = VehicleFleet(
+            topology, UniformSpeedMobility(10.0), initial_vehicles=5, rng=0
+        )
+        assert len(fleet) == 5
+        assert all(0 <= v.position < topology.road_length for v in fleet)
+
+    def test_vehicles_depart_at_road_end(self, topology):
+        fleet = VehicleFleet(
+            topology,
+            UniformSpeedMobility(100.0),
+            arrival_rate=0.0,
+            initial_vehicles=3,
+            rng=0,
+        )
+        departed_total = 0
+        for t in range(10):
+            _, departed = fleet.step(t)
+            departed_total += len(departed)
+        assert departed_total == 3
+        assert len(fleet) == 0
+        assert fleet.total_departed == 3
+
+    def test_arrivals_counted(self, topology):
+        fleet = VehicleFleet(
+            topology, UniformSpeedMobility(1.0), arrival_rate=1.0, rng=0
+        )
+        for t in range(5):
+            fleet.step(t)
+        assert fleet.total_arrived == 5
+
+    def test_zero_arrival_rate_never_admits(self, topology):
+        fleet = VehicleFleet(
+            topology, UniformSpeedMobility(1.0), arrival_rate=0.0, rng=0
+        )
+        for t in range(20):
+            fleet.step(t)
+        assert fleet.total_arrived == 0
+
+    def test_vehicles_in_rsu(self, topology):
+        fleet = VehicleFleet(
+            topology, UniformSpeedMobility(10.0), arrival_rate=0.0, rng=0
+        )
+        fleet._admit(position=50.0, time_slot=0)
+        fleet._admit(position=350.0, time_slot=0)
+        assert len(fleet.vehicles_in_rsu(0)) == 1
+        assert len(fleet.vehicles_in_rsu(1)) == 1
+
+    def test_rsu_of_vehicle(self, topology):
+        fleet = VehicleFleet(
+            topology, UniformSpeedMobility(10.0), arrival_rate=0.0, rng=0
+        )
+        vehicle = fleet._admit(position=250.0, time_slot=0)
+        assert fleet.rsu_of(vehicle.vehicle_id) == 1
+
+    def test_expected_dwell_slots(self, topology):
+        fleet = VehicleFleet(
+            topology, UniformSpeedMobility(10.0), arrival_rate=0.0, rng=0
+        )
+        vehicle = fleet._admit(position=150.0, time_slot=0)
+        # Coverage of RSU 0 ends at 200 m; at 10 m/slot that is 5 slots away.
+        assert fleet.expected_dwell_slots(vehicle.vehicle_id) == pytest.approx(5.0)
+
+    def test_unknown_vehicle_rejected(self, topology):
+        fleet = VehicleFleet(topology, UniformSpeedMobility(10.0), rng=0)
+        with pytest.raises(ValidationError):
+            fleet.vehicle(999)
+
+    def test_negative_initial_vehicles_rejected(self, topology):
+        with pytest.raises(ValidationError):
+            VehicleFleet(topology, UniformSpeedMobility(10.0), initial_vehicles=-1)
+
+    def test_deterministic_given_seed(self, topology):
+        def run(seed):
+            fleet = VehicleFleet(
+                topology,
+                RandomSpeedMobility(min_speed=5.0, max_speed=15.0),
+                arrival_rate=0.7,
+                rng=seed,
+            )
+            counts = []
+            for t in range(30):
+                fleet.step(t)
+                counts.append(len(fleet))
+            return counts
+
+        assert run(4) == run(4)

@@ -1,0 +1,127 @@
+"""Tests for repro.net.topology (road, RSUs, MBS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.net.topology import Region, RoadTopology, RSU
+
+
+class TestRegion:
+    def test_geometry(self):
+        region = Region(region_id=1, start=100.0, end=200.0)
+        assert region.length == 100.0
+        assert region.center == 150.0
+        assert region.contains(150.0)
+        assert not region.contains(200.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            Region(region_id=0, start=10.0, end=10.0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            Region(region_id=-1, start=0.0, end=1.0)
+
+
+class TestRSU:
+    def test_coverage_query(self):
+        rsu = RSU(
+            rsu_id=0,
+            position=100.0,
+            covered_regions=(0, 1),
+            coverage_start=0.0,
+            coverage_end=200.0,
+        )
+        assert rsu.covers(50.0)
+        assert not rsu.covers(200.0)
+        assert rsu.num_cached_contents == 2
+
+    def test_empty_coverage_rejected(self):
+        with pytest.raises(ValidationError):
+            RSU(
+                rsu_id=0,
+                position=0.0,
+                covered_regions=(),
+                coverage_start=0.0,
+                coverage_end=1.0,
+            )
+
+
+class TestRoadTopology:
+    def test_basic_dimensions(self):
+        topology = RoadTopology(20, 4, region_length=50.0)
+        assert topology.num_regions == 20
+        assert topology.num_rsus == 4
+        assert topology.regions_per_rsu == 5
+        assert topology.road_length == 1000.0
+
+    def test_indivisible_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoadTopology(10, 3)
+
+    def test_every_region_covered_exactly_once(self):
+        topology = RoadTopology(12, 3)
+        covered = [r for rsu in topology.rsus for r in rsu.covered_regions]
+        assert sorted(covered) == list(range(12))
+
+    def test_mbs_at_centre(self):
+        topology = RoadTopology(10, 2, region_length=100.0)
+        assert topology.mbs.position == 500.0
+        assert topology.mbs.num_contents == 10
+
+    def test_region_at_positions(self):
+        topology = RoadTopology(4, 2, region_length=100.0)
+        assert topology.region_at(0.0).region_id == 0
+        assert topology.region_at(399.0).region_id == 3
+        assert topology.region_at(400.0) is None
+        assert topology.region_at(-1.0) is None
+
+    def test_rsu_at_positions(self):
+        topology = RoadTopology(4, 2, region_length=100.0)
+        assert topology.rsu_at(50.0).rsu_id == 0
+        assert topology.rsu_at(350.0).rsu_id == 1
+        assert topology.rsu_at(500.0) is None
+
+    def test_rsu_for_region(self):
+        topology = RoadTopology(6, 3)
+        assert topology.rsu_for_region(0).rsu_id == 0
+        assert topology.rsu_for_region(5).rsu_id == 2
+        with pytest.raises(ValidationError):
+            topology.rsu_for_region(6)
+
+    def test_contents_of_rsu_match_regions(self):
+        topology = RoadTopology(6, 2)
+        assert topology.contents_of_rsu(0) == (0, 1, 2)
+        assert topology.contents_of_rsu(1) == (3, 4, 5)
+
+    def test_mbs_distances_symmetry(self):
+        topology = RoadTopology(4, 2, region_length=100.0)
+        distances = topology.mbs_distances()
+        assert distances.shape == (2,)
+        assert distances[0] == pytest.approx(distances[1])
+
+    def test_index_bounds(self):
+        topology = RoadTopology(4, 2)
+        with pytest.raises(ValidationError):
+            topology.region(4)
+        with pytest.raises(ValidationError):
+            topology.rsu(2)
+
+    @given(
+        regions_per_rsu=st.integers(min_value=1, max_value=6),
+        num_rsus=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_coverage_partition(self, regions_per_rsu, num_rsus):
+        topology = RoadTopology(regions_per_rsu * num_rsus, num_rsus)
+        # Every position on the road maps to exactly one RSU.
+        for position in np.linspace(0, topology.road_length - 1e-6, 25):
+            rsu = topology.rsu_at(float(position))
+            assert rsu is not None
+            region = topology.region_at(float(position))
+            assert region.region_id in rsu.covered_regions

@@ -1,0 +1,148 @@
+"""Tests for repro.sim.metrics (metric collectors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reward import RewardBreakdown
+from repro.exceptions import ValidationError
+from repro.sim.metrics import CacheMetrics, RewardTrace, ServiceMetrics
+
+
+class TestRewardTrace:
+    def test_cumulative_reward(self):
+        trace = RewardTrace()
+        trace.record(RewardBreakdown(aoi_utility=2.0, cost=1.0, weight=1.0))
+        trace.record(RewardBreakdown(aoi_utility=4.0, cost=1.0, weight=1.0))
+        np.testing.assert_allclose(trace.cumulative_reward, [1.0, 4.0])
+        assert trace.total_reward == pytest.approx(4.0)
+        assert trace.total_cost == pytest.approx(2.0)
+        assert trace.total_aoi_utility == pytest.approx(6.0)
+        assert trace.mean_reward == pytest.approx(2.0)
+        assert len(trace) == 2
+
+    def test_empty_trace(self):
+        trace = RewardTrace()
+        assert np.isnan(trace.mean_reward)
+        assert trace.total_reward == 0.0
+
+
+class TestCacheMetrics:
+    @pytest.fixture
+    def metrics(self):
+        max_ages = np.array([[4.0, 6.0], [8.0, 10.0]])
+        return CacheMetrics(2, 2, max_ages)
+
+    def test_record_and_histories(self, metrics):
+        ages = np.array([[1.0, 2.0], [3.0, 4.0]])
+        actions = np.array([[1, 0], [0, 0]])
+        metrics.record_slot(0, ages, actions, RewardBreakdown(1.0, 0.5, 1.0))
+        metrics.record_slot(1, ages + 1, actions, RewardBreakdown(1.0, 0.5, 1.0))
+        assert metrics.num_slots_recorded == 2
+        assert metrics.age_matrix_history().shape == (2, 2, 2)
+        assert metrics.total_updates == 2
+        assert metrics.mean_age == pytest.approx(np.mean([ages, ages + 1]))
+
+    def test_age_trace_per_content(self, metrics):
+        for t in range(3):
+            ages = np.full((2, 2), float(t + 1))
+            metrics.record_slot(t, ages, np.zeros((2, 2), dtype=int), RewardBreakdown(1, 0, 1))
+        trace = metrics.age_trace(0, 1)
+        np.testing.assert_allclose(trace.ages, [1.0, 2.0, 3.0])
+        assert trace.max_age == 6.0
+
+    def test_violation_fraction(self, metrics):
+        ages = np.array([[5.0, 5.0], [5.0, 5.0]])  # only (0,0) violates (A_max 4)
+        metrics.record_slot(0, ages, np.zeros((2, 2), dtype=int), RewardBreakdown(1, 0, 1))
+        assert metrics.violation_fraction == pytest.approx(0.25)
+
+    def test_bad_shape_rejected(self, metrics):
+        with pytest.raises(ValidationError):
+            metrics.record_slot(
+                0, np.ones((1, 2)), np.zeros((2, 2), dtype=int), RewardBreakdown(1, 0, 1)
+            )
+
+    def test_unknown_trace_rejected(self, metrics):
+        with pytest.raises(ValidationError):
+            metrics.age_trace(5, 0)
+
+    def test_max_ages_shape_checked(self):
+        with pytest.raises(ValidationError):
+            CacheMetrics(2, 2, np.ones((1, 2)))
+
+    def test_empty_summary(self, metrics):
+        summary = metrics.summary()
+        assert summary["num_slots"] == 0.0
+        assert np.isnan(summary["mean_age"])
+
+    def test_summary_keys(self, metrics):
+        ages = np.ones((2, 2))
+        metrics.record_slot(0, ages, np.zeros((2, 2), dtype=int), RewardBreakdown(1, 0, 1))
+        summary = metrics.summary()
+        assert {"total_reward", "mean_age", "violation_fraction"} <= set(summary)
+
+
+class TestServiceMetrics:
+    @pytest.fixture
+    def metrics(self):
+        return ServiceMetrics(2)
+
+    def record(self, metrics, backlogs, costs, decisions=None):
+        decisions = decisions if decisions is not None else [True, False]
+        metrics.record_slot(
+            backlogs=backlogs,
+            latencies=[b * 2 for b in backlogs],
+            costs=costs,
+            decisions=decisions,
+            served_counts=[int(d) for d in decisions],
+        )
+
+    def test_histories_aggregate_over_rsus(self, metrics):
+        self.record(metrics, [1.0, 2.0], [0.5, 0.0])
+        self.record(metrics, [2.0, 2.0], [0.5, 0.5])
+        np.testing.assert_allclose(metrics.backlog_history(), [3.0, 4.0])
+        np.testing.assert_allclose(metrics.backlog_history(rsu=0), [1.0, 2.0])
+        np.testing.assert_allclose(metrics.cost_history(), [0.5, 1.0])
+        assert metrics.total_cost == pytest.approx(1.5)
+        assert metrics.total_served == 2
+
+    def test_time_averages(self, metrics):
+        self.record(metrics, [2.0, 2.0], [1.0, 1.0])
+        self.record(metrics, [4.0, 4.0], [0.0, 0.0])
+        assert metrics.time_average_backlog == pytest.approx(6.0)
+        assert metrics.time_average_cost == pytest.approx(1.0)
+        assert metrics.peak_backlog == pytest.approx(8.0)
+
+    def test_service_rate(self, metrics):
+        self.record(metrics, [1.0, 1.0], [0.0, 0.0], decisions=[True, True])
+        self.record(metrics, [1.0, 1.0], [0.0, 0.0], decisions=[False, False])
+        assert metrics.service_rate == pytest.approx(0.5)
+
+    def test_stability_detects_linear_growth(self, metrics):
+        for t in range(40):
+            self.record(metrics, [float(t), float(t)], [0.0, 0.0])
+        assert not metrics.is_stable()
+
+    def test_stability_accepts_bounded(self, metrics):
+        for t in range(40):
+            self.record(metrics, [1.0, 1.0], [0.0, 0.0])
+        assert metrics.is_stable()
+
+    def test_bad_shape_rejected(self, metrics):
+        with pytest.raises(ValidationError):
+            metrics.record_slot([1.0], [1.0, 1.0], [0.0, 0.0], [True, True], [1, 1])
+
+    def test_rsu_index_checked(self, metrics):
+        self.record(metrics, [1.0, 1.0], [0.0, 0.0])
+        with pytest.raises(ValidationError):
+            metrics.backlog_history(rsu=5)
+
+    def test_empty_metrics(self, metrics):
+        assert np.isnan(metrics.time_average_cost)
+        assert metrics.total_served == 0
+        assert metrics.is_stable()
+
+    def test_invalid_num_rsus_rejected(self):
+        with pytest.raises(ValidationError):
+            ServiceMetrics(0)

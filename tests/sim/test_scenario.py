@@ -1,0 +1,129 @@
+"""Tests for repro.sim.scenario (scenario configuration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.net.channel import ConstantCostModel, FadingCostModel
+from repro.net.requests import BernoulliArrivals, PoissonArrivals
+from repro.sim.scenario import ScenarioConfig
+
+
+class TestScenarioValidation:
+    def test_defaults_valid(self):
+        config = ScenarioConfig()
+        assert config.num_regions == config.num_rsus * config.contents_per_rsu
+
+    def test_invalid_age_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(min_max_age=10.0, max_max_age=5.0)
+
+    def test_invalid_cost_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(cost_model_kind="quantum")
+
+    def test_invalid_arrival_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(arrival_kind="burst")
+
+    def test_bernoulli_rate_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(arrival_kind="bernoulli", arrival_rate=1.5)
+
+    def test_poisson_rate_above_one_allowed(self):
+        config = ScenarioConfig(arrival_kind="poisson", arrival_rate=2.5)
+        assert isinstance(config.build_arrivals(), PoissonArrivals)
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioConfig(discount=1.0)
+
+    def test_invalid_num_rsus_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioConfig(num_rsus=0)
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioConfig(deadline_slots=0)
+
+
+class TestFactories:
+    def test_fig1a_matches_paper_dimensions(self):
+        config = ScenarioConfig.fig1a()
+        assert config.num_rsus == 4
+        assert config.contents_per_rsu == 5
+        assert config.num_contents == 20
+        assert config.num_slots == 1000
+
+    def test_fig1b_matches_paper_dimensions(self):
+        config = ScenarioConfig.fig1b()
+        assert config.num_rsus == 5
+        assert config.num_slots == 1000
+
+    def test_factory_overrides(self):
+        config = ScenarioConfig.fig1a(num_slots=50, aoi_weight=2.0)
+        assert config.num_slots == 50
+        assert config.aoi_weight == 2.0
+
+    def test_small_factory_is_small(self):
+        config = ScenarioConfig.small()
+        assert config.num_contents <= 8
+        assert config.num_slots <= 100
+
+    def test_with_overrides_returns_copy(self):
+        base = ScenarioConfig.small(seed=1)
+        changed = base.with_overrides(num_slots=99)
+        assert changed.num_slots == 99
+        assert base.num_slots != 99
+
+
+class TestBuilders:
+    def test_build_topology_dimensions(self):
+        config = ScenarioConfig.fig1a()
+        topology = config.build_topology()
+        assert topology.num_rsus == 4
+        assert topology.num_regions == 20
+
+    def test_build_catalog_size_and_age_range(self):
+        config = ScenarioConfig.fig1a(seed=2)
+        catalog = config.build_catalog()
+        assert catalog.num_contents == 20
+        assert np.all(catalog.max_ages >= config.min_max_age)
+        assert np.all(catalog.max_ages <= config.max_max_age)
+
+    def test_build_catalog_deterministic(self):
+        config = ScenarioConfig.fig1a(seed=5)
+        np.testing.assert_array_equal(
+            config.build_catalog().max_ages, config.build_catalog().max_ages
+        )
+
+    def test_cost_model_kinds(self):
+        assert isinstance(
+            ScenarioConfig(cost_model_kind="constant").build_update_cost_model(),
+            ConstantCostModel,
+        )
+        assert isinstance(
+            ScenarioConfig(cost_model_kind="fading").build_update_cost_model(),
+            FadingCostModel,
+        )
+
+    def test_build_arrivals_kind(self):
+        assert isinstance(ScenarioConfig().build_arrivals(), BernoulliArrivals)
+
+    def test_build_mdp_config_propagates_weight(self):
+        config = ScenarioConfig(aoi_weight=3.5, discount=0.8)
+        mdp_config = config.build_mdp_config()
+        assert mdp_config.weight == 3.5
+        assert mdp_config.discount == 0.8
+
+    def test_spawn_rngs_independent(self):
+        config = ScenarioConfig(seed=4)
+        streams = config.spawn_rngs(3)
+        assert len(streams) == 3
+        assert not np.allclose(streams[0].random(5), streams[1].random(5))
+
+    def test_road_length(self):
+        config = ScenarioConfig(num_rsus=2, contents_per_rsu=3, region_length=50.0)
+        assert config.road_length() == pytest.approx(300.0)

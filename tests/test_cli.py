@@ -1,0 +1,76 @@
+"""Tests for repro.cli (the command-line interface)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_run_command_defaults(self):
+        arguments = build_parser().parse_args(["run", "E1"])
+        assert arguments.experiments == ["E1"]
+        assert arguments.slots == 300
+        assert arguments.seed == 0
+
+    def test_run_command_overrides(self):
+        arguments = build_parser().parse_args(
+            ["run", "E1", "E2", "--slots", "50", "--seed", "3"]
+        )
+        assert arguments.experiments == ["E1", "E2"]
+        assert arguments.slots == 50
+        assert arguments.seed == 3
+
+    def test_figures_command_parses(self):
+        arguments = build_parser().parse_args(["figures", "--slots", "40"])
+        assert arguments.command == "figures"
+        assert arguments.slots == 40
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self):
+        out = io.StringIO()
+        exit_code = main(["list"], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        for experiment_id in ("E1", "E2", "E7"):
+            assert experiment_id in text
+
+    def test_run_single_experiment(self):
+        out = io.StringIO()
+        exit_code = main(["run", "E3", "--slots", "80"], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        assert "[E3]" in text
+        assert "PASS" in text
+        assert "reproduced" in text
+
+    def test_run_multiple_experiments(self):
+        out = io.StringIO()
+        exit_code = main(["run", "e3", "E1", "--slots", "80"], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        assert "[E1]" in text and "[E3]" in text
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(Exception):
+            main(["run", "E42", "--slots", "10"], out=io.StringIO())
+
+    def test_figures_prints_both_panels(self):
+        out = io.StringIO()
+        exit_code = main(["figures", "--slots", "60"], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        assert "Fig. 1a" in text
+        assert "Fig. 1b" in text

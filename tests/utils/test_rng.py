@@ -1,0 +1,75 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng, spawn_streams
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            ensure_rng(-1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnStreams:
+    def test_count_respected(self):
+        streams = spawn_streams(0, 4)
+        assert len(streams) == 4
+
+    def test_streams_are_independent(self):
+        streams = spawn_streams(0, 2)
+        a = streams[0].random(10)
+        b = streams[1].random(10)
+        assert not np.allclose(a, b)
+
+    def test_spawning_is_deterministic(self):
+        first = [g.random(3) for g in spawn_streams(9, 3)]
+        second = [g.random(3) for g in spawn_streams(9, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_zero_count_allowed(self):
+        assert spawn_streams(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_streams(0, -1)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(3)
+        children = spawn_streams(parent, 2)
+        assert len(children) == 2
+        assert not np.allclose(children[0].random(5), children[1].random(5))
+
+    def test_spawn_from_none(self):
+        children = spawn_streams(None, 2)
+        assert len(children) == 2

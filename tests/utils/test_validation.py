@@ -1,0 +1,123 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_positive("3", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive(True, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), "n") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_accepted(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_valid_probability(self):
+        assert check_probability(0.3, "p") == 0.3
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.01, "p")
+
+
+class TestCheckProbabilityVector:
+    def test_valid_vector_returned_normalised(self):
+        result = check_probability_vector([0.25, 0.25, 0.5], "p")
+        assert pytest.approx(result.sum()) == 1.0
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.5, -0.1, 0.6], "p")
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.5, 0.6], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([], "p")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([[0.5, 0.5]], "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.5, float("nan")], "p")
