@@ -5,7 +5,8 @@ ablation indexed in DESIGN.md.  The scenario horizons are shortened relative
 to the paper's 1000 iterations so the whole harness completes in a few
 minutes; the qualitative shape being checked is unaffected by the horizon.
 Set the environment variable ``REPRO_FULL_HORIZON=1`` to run the paper's full
-1000-slot horizon instead.
+1000-slot horizon instead, or ``REPRO_BENCH_QUICK=1`` for a drastically
+shortened smoke-test horizon (used by the CI benchmark job).
 """
 
 from __future__ import annotations
@@ -20,6 +21,8 @@ from repro.sim.scenario import ScenarioConfig
 def _horizon(default: int) -> int:
     if os.environ.get("REPRO_FULL_HORIZON") == "1":
         return 1000
+    if os.environ.get("REPRO_BENCH_QUICK") == "1":
+        return min(default, 60)
     return default
 
 

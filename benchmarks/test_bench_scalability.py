@@ -3,17 +3,26 @@
 Measures the wall-clock cost of solving the cache-management MDP and running
 the simulator as the number of RSUs and cached contents grows, confirming the
 factored controller's cost grows roughly linearly in the number of contents
-(rather than exponentially as the exact joint formulation would).
+(rather than exponentially as the exact joint formulation would) — and that
+the vectorised hot loop plus the batched parallel runner deliver the
+multiplicative speedup the production-scale roadmap relies on.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from dataclasses import replace
+
 import pytest
 
-from repro.analysis.sweep import format_table, scalability_sweep
+from repro.analysis.sweep import format_table, mdp_policy_factory, scalability_sweep
 from repro.core.caching_mdp import CachingMDPConfig, MDPCachingPolicy
+from repro.runtime.runner import ExperimentRunner, RunSpec, expand_seeds
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import CacheSimulator
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 
 SIZES = [
     {"num_rsus": 1, "contents_per_rsu": 5},
@@ -21,12 +30,17 @@ SIZES = [
     {"num_rsus": 4, "contents_per_rsu": 5},
     {"num_rsus": 8, "contents_per_rsu": 5},
     {"num_rsus": 8, "contents_per_rsu": 10},
+    {"num_rsus": 16, "contents_per_rsu": 20},
+    {"num_rsus": 32, "contents_per_rsu": 20},
 ]
+
+#: The largest grid point, used by the vectorisation speedup benchmark.
+LARGEST = SIZES[-1]
 
 
 @pytest.fixture(scope="module")
 def sweep_rows():
-    return scalability_sweep(SIZES, num_slots=100, seed=0)
+    return scalability_sweep(SIZES, num_slots=60 if QUICK else 100, seed=0)
 
 
 def test_bench_paper_scale_simulation(benchmark):
@@ -62,10 +76,60 @@ def test_throughput_scales_sublinearly_in_contents(sweep_rows):
         (int(row["num_rsus"]), int(row["contents_per_rsu"])): row for row in sweep_rows
     }
     small = by_size[(1, 5)]["wall_seconds"]
-    large = by_size[(8, 10)]["wall_seconds"]
-    # 16x more contents should cost well under 200x more time (it is roughly
-    # linear in practice); the loose bound keeps the check robust on slow CI.
+    large = by_size[(32, 20)]["wall_seconds"]
+    # 128x more contents should cost well under 200x more time (the
+    # vectorised loop is roughly flat in system size at these scales); the
+    # loose bound keeps the check robust on slow CI.
     assert large <= 200.0 * max(small, 1e-3)
+
+
+def _time_batch(specs, workers):
+    """Best-of-two wall time of executing *specs* with the given workers."""
+    best = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        ExperimentRunner(workers=workers).run(specs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_batch_speedup_at_largest_size(capsys):
+    """The new runtime must beat the scalar loop >= 3x at the largest size.
+
+    Compares a 4-seed batch at the largest grid point executed the old way
+    (scalar reference loop, one run at a time) against the new way (the
+    vectorised loop fanned out over 4 workers).  The vectorisation alone
+    carries the factor on a single core; worker processes multiply it on
+    real machines.
+    """
+    num_slots = 60 if QUICK else 100
+    scenario = ScenarioConfig(
+        num_rsus=int(LARGEST["num_rsus"]),
+        contents_per_rsu=int(LARGEST["contents_per_rsu"]),
+        num_slots=num_slots,
+        seed=0,
+    )
+    grid = expand_seeds(
+        [RunSpec(kind="cache", scenario=scenario, policy=mdp_policy_factory,
+                 seed=0, label="largest")],
+        4,
+    )
+    reference_grid = [replace(spec, reference=True) for spec in grid]
+    reference_serial = _time_batch(reference_grid, workers=1)
+    vectorized_parallel = _time_batch(grid, workers=4)
+    speedup = reference_serial / max(vectorized_parallel, 1e-9)
+    with capsys.disabled():
+        print(
+            f"\n[scalability] largest size {LARGEST['num_rsus']}x"
+            f"{LARGEST['contents_per_rsu']} x {num_slots} slots x 4 seeds: "
+            f"reference serial {reference_serial:.3f}s, vectorized + 4 workers "
+            f"{vectorized_parallel:.3f}s -> {speedup:.1f}x"
+        )
+    # Quick mode is a shared-CI smoke: the run proves the batch executes,
+    # but loaded runners make wall-clock ratios noise, so only the full
+    # benchmark enforces the >= 3x target.
+    if not QUICK:
+        assert speedup >= 3.0
 
 
 def test_scalability_report(sweep_rows, capsys):

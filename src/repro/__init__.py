@@ -15,6 +15,28 @@ Quickstart::
     policy = MDPCachingPolicy(config.build_mdp_config())
     result = CacheSimulator(config, policy).run(num_slots=200)
     print(result.summary())
+
+Running sweeps in parallel::
+
+    from repro import ExperimentRunner, RunSpec, ScenarioConfig
+    from repro.analysis.sweep import mdp_policy_factory, weight_sweep
+
+    # High-level: every sweep takes num_seeds (CI aggregation) and workers.
+    rows = weight_sweep([0.5, 1.0, 5.0], num_seeds=5, workers=4)
+
+    # Low-level: build a (scenario, policy, seed) grid yourself.  The same
+    # grid yields the identical BatchResult for any worker count.
+    specs = [
+        RunSpec(kind="cache", scenario=ScenarioConfig.fig1a(),
+                policy=mdp_policy_factory, label="fig1a")
+    ]
+    batch = ExperimentRunner(workers=4).run_grid(specs, num_seeds=8)
+    print(batch.aggregate())   # mean +- ci per grid point
+
+The simulators run a vectorised hot loop by default; pass ``reference=True``
+to any of them for the scalar reference implementation, which produces
+bit-for-bit identical trajectories (enforced by the golden-trajectory
+equivalence tests).
 """
 
 from repro.baselines import (
@@ -69,6 +91,13 @@ from repro.net import (
     RSUCache,
     VehicleFleet,
 )
+from repro.runtime import (
+    BatchResult,
+    ExperimentRunner,
+    RunRecord,
+    RunSpec,
+    expand_seeds,
+)
 from repro.sim import (
     CacheSimulator,
     JointSimulator,
@@ -76,7 +105,7 @@ from repro.sim import (
     ServiceSimulator,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlwaysServePolicy",
@@ -127,5 +156,10 @@ __all__ = [
     "JointSimulator",
     "ScenarioConfig",
     "ServiceSimulator",
+    "BatchResult",
+    "ExperimentRunner",
+    "RunRecord",
+    "RunSpec",
+    "expand_seeds",
     "__version__",
 ]

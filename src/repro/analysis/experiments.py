@@ -25,9 +25,12 @@ from repro.analysis.sweep import (
     v_sweep,
     weight_sweep,
 )
+from repro.analysis.stats import mean_confidence_interval
 from repro.core.lyapunov import LyapunovServiceController, run_backlog_simulation
 from repro.exceptions import ValidationError
+from repro.runtime.runner import ExperimentRunner
 from repro.sim.scenario import ScenarioConfig
+from repro.utils.rng import spawn_run_seeds
 from repro.utils.validation import check_positive_int
 
 
@@ -248,11 +251,54 @@ def available_experiments() -> Dict[str, str]:
     return {key: value["title"] for key, value in _REGISTRY.items()}
 
 
+def _experiment_task(task: tuple) -> ExperimentReport:
+    """Run one (experiment, seed) grid point (module-level, picklable)."""
+    key, num_slots, seed = task
+    return _REGISTRY[key]["runner"](num_slots, seed)
+
+
+def _aggregate_reports(reports: List[ExperimentReport]) -> ExperimentReport:
+    """Collapse one experiment's per-seed reports into a mean/CI report.
+
+    The verdict is conservative: the aggregated claim passes only when every
+    seed's claim passed.  Metrics become across-seed means with ``_ci``
+    95% half-width companions — the same column suffix the runner's
+    :meth:`~repro.runtime.BatchResult.aggregate` emits, so downstream
+    consumers see one spelling everywhere.  The table of the first seed is
+    kept as the representative rendering.
+    """
+    first = reports[0]
+    if len(reports) == 1:
+        return first
+    metrics: Dict[str, float] = {}
+    shared_keys = [
+        key for key in first.metrics if all(key in r.metrics for r in reports)
+    ]
+    for key in shared_keys:
+        interval = mean_confidence_interval(
+            [r.metrics[key] for r in reports], confidence=0.95
+        )
+        metrics[key] = interval.mean
+        metrics[f"{key}_ci"] = interval.half_width
+    metrics["num_seeds"] = float(len(reports))
+    metrics["seeds_passed"] = float(sum(r.passed for r in reports))
+    return ExperimentReport(
+        experiment_id=first.experiment_id,
+        title=first.title,
+        claim=first.claim,
+        passed=all(r.passed for r in reports),
+        metrics=metrics,
+        table=first.table,
+    )
+
+
 def run_experiment(
     experiment_id: str,
     *,
     num_slots: int = 300,
     seed: int = 0,
+    num_seeds: int = 1,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Run one registered experiment and return its report.
 
@@ -266,22 +312,49 @@ def run_experiment(
         full sweep under a minute while preserving every qualitative shape.
     seed:
         Master scenario seed.
+    num_seeds:
+        Independent replicate seeds (derived deterministically from *seed*).
+        With more than one, the report aggregates metrics into mean/CI and
+        passes only when every seed's claim passed.
+    workers:
+        Worker processes used to fan the replicates out; the report is
+        identical for every worker count.
     """
     check_positive_int(num_slots, "num_slots")
+    check_positive_int(num_seeds, "num_seeds")
     key = experiment_id.strip().upper()
     if key not in _REGISTRY:
         raise ValidationError(
             f"unknown experiment {experiment_id!r}; available: "
             f"{', '.join(sorted(_REGISTRY))}"
         )
-    return _REGISTRY[key]["runner"](num_slots, seed)
+    tasks = [
+        (key, num_slots, run_seed) for run_seed in spawn_run_seeds(seed, num_seeds)
+    ]
+    reports = ExperimentRunner(workers).map(_experiment_task, tasks)
+    return _aggregate_reports(reports)
 
 
 def run_all_experiments(
-    *, num_slots: int = 300, seed: int = 0
+    *,
+    num_slots: int = 300,
+    seed: int = 0,
+    num_seeds: int = 1,
+    workers: Optional[int] = None,
 ) -> List[ExperimentReport]:
-    """Run every registered experiment in id order."""
+    """Run every registered experiment in id order.
+
+    The full (experiment, seed) grid is executed as one batch through
+    :class:`~repro.runtime.ExperimentRunner`, so with ``workers > 1`` the
+    experiments themselves run concurrently — not just their seeds.
+    """
+    check_positive_int(num_slots, "num_slots")
+    check_positive_int(num_seeds, "num_seeds")
+    keys = sorted(_REGISTRY)
+    seeds = spawn_run_seeds(seed, num_seeds)
+    tasks = [(key, num_slots, run_seed) for key in keys for run_seed in seeds]
+    reports = ExperimentRunner(workers).map(_experiment_task, tasks)
     return [
-        run_experiment(key, num_slots=num_slots, seed=seed)
-        for key in sorted(_REGISTRY)
+        _aggregate_reports(reports[index * num_seeds : (index + 1) * num_seeds])
+        for index in range(len(keys))
     ]

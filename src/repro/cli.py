@@ -11,6 +11,7 @@ Examples::
     python -m repro.cli list
     python -m repro.cli run E1 E2 --slots 300
     python -m repro.cli run all --slots 1000 --seed 1
+    python -m repro.cli run all --seeds 5 --workers 4   # multi-seed, parallel
     python -m repro.cli figures --slots 500
 """
 
@@ -62,6 +63,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=0, help="master scenario seed (default 0)"
     )
+    run_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "independent replicate seeds per experiment (derived from --seed); "
+            "reports then aggregate metrics into mean/CI (default 1)"
+        ),
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the (experiment, seed) grid; defaults to "
+            "the CPU count, 1 forces serial execution (results are identical "
+            "either way)"
+        ),
+    )
 
     figures_parser = subparsers.add_parser(
         "figures", help="regenerate Fig. 1a and Fig. 1b as ASCII charts"
@@ -84,10 +106,21 @@ def _command_list(out) -> int:
 def _command_run(arguments, out) -> int:
     requested = [item.strip() for item in arguments.experiments]
     if any(item.lower() == "all" for item in requested):
-        reports = run_all_experiments(num_slots=arguments.slots, seed=arguments.seed)
+        reports = run_all_experiments(
+            num_slots=arguments.slots,
+            seed=arguments.seed,
+            num_seeds=arguments.seeds,
+            workers=arguments.workers,
+        )
     else:
         reports = [
-            run_experiment(item, num_slots=arguments.slots, seed=arguments.seed)
+            run_experiment(
+                item,
+                num_slots=arguments.slots,
+                seed=arguments.seed,
+                num_seeds=arguments.seeds,
+                workers=arguments.workers,
+            )
             for item in requested
         ]
     for report in reports:

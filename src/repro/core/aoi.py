@@ -316,6 +316,14 @@ class AoIVector:
         for index in indices:
             self.refresh(index, age_at_delivery)
 
+    def refresh_all(self, age_at_delivery: float = 1.0) -> None:
+        """Reset every age in one vectorised assignment."""
+        if age_at_delivery < 1.0 or not np.isfinite(age_at_delivery):
+            raise ValidationError(
+                f"age_at_delivery must be finite and >= 1, got {age_at_delivery}"
+            )
+        self._ages.fill(min(float(age_at_delivery), self._ceiling))
+
     def set_ages(self, ages: Sequence[float]) -> None:
         """Overwrite all ages (used when restoring a recorded state)."""
         arr = np.asarray(ages, dtype=float)

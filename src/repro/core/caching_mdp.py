@@ -441,6 +441,9 @@ class MDPCachingPolicy(CachingPolicy):
 
     name = "mdp"
 
+    #: Cap on memoised single-content solutions; see _build_content_models.
+    _SOLUTION_MEMO_LIMIT = 4096
+
     def __init__(
         self,
         config: Optional[CachingMDPConfig] = None,
@@ -461,6 +464,21 @@ class MDPCachingPolicy(CachingPolicy):
         self._rsu_models: Dict[int, _SolvedRSUModel] = {}
         self._rsu_mode: Dict[int, str] = {}
         self._params_signature: Optional[Tuple] = None
+        # Memo of solved single-content MDPs keyed by their defining
+        # parameters.  Catalogs draw integer maximum ages from a narrow
+        # range, so large systems contain many (RSU, content) pairs with
+        # identical (max_age, popularity, cost) triples — solving each
+        # distinct triple once collapses the model-building cost from
+        # O(num_rsus * contents_per_rsu) value iterations to a handful.
+        # Solutions are pure functions of the key, so the memo survives
+        # :meth:`reset` without affecting results.
+        self._solution_memo: Dict[Tuple[float, float, float], _SolvedContentModel] = {}
+        # Per-(RSU, content) advantage lookup table over the age grid,
+        # rebuilt with the models: entry [k, h, i] is Q(update) - Q(skip)
+        # at discretised age i + 1.  The factored decision then becomes a
+        # single vectorised gather + argmax instead of a per-content loop.
+        self._advantage_table: Optional[np.ndarray] = None
+        self._grid_ceilings: Optional[np.ndarray] = None
 
     @property
     def config(self) -> CachingMDPConfig:
@@ -473,26 +491,52 @@ class MDPCachingPolicy(CachingPolicy):
         return self._mode
 
     def reset(self) -> None:
-        """Drop all solved models (they will be rebuilt on the next decide)."""
+        """Drop all solved models (they will be rebuilt on the next decide).
+
+        The parameter-keyed solution memo is kept: re-solving an identical
+        single-content MDP yields the identical Q-table, so reusing it
+        changes nothing but the rebuild cost.
+        """
         self._content_models.clear()
         self._rsu_models.clear()
         self._rsu_mode.clear()
         self._params_signature = None
+        self._advantage_table = None
+        self._grid_ceilings = None
 
     # ------------------------------------------------------------------
     # CachingPolicy interface
     # ------------------------------------------------------------------
     def decide(self, observation: CacheObservation) -> np.ndarray:
         self._ensure_models(observation)
+        ages = np.asarray(observation.ages, dtype=float)
+        if np.any(ages < 0) or not np.all(np.isfinite(ages)):
+            raise ValidationError("ages must be finite and >= 0")
         actions = np.zeros(
             (observation.num_rsus, observation.contents_per_rsu), dtype=int
         )
+        factored = [
+            rsu
+            for rsu in range(observation.num_rsus)
+            if self._rsu_mode[rsu] == "factored"
+        ]
+        if factored:
+            # One gather + argmax across all factored RSUs replaces the old
+            # per-(RSU, content) advantage loop; np.rint matches the
+            # half-to-even rounding of AgeGrid.index_of.
+            rows = np.asarray(factored, dtype=int)
+            indices = (
+                np.clip(np.rint(ages[rows]), 1.0, self._grid_ceilings[rows]) - 1.0
+            ).astype(int)
+            advantages = np.take_along_axis(
+                self._advantage_table[rows], indices[:, :, np.newaxis], axis=2
+            )[:, :, 0]
+            best = np.argmax(advantages, axis=1)
+            positive = advantages[np.arange(rows.size), best] > 1e-12
+            actions[rows[positive], best[positive]] = 1
         for rsu in range(observation.num_rsus):
-            ages = np.asarray(observation.ages[rsu], dtype=float)
             if self._rsu_mode[rsu] == "exact":
-                actions[rsu] = self._rsu_models[rsu].decide(ages)
-            else:
-                actions[rsu] = self._factored_decision(rsu, ages)
+                actions[rsu] = self._rsu_models[rsu].decide(ages[rsu])
         return self.validate_actions(actions, observation)
 
     def update_advantages(self, observation: CacheObservation) -> np.ndarray:
@@ -517,31 +561,50 @@ class MDPCachingPolicy(CachingPolicy):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _factored_decision(self, rsu: int, ages: np.ndarray) -> np.ndarray:
-        decision = np.zeros(ages.size, dtype=int)
-        advantages = np.asarray(
-            [
-                self._content_models[(rsu, content)].advantage(float(ages[content]))
-                for content in range(ages.size)
-            ]
-        )
-        best = int(np.argmax(advantages))
-        if advantages[best] > 1e-12:
-            decision[best] = 1
-        return decision
-
     def _ensure_models(self, observation: CacheObservation) -> None:
-        signature = (
-            observation.num_rsus,
-            observation.contents_per_rsu,
-            tuple(np.round(np.asarray(observation.max_ages, dtype=float).ravel(), 9)),
-            tuple(np.round(np.asarray(observation.popularity, dtype=float).ravel(), 9)),
-            tuple(np.round(np.asarray(observation.update_costs, dtype=float).ravel(), 9)),
+        max_ages = np.asarray(observation.max_ages, dtype=float)
+        popularity = np.asarray(observation.popularity, dtype=float)
+        costs = np.asarray(observation.update_costs, dtype=float)
+        signature = self._params_signature
+        shape_matches = (
+            signature is not None
+            and signature[0] == observation.num_rsus
+            and signature[1] == observation.contents_per_rsu
         )
-        if signature == self._params_signature:
+        # Fast path for the per-slot hot loop: parameters are usually reused
+        # verbatim, so exact array equality short-circuits the rounding.
+        if (
+            shape_matches
+            and np.array_equal(max_ages, signature[2])
+            and np.array_equal(popularity, signature[3])
+            and np.array_equal(costs, signature[4])
+        ):
+            return
+        # Tolerate sub-1e-9 jitter (the historical signature granularity)
+        # before paying for a full re-solve.
+        if (
+            shape_matches
+            and max_ages.shape == signature[2].shape
+            and np.array_equal(np.round(max_ages, 9), np.round(signature[2], 9))
+            and np.array_equal(np.round(popularity, 9), np.round(signature[3], 9))
+            and np.array_equal(np.round(costs, 9), np.round(signature[4], 9))
+        ):
+            self._params_signature = (
+                observation.num_rsus,
+                observation.contents_per_rsu,
+                max_ages.copy(),
+                popularity.copy(),
+                costs.copy(),
+            )
             return
         self.reset()
-        self._params_signature = signature
+        self._params_signature = (
+            observation.num_rsus,
+            observation.contents_per_rsu,
+            max_ages.copy(),
+            popularity.copy(),
+            costs.copy(),
+        )
         for rsu in range(observation.num_rsus):
             max_ages = np.asarray(observation.max_ages[rsu], dtype=float)
             popularity = np.asarray(observation.popularity[rsu], dtype=float)
@@ -550,14 +613,40 @@ class MDPCachingPolicy(CachingPolicy):
             self._rsu_mode[rsu] = self._select_mode(max_ages)
             if self._rsu_mode[rsu] == "exact":
                 self._build_rsu_model(rsu, max_ages, popularity, costs)
+        self._build_advantage_table(
+            observation.num_rsus, observation.contents_per_rsu
+        )
+
+    def _build_advantage_table(self, num_rsus: int, contents_per_rsu: int) -> None:
+        levels = max(
+            model.mdp.grid.num_levels for model in self._content_models.values()
+        )
+        table = np.zeros((num_rsus, contents_per_rsu, levels), dtype=float)
+        ceilings = np.zeros((num_rsus, contents_per_rsu), dtype=float)
+        for (rsu, content), model in self._content_models.items():
+            diff = model.q_values[:, 1] - model.q_values[:, 0]
+            table[rsu, content, : diff.size] = diff
+            # Indices are clamped to the grid ceiling before lookup, so the
+            # padding beyond a shorter grid is never read; fill it with the
+            # saturated value anyway to keep the table self-consistent.
+            table[rsu, content, diff.size :] = diff[-1]
+            ceilings[rsu, content] = model.mdp.grid.ceiling
+        self._advantage_table = table
+        self._grid_ceilings = ceilings
 
     def _select_mode(self, max_ages: np.ndarray) -> str:
         if self._mode in ("exact", "factored"):
             return self._mode
-        joint_states = int(
-            np.prod([self._config.ceiling_for(a) for a in max_ages])
-        )
-        return "exact" if joint_states <= self._exact_state_limit else "factored"
+        # Accumulate with Python ints and bail out early: np.prod would
+        # overflow int64 for a few dozen contents and silently go negative,
+        # mis-selecting the exact mode on exactly the instances it cannot
+        # handle.
+        joint_states = 1
+        for age in max_ages:
+            joint_states *= self._config.ceiling_for(age)
+            if joint_states > self._exact_state_limit:
+                return "factored"
+        return "exact"
 
     def _build_content_models(
         self,
@@ -567,18 +656,31 @@ class MDPCachingPolicy(CachingPolicy):
         costs: np.ndarray,
     ) -> None:
         for content in range(max_ages.size):
-            mdp = ContentUpdateMDP(
-                max_age=float(max_ages[content]),
-                popularity=float(popularity[content]),
-                update_cost=float(costs[content]),
-                config=self._config,
+            key = (
+                float(max_ages[content]),
+                float(popularity[content]),
+                float(costs[content]),
             )
-            result = value_iteration(
-                mdp, discount=self._config.discount, tolerance=1e-9
-            )
-            self._content_models[(rsu, content)] = _SolvedContentModel(
-                mdp=mdp, q_values=result.q_values
-            )
+            solved = self._solution_memo.get(key)
+            if solved is None:
+                mdp = ContentUpdateMDP(
+                    max_age=key[0],
+                    popularity=key[1],
+                    update_cost=key[2],
+                    config=self._config,
+                )
+                result = value_iteration(
+                    mdp, discount=self._config.discount, tolerance=1e-9
+                )
+                solved = _SolvedContentModel(mdp=mdp, q_values=result.q_values)
+                # Bound the memo: time-varying costs mint fresh keys every
+                # re-solve, and an uncapped memo would grow for the whole
+                # run.  FIFO eviction keeps the static-cost fast path (few
+                # recurring keys) intact.
+                if len(self._solution_memo) >= self._SOLUTION_MEMO_LIMIT:
+                    self._solution_memo.pop(next(iter(self._solution_memo)))
+                self._solution_memo[key] = solved
+            self._content_models[(rsu, content)] = solved
 
     def _build_rsu_model(
         self,

@@ -119,7 +119,7 @@ class CachingPolicy(abc.ABC):
                 f"actions shape {actions.shape} does not match observation shape "
                 f"{expected_shape}"
             )
-        if not np.all(np.isin(actions, (0, 1))):
+        if not np.all((actions == 0) | (actions == 1)):
             raise ValidationError("actions must be binary (0 or 1)")
         per_rsu = actions.sum(axis=1)
         if np.any(per_rsu > 1):
@@ -185,7 +185,9 @@ class ServiceObservation:
         """Whether the head-of-line request's cached content is within A_max."""
         if self.head_content_age is None or self.head_content_max_age is None:
             return None
-        return self.head_content_age <= self.head_content_max_age
+        # Plain bool, not np.bool_: callers guard with identity checks
+        # (``fresh is False``) which numpy scalars would silently dodge.
+        return bool(self.head_content_age <= self.head_content_max_age)
 
 
 class ServicePolicy(abc.ABC):

@@ -60,7 +60,7 @@ def post_action_ages(ages: Sequence, actions: Sequence, *, refresh_age: float = 
         raise ValidationError(
             f"actions shape {actions_arr.shape} does not match ages shape {ages_arr.shape}"
         )
-    if not np.all(np.isin(actions_arr, (0.0, 1.0))):
+    if not np.all((actions_arr == 0.0) | (actions_arr == 1.0)):
         raise ValidationError("actions must be binary (0 or 1)")
     check_positive(refresh_age, "refresh_age")
     return np.where(actions_arr > 0, float(refresh_age), ages_arr)
@@ -129,7 +129,7 @@ def cost_term(actions: Sequence, unit_costs: Sequence) -> float:
         vector shared across RSUs).
     """
     actions_arr = _as_2d(actions, "actions")
-    if not np.all(np.isin(actions_arr, (0.0, 1.0))):
+    if not np.all((actions_arr == 0.0) | (actions_arr == 1.0)):
         raise ValidationError("actions must be binary (0 or 1)")
     costs_arr = np.asarray(unit_costs, dtype=float)
     if costs_arr.ndim == 1:

@@ -274,8 +274,7 @@ class MBSContentStore:
         """Advance one slot: age all copies, regenerating those that are due."""
         self._aoi.tick(1)
         if time_slot % self._period == 0:
-            for content_id in range(self._catalog.num_contents):
-                self._aoi.refresh(content_id, 1.0)
+            self._aoi.refresh_all(1.0)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"MBSContentStore(num_contents={self._catalog.num_contents})"

@@ -31,6 +31,13 @@ from repro.utils.validation import check_non_negative, check_positive
 class CostModel(abc.ABC):
     """Cost of one content transfer over a link, possibly time-varying."""
 
+    #: Whether :meth:`cost` may depend on *time_slot*.  Models declaring
+    #: ``False`` let the simulators compute their cost matrices once per run
+    #: instead of once per slot.  The conservative default is ``True`` so an
+    #: unknown subclass is never silently frozen at its t=0 costs; the
+    #: built-in static models opt out explicitly.
+    time_varying: bool = True
+
     @abc.abstractmethod
     def cost(self, *, distance: float = 0.0, size: float = 1.0, time_slot: int = 0) -> float:
         """Return the cost of transferring *size* units over *distance* metres."""
@@ -43,6 +50,35 @@ class CostModel(abc.ABC):
         within one slot are consistent.
         """
 
+    def cost_array(
+        self,
+        *,
+        distances: Sequence,
+        sizes: Sequence,
+        time_slot: int = 0,
+    ) -> np.ndarray:
+        """Vectorised :meth:`cost` over broadcastable *distances*/*sizes* arrays.
+
+        The built-in models override this with pure numpy expressions that
+        reproduce the per-element :meth:`cost` values bit for bit (same
+        float64 operations in the same order), which is what lets the
+        vectorised simulators stay golden-trajectory-equivalent to the
+        scalar reference loop.  Custom subclasses inherit this element-wise
+        fallback and remain correct, just not fast.
+        """
+        distances_arr, sizes_arr = np.broadcast_arrays(
+            np.asarray(distances, dtype=float), np.asarray(sizes, dtype=float)
+        )
+        out = np.empty(distances_arr.shape, dtype=float)
+        flat = out.reshape(-1)
+        for i, (distance, size) in enumerate(
+            zip(distances_arr.reshape(-1), sizes_arr.reshape(-1))
+        ):
+            flat[i] = self.cost(
+                distance=float(distance), size=float(size), time_slot=time_slot
+            )
+        return out
+
 
 class ConstantCostModel(CostModel):
     """A fixed cost per transfer, independent of distance, size, and time.
@@ -50,6 +86,8 @@ class ConstantCostModel(CostModel):
     This is the simplest instantiation of Eq. (3): every cache update costs
     the same amount of backhaul resources.
     """
+
+    time_varying = False
 
     def __init__(self, unit_cost: float = 1.0) -> None:
         self._unit_cost = check_non_negative(unit_cost, "unit_cost")
@@ -64,6 +102,18 @@ class ConstantCostModel(CostModel):
         check_positive(size, "size")
         return self._unit_cost
 
+    def cost_array(
+        self, *, distances: Sequence, sizes: Sequence, time_slot: int = 0
+    ) -> np.ndarray:
+        distances_arr, sizes_arr = np.broadcast_arrays(
+            np.asarray(distances, dtype=float), np.asarray(sizes, dtype=float)
+        )
+        if np.any(distances_arr < 0):
+            raise ValidationError("distances must be >= 0")
+        if np.any(sizes_arr <= 0):
+            raise ValidationError("sizes must be > 0")
+        return np.full(distances_arr.shape, self._unit_cost, dtype=float)
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"ConstantCostModel(unit_cost={self._unit_cost:g})"
 
@@ -75,6 +125,8 @@ class DistanceCostModel(CostModel):
     backhaul resources to update than one next to the MBS, which makes the
     MDP policy spatially selective.
     """
+
+    time_varying = False
 
     def __init__(self, *, base: float = 1.0, slope: float = 0.001) -> None:
         self._base = check_non_negative(base, "base")
@@ -96,6 +148,18 @@ class DistanceCostModel(CostModel):
         check_non_negative(distance, "distance")
         check_positive(size, "size")
         return float(size) * (self._base + self._slope * float(distance))
+
+    def cost_array(
+        self, *, distances: Sequence, sizes: Sequence, time_slot: int = 0
+    ) -> np.ndarray:
+        distances_arr, sizes_arr = np.broadcast_arrays(
+            np.asarray(distances, dtype=float), np.asarray(sizes, dtype=float)
+        )
+        if np.any(distances_arr < 0):
+            raise ValidationError("distances must be >= 0")
+        if np.any(sizes_arr <= 0):
+            raise ValidationError("sizes must be > 0")
+        return sizes_arr * (self._base + self._slope * distances_arr)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"DistanceCostModel(base={self._base:g}, slope={self._slope:g})"
@@ -120,6 +184,8 @@ class FadingCostModel(CostModel):
     rng:
         Seed or generator driving the per-slot gains.
     """
+
+    time_varying = True
 
     def __init__(
         self,
@@ -156,6 +222,14 @@ class FadingCostModel(CostModel):
         self.advance(time_slot)
         return self._static.cost(distance=distance, size=size) * self._gain
 
+    def cost_array(
+        self, *, distances: Sequence, sizes: Sequence, time_slot: int = 0
+    ) -> np.ndarray:
+        self.advance(time_slot)
+        return (
+            self._static.cost_array(distances=distances, sizes=sizes) * self._gain
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (
             f"FadingCostModel(base={self._static.base:g}, slope={self._static.slope:g}, "
@@ -175,6 +249,14 @@ class LinkBudget:
         cost = check_non_negative(cost, "cost")
         self.total_cost += cost
         self.num_transfers += 1
+
+    def charge_many(self, costs: Sequence) -> None:
+        """Record one transfer per entry of *costs* in a single update."""
+        costs_arr = np.asarray(costs, dtype=float)
+        if np.any(costs_arr < 0) or not np.all(np.isfinite(costs_arr)):
+            raise ValidationError("costs must be finite and >= 0")
+        self.total_cost += float(costs_arr.sum())
+        self.num_transfers += int(costs_arr.size)
 
     @property
     def mean_cost(self) -> float:

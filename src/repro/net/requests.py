@@ -268,6 +268,34 @@ class RequestGenerator:
                 )
         return requests
 
+    def generate_slot_contents(self, time_slot: int) -> List[Tuple[int, np.ndarray]]:
+        """Generate one slot's arrivals as ``(rsu_id, content_ids)`` pairs.
+
+        This is the allocation-free twin of :meth:`generate_slot` used by the
+        vectorised simulators: it performs *exactly* the same RNG draws in
+        exactly the same order (one arrival-count sample per RSU, then one
+        ``choice`` call per RSU with arrivals), so a run consuming this
+        method sees the same workload, bit for bit, as one consuming
+        :meth:`generate_slot` — it just skips building per-request
+        :class:`Request` objects.
+        """
+        if time_slot < 0:
+            raise ValidationError(f"time_slot must be >= 0, got {time_slot}")
+        batches: List[Tuple[int, np.ndarray]] = []
+        for rsu in self._topology.rsus:
+            count = self._arrivals.sample(self._rng)
+            if count <= 0:
+                continue
+            contents = self._local_contents[rsu.rsu_id]
+            weights = self._local_popularity[rsu.rsu_id]
+            chosen = self._rng.choice(len(contents), size=count, p=weights)
+            content_ids = np.asarray(
+                [int(contents[int(index)]) for index in np.atleast_1d(chosen)],
+                dtype=int,
+            )
+            batches.append((rsu.rsu_id, content_ids))
+        return batches
+
     def generate_trace(
         self, num_slots: int, *, deadline_slots: Optional[int] = None
     ) -> List[Request]:

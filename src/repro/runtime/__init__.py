@@ -1,0 +1,25 @@
+"""Batched parallel experiment execution.
+
+The :mod:`repro.runtime` package is the scaling layer between the simulators
+and the analysis harness: it fans a grid of (scenario, policy, seed) runs out
+over a process pool (with a deterministic serial fallback), derives
+collision-free per-run seeds, and aggregates multi-seed results into
+confidence intervals.  Every sweep and experiment in :mod:`repro.analysis`
+executes through it.
+"""
+
+from repro.runtime.runner import (
+    BatchResult,
+    ExperimentRunner,
+    RunRecord,
+    RunSpec,
+    expand_seeds,
+)
+
+__all__ = [
+    "BatchResult",
+    "ExperimentRunner",
+    "RunRecord",
+    "RunSpec",
+    "expand_seeds",
+]

@@ -1,0 +1,332 @@
+"""The batched parallel experiment runner.
+
+A single simulation run is described by a picklable :class:`RunSpec`; the
+:class:`ExperimentRunner` executes a grid of them — serially or over a
+``ProcessPoolExecutor`` — and returns a :class:`BatchResult` that groups the
+per-run records by label and aggregates multi-seed metrics into mean /
+confidence-interval rows via :mod:`repro.analysis.stats`.
+
+Determinism is a hard requirement: the same grid must produce the same
+:class:`BatchResult` for any worker count.  Three mechanisms guarantee it:
+
+* per-run seeds are derived with :func:`repro.utils.rng.spawn_run_seeds`
+  (deterministic, collision-free, independent of the execution schedule);
+* results are returned in submission order, not completion order;
+* policy *instances* are deep-copied before each run, so a policy object
+  shared by several specs starts every run from the same pristine state
+  whether the runs share a process (serial) or not (pool workers receive
+  pickled copies).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.sim.scenario import ScenarioConfig
+from repro.utils.rng import spawn_run_seeds
+from repro.utils.validation import check_positive_int
+
+#: Environment marker set inside pool workers so nested runner calls (for
+#: example a sweep executed inside a parallel experiment task) degrade to the
+#: serial path instead of spawning a pool of pools.
+_WORKER_ENV_FLAG = "REPRO_RUNNER_IN_WORKER"
+
+_KINDS = ("cache", "service", "joint")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run of the grid.
+
+    Attributes
+    ----------
+    kind:
+        ``"cache"``, ``"service"``, or ``"joint"`` — which simulator runs.
+    scenario:
+        The scenario configuration.  Its seed is overridden by :attr:`seed`.
+    policy:
+        The (caching or service) policy to evaluate: either a policy
+        instance or a factory ``scenario -> policy``.  Factories must be
+        picklable (module-level functions or :func:`functools.partial` of
+        them) for the parallel path.
+    seed:
+        Master scenario seed of this run.
+    label:
+        Grid-point label; runs sharing a label are aggregated together (they
+        are normally the same configuration under different seeds).
+    num_slots:
+        Optional horizon override.
+    service_policy:
+        Second-stage policy (instance or factory) for ``kind="joint"``.
+    service_batch:
+        Optional per-slot service batch limit of the service simulators.
+    reference:
+        Run the scalar reference loop instead of the vectorised one.
+    """
+
+    kind: str
+    scenario: ScenarioConfig
+    policy: Any
+    seed: int = 0
+    label: str = ""
+    num_slots: Optional[int] = None
+    service_policy: Any = None
+    service_batch: Optional[int] = None
+    reference: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValidationError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.seed < 0:
+            raise ValidationError(f"seed must be >= 0, got {self.seed}")
+        if self.kind == "joint" and self.service_policy is None:
+            raise ValidationError("joint runs need a service_policy")
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one executed :class:`RunSpec`."""
+
+    label: str
+    seed: int
+    kind: str
+    summary: Dict[str, Any]
+    trace: Optional[np.ndarray] = None
+
+    def matches(self, other: "RunRecord") -> bool:
+        """Whether *other* records the bit-identical outcome."""
+        return (
+            self.label == other.label
+            and self.seed == other.seed
+            and self.kind == other.kind
+            and self.summary == other.summary
+            and (
+                (self.trace is None and other.trace is None)
+                or (
+                    self.trace is not None
+                    and other.trace is not None
+                    and np.array_equal(self.trace, other.trace)
+                )
+            )
+        )
+
+
+@dataclass
+class BatchResult:
+    """All records of one grid execution, with multi-seed aggregation."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_label(self) -> Dict[str, List[RunRecord]]:
+        """Group records by grid-point label, preserving first-seen order."""
+        groups: Dict[str, List[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.label, []).append(record)
+        return groups
+
+    def labels(self) -> List[str]:
+        """Grid-point labels in first-seen order."""
+        return list(self.by_label().keys())
+
+    def seeds(self) -> List[int]:
+        """All seeds that appear in the batch, in record order."""
+        return [record.seed for record in self.records]
+
+    def aggregate(self, *, confidence: float = 0.95) -> List[Dict[str, Any]]:
+        """Collapse each label's records into one mean/CI row.
+
+        Numeric metrics become their across-seed mean; when a label has more
+        than one record a ``<metric>_ci`` column carries the half-width of
+        the normal-approximation confidence interval.  Non-numeric summary
+        entries (policy names) are carried through unchanged.  Every row
+        also reports ``num_seeds``.
+        """
+        # Imported lazily: repro.analysis pulls in the sweeps, which import
+        # this module — a top-level import would be circular.
+        from repro.analysis.stats import mean_confidence_interval
+
+        rows: List[Dict[str, Any]] = []
+        for label, records in self.by_label().items():
+            row: Dict[str, Any] = {"label": label, "num_seeds": len(records)}
+            for key in records[0].summary:
+                values = [record.summary[key] for record in records]
+                if all(isinstance(v, (int, float, np.floating)) for v in values):
+                    if len(values) == 1:
+                        row[key] = float(values[0])
+                    else:
+                        interval = mean_confidence_interval(
+                            values, confidence=confidence
+                        )
+                        row[key] = interval.mean
+                        row[f"{key}_ci"] = interval.half_width
+                else:
+                    row[key] = values[0]
+            rows.append(row)
+        return rows
+
+    def matches(self, other: "BatchResult") -> bool:
+        """Whether *other* holds bit-identical records in the same order."""
+        return len(self.records) == len(other.records) and all(
+            mine.matches(theirs)
+            for mine, theirs in zip(self.records, other.records)
+        )
+
+
+def expand_seeds(specs: Sequence[RunSpec], num_seeds: int) -> List[RunSpec]:
+    """Replicate each spec across *num_seeds* derived seeds.
+
+    The seed list of each spec is derived from its own base seed with
+    :func:`~repro.utils.rng.spawn_run_seeds`, so ``num_seeds=1`` reproduces
+    the original grid exactly and larger counts add independent replicates.
+    """
+    num_seeds = check_positive_int(num_seeds, "num_seeds")
+    expanded: List[RunSpec] = []
+    for spec in specs:
+        for seed in spawn_run_seeds(spec.seed, num_seeds):
+            expanded.append(replace(spec, seed=seed))
+    return expanded
+
+
+def _materialize(policy: Any, scenario: ScenarioConfig) -> Any:
+    """Turn a spec's policy field into a fresh policy object for one run."""
+    if callable(policy) and not hasattr(policy, "decide"):
+        return policy(scenario)
+    # Deep-copy instances so repeated serial runs start from the same state
+    # as pool workers, which receive independent pickled copies.  Note the
+    # flip side: a *stochastic* instance replays the identical internal RNG
+    # stream in every replicate — use a factory when the policy itself must
+    # draw fresh randomness per seed.
+    return copy.deepcopy(policy)
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Execute one :class:`RunSpec` and record its outcome.
+
+    Module-level (and therefore picklable) so a process pool can run it; the
+    serial path calls it directly.
+    """
+    # Imported here to keep the runner importable without pulling the whole
+    # simulator stack at module import time (cheap anyway, but explicit).
+    from repro.sim.simulator import (
+        CacheSimulator,
+        JointSimulator,
+        ServiceSimulator,
+    )
+
+    scenario = spec.scenario.with_overrides(seed=spec.seed)
+    if spec.kind == "cache":
+        result = CacheSimulator(
+            scenario, _materialize(spec.policy, scenario), reference=spec.reference
+        ).run(num_slots=spec.num_slots)
+        trace = result.cumulative_reward
+    elif spec.kind == "service":
+        result = ServiceSimulator(
+            scenario,
+            _materialize(spec.policy, scenario),
+            service_batch=spec.service_batch,
+            reference=spec.reference,
+        ).run(num_slots=spec.num_slots)
+        trace = result.latency_history
+    else:
+        result = JointSimulator(
+            scenario,
+            _materialize(spec.policy, scenario),
+            _materialize(spec.service_policy, scenario),
+            service_batch=spec.service_batch,
+            reference=spec.reference,
+        ).run(num_slots=spec.num_slots)
+        trace = None
+    return RunRecord(
+        label=spec.label,
+        seed=spec.seed,
+        kind=spec.kind,
+        summary=result.summary(),
+        trace=trace,
+    )
+
+
+def _mark_worker() -> None:
+    os.environ[_WORKER_ENV_FLAG] = "1"
+
+
+class ExperimentRunner:
+    """Executes grids of runs, serially or over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``None`` uses the machine's CPU count;
+        ``1`` forces the deterministic serial path.  Inside a pool worker
+        the runner always degrades to serial so nested parallel sweeps do
+        not spawn pools of pools.  Any worker count yields the identical
+        :class:`BatchResult` — the pool only changes wall-clock time.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None:
+            check_positive_int(workers, "workers")
+        self._workers = workers
+
+    @property
+    def workers(self) -> Optional[int]:
+        """The requested worker count (``None`` = CPU count)."""
+        return self._workers
+
+    def effective_workers(self, num_tasks: int) -> int:
+        """Worker processes that would actually be used for *num_tasks*."""
+        if os.environ.get(_WORKER_ENV_FLAG):
+            return 1
+        workers = self._workers if self._workers is not None else (os.cpu_count() or 1)
+        return max(1, min(workers, num_tasks))
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Apply picklable *fn* to *items*, preserving input order."""
+        items = list(items)
+        workers = self.effective_workers(len(items))
+        if workers <= 1 or len(items) <= 1:
+            if self._workers == 1:
+                # An explicit serial request is a contract, not a hint: set
+                # the worker flag for the duration of the serial map so any
+                # nested runner (a sweep inside an experiment task) degrades
+                # to serial too instead of spawning its own pool.
+                previous = os.environ.get(_WORKER_ENV_FLAG)
+                os.environ[_WORKER_ENV_FLAG] = "1"
+                try:
+                    return [fn(item) for item in items]
+                finally:
+                    if previous is None:
+                        os.environ.pop(_WORKER_ENV_FLAG, None)
+                    else:
+                        os.environ[_WORKER_ENV_FLAG] = previous
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_mark_worker
+        ) as pool:
+            return list(pool.map(fn, items))
+
+    def run(self, specs: Sequence[RunSpec]) -> BatchResult:
+        """Execute every spec and return the batched records in grid order."""
+        if not specs:
+            raise ValidationError("specs must be non-empty")
+        return BatchResult(records=self.map(execute_spec, list(specs)))
+
+    def run_grid(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        num_seeds: int = 1,
+    ) -> BatchResult:
+        """Expand each spec over derived seeds, then execute the full grid."""
+        return self.run(expand_seeds(specs, num_seeds))

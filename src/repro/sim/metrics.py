@@ -66,9 +66,11 @@ class RewardTrace:
 class CacheMetrics:
     """Collector for the cache-management stage.
 
-    Records, per slot: the full AoI matrix, the chosen action matrix, and the
-    reward breakdown; and maintains per-(RSU, content) :class:`AoIProcess`
-    traces so that individual contents can be plotted as in Fig. 1a.
+    Records, per slot: the full AoI matrix, the chosen action matrix, and
+    the reward breakdown.  Per-(RSU, content) :class:`AoIProcess` traces —
+    used to plot individual contents as in Fig. 1a — are materialised on
+    demand by :meth:`age_trace` from the recorded matrices, keeping the
+    per-slot recording path free of per-content Python work.
     """
 
     def __init__(
@@ -85,16 +87,11 @@ class CacheMetrics:
             )
         self._num_rsus = int(num_rsus)
         self._contents_per_rsu = int(contents_per_rsu)
+        self._max_ages = max_ages.copy()
         self.reward = RewardTrace()
         self._age_history: List[np.ndarray] = []
         self._action_history: List[np.ndarray] = []
-        self._processes: Dict[Tuple[int, int], AoIProcess] = {
-            (k, h): AoIProcess(
-                float(max_ages[k, h]), label=f"rsu{k}-content{h}"
-            )
-            for k in range(num_rsus)
-            for h in range(contents_per_rsu)
-        }
+        self._slot_times: List[int] = []
 
     @property
     def num_slots_recorded(self) -> int:
@@ -119,21 +116,31 @@ class CacheMetrics:
             )
         self._age_history.append(ages.copy())
         self._action_history.append(actions.copy())
+        self._slot_times.append(int(time_slot))
         self.reward.record(breakdown)
-        for (k, h), process in self._processes.items():
-            process.record(time_slot, float(ages[k, h]))
 
     # ------------------------------------------------------------------
     # Post-run accessors
     # ------------------------------------------------------------------
     def age_trace(self, rsu: int, content_slot: int) -> AoIProcess:
-        """Return the AoI sample path of one cached copy."""
-        key = (int(rsu), int(content_slot))
-        if key not in self._processes:
+        """Return the AoI sample path of one cached copy.
+
+        Traces are materialised on demand from the recorded age history (the
+        per-slot hot loop only appends matrices), so asking for a trace is
+        cheap relative to the run but not free — cache the result if you
+        need it repeatedly.
+        """
+        k, h = int(rsu), int(content_slot)
+        if not (0 <= k < self._num_rsus and 0 <= h < self._contents_per_rsu):
             raise ValidationError(
                 f"no trace for RSU {rsu}, content slot {content_slot}"
             )
-        return self._processes[key]
+        process = AoIProcess(
+            float(self._max_ages[k, h]), label=f"rsu{k}-content{h}"
+        )
+        for time_slot, ages in zip(self._slot_times, self._age_history):
+            process.record(time_slot, float(ages[k, h]))
+        return process
 
     def age_matrix_history(self) -> np.ndarray:
         """Return the full age history, shape ``(num_slots, num_rsus, contents)``."""
@@ -166,13 +173,7 @@ class CacheMetrics:
         history = self.age_matrix_history()
         if history.size == 0:
             return float("nan")
-        max_ages = np.asarray(
-            [
-                [self._processes[(k, h)].max_age for h in range(self._contents_per_rsu)]
-                for k in range(self._num_rsus)
-            ]
-        )
-        return float(np.mean(history > max_ages[np.newaxis, :, :]))
+        return float(np.mean(history > self._max_ages[np.newaxis, :, :]))
 
     def summary(self) -> Dict[str, float]:
         """Return the headline metrics of the run as a dictionary."""

@@ -163,6 +163,28 @@ class _SystemState:
             np.zeros_like(self.max_ages),  # costs are supplied per slot
             weight=config.aoi_weight,
         )
+        # Static index/parameter arrays used by the vectorised hot loops.
+        self.content_ids = np.asarray(
+            [rsu.covered_regions for rsu in self.topology.rsus], dtype=int
+        )
+        catalog_sizes = np.asarray(
+            [self.catalog[h].size for h in range(self.catalog.num_contents)],
+            dtype=float,
+        )
+        self.content_sizes = catalog_sizes[self.content_ids]
+        self.mbs_distances = np.asarray(
+            [self.topology.mbs_distance(k) for k in range(num_rsus)], dtype=float
+        )[:, np.newaxis]
+        self.cache_ceilings = np.asarray(
+            [cache.age_ceiling for cache in self.caches], dtype=float
+        )[:, np.newaxis]
+        # Each content is cached by exactly one RSU; map it to its cache
+        # slot within that RSU.
+        self.content_slot = np.zeros(self.catalog.num_contents, dtype=int)
+        for k in range(num_rsus):
+            for slot in range(per_rsu):
+                self.content_slot[self.content_ids[k, slot]] = slot
+        self._static_update_costs: Optional[np.ndarray] = None
 
     def ages_matrix(self) -> np.ndarray:
         """Current cache ages as a ``(num_rsus, contents_per_rsu)`` matrix."""
@@ -197,6 +219,42 @@ class _SystemState:
             mbs_ages=mbs_ages,
         )
 
+    def update_costs_vector(self, time_slot: int) -> np.ndarray:
+        """Vectorised twin of :meth:`update_costs_matrix` (identical values).
+
+        Distances and sizes are static, so time-invariant cost models are
+        evaluated once and the matrix is reused (copied, so callers may keep
+        or mutate it).
+        """
+        if self.update_cost_model.time_varying:
+            return self.update_cost_model.cost_array(
+                distances=self.mbs_distances,
+                sizes=self.content_sizes,
+                time_slot=time_slot,
+            )
+        if self._static_update_costs is None:
+            self._static_update_costs = self.update_cost_model.cost_array(
+                distances=self.mbs_distances,
+                sizes=self.content_sizes,
+                time_slot=time_slot,
+            )
+        return self._static_update_costs.copy()
+
+    def observation_vector(self, time_slot: int, ages: np.ndarray) -> CacheObservation:
+        """Vectorised twin of :meth:`observation` for a given *ages* matrix.
+
+        Builds the identical :class:`CacheObservation` (bit for bit) with
+        array gathers instead of per-(RSU, content) Python loops.
+        """
+        return CacheObservation(
+            time_slot=time_slot,
+            ages=ages.copy(),
+            max_ages=self.max_ages.copy(),
+            popularity=self.popularity.copy(),
+            update_costs=self.update_costs_vector(time_slot),
+            mbs_ages=self.mbs_store.ages[self.content_ids],
+        )
+
 
 class CacheSimulator:
     """Stage-1 simulator: MBS cache management over the RSU caches.
@@ -208,11 +266,23 @@ class CacheSimulator:
     policy:
         The caching policy the MBS uses (the paper's
         :class:`~repro.core.caching_mdp.MDPCachingPolicy` or any baseline).
+    reference:
+        When ``True``, run the original scalar per-(RSU, content) loop; the
+        default runs the vectorised loop, which produces bit-for-bit
+        identical trajectories (see tests/sim/test_vectorized_equivalence.py)
+        at a fraction of the per-slot cost.
     """
 
-    def __init__(self, config: ScenarioConfig, policy: CachingPolicy) -> None:
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: CachingPolicy,
+        *,
+        reference: bool = False,
+    ) -> None:
         self._config = config
         self._policy = policy
+        self._reference = bool(reference)
 
     @property
     def config(self) -> ScenarioConfig:
@@ -223,6 +293,11 @@ class CacheSimulator:
     def policy(self) -> CachingPolicy:
         """The caching policy under evaluation."""
         return self._policy
+
+    @property
+    def reference(self) -> bool:
+        """Whether the scalar reference loop is used instead of the vectorised one."""
+        return self._reference
 
     def run(self, *, num_slots: Optional[int] = None) -> CacheSimulationResult:
         """Run the simulation and return the recorded result."""
@@ -235,6 +310,22 @@ class CacheSimulator:
             self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
         )
         self._policy.reset()
+        if self._reference:
+            self._run_reference(state, metrics, num_slots)
+        else:
+            self._run_vectorized(state, metrics, num_slots)
+        return CacheSimulationResult(
+            config=self._config,
+            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+            metrics=metrics,
+            catalog=state.catalog,
+            topology=state.topology,
+        )
+
+    def _run_reference(
+        self, state: _SystemState, metrics: CacheMetrics, num_slots: int
+    ) -> None:
+        """The original scalar loop: one Python iteration per (RSU, slot)."""
         mbs_budget = LinkBudget()
 
         for t in range(num_slots):
@@ -257,13 +348,173 @@ class CacheSimulator:
                 cache.tick(1)
             state.mbs_store.tick(t + 1)
 
-        return CacheSimulationResult(
-            config=self._config,
-            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
-            metrics=metrics,
-            catalog=state.catalog,
-            topology=state.topology,
+    def _run_vectorized(
+        self, state: _SystemState, metrics: CacheMetrics, num_slots: int
+    ) -> None:
+        """Array-based hot loop over the (num_rsus, contents_per_rsu) matrices.
+
+        Reproduces the reference loop slot for slot: the ages live in one
+        matrix instead of per-RSU :class:`~repro.net.cache.RSUCache` objects,
+        applying the chosen updates is a ``where`` and advancing time is a
+        clipped add.  Initial ages still come from the caches built by
+        :class:`_SystemState` so the RNG stream consumption is unchanged.
+        """
+        mbs_budget = LinkBudget()
+        ages = state.ages_matrix()
+
+        for t in range(num_slots):
+            observation = state.observation_vector(t, ages)
+            actions = self._policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            # Apply the chosen updates: a refreshed copy restarts at age 1.
+            updated = actions > 0
+            ages = np.where(updated, 1.0, ages)
+            mbs_budget.charge_many(costs[updated])
+            metrics.record_slot(t, ages, actions, breakdown)
+            # Advance time: cached copies age by one slot, the MBS regenerates.
+            ages = np.minimum(ages + 1.0, state.cache_ceilings)
+            state.mbs_store.tick(t + 1)
+
+
+class _VectorQueues:
+    """Flat-array FIFO queues powering the vectorised service loops.
+
+    Each RSU's pending requests are two parallel Python lists (issue slots
+    and content ids) with a head pointer, plus O(1) aggregates (pending
+    count and sum of issue slots) so the per-slot latency
+    ``sum_i (t - issue_i)`` is ``t * pending - issue_sum`` — an integer
+    identity with :meth:`~repro.net.queueing.RequestQueue.total_waiting`.
+    Deadlines are monotone in issue time, so expiry only ever removes a
+    prefix.  No per-request objects are allocated.
+    """
+
+    def __init__(self, num_rsus: int, deadline_slots: Optional[int]) -> None:
+        self._deadline_slots = deadline_slots
+        self._issues: List[List[int]] = [[] for _ in range(num_rsus)]
+        self._contents: List[List[int]] = [[] for _ in range(num_rsus)]
+        self._head = [0] * num_rsus
+        self.pending = [0] * num_rsus
+        self._issue_sum = [0] * num_rsus
+
+    def enqueue(self, rsu: int, time_slot: int, content_ids: np.ndarray) -> None:
+        count = int(content_ids.size)
+        self._issues[rsu].extend([time_slot] * count)
+        self._contents[rsu].extend(int(h) for h in content_ids)
+        self.pending[rsu] += count
+        self._issue_sum[rsu] += time_slot * count
+
+    def expire(self, rsu: int, time_slot: int) -> None:
+        if self._deadline_slots is None:
+            return
+        cutoff = time_slot - self._deadline_slots
+        issues, head = self._issues[rsu], self._head[rsu]
+        while self.pending[rsu] and issues[head] < cutoff:
+            self._issue_sum[rsu] -= issues[head]
+            self.pending[rsu] -= 1
+            head += 1
+        self._head[rsu] = head
+        self._compact(rsu)
+
+    def total_waiting(self, rsu: int, time_slot: int) -> int:
+        return time_slot * self.pending[rsu] - self._issue_sum[rsu]
+
+    def head(self, rsu: int) -> Optional[Tuple[int, int]]:
+        """Return ``(content_id, issue_slot)`` of the oldest pending request."""
+        if not self.pending[rsu]:
+            return None
+        head = self._head[rsu]
+        return self._contents[rsu][head], self._issues[rsu][head]
+
+    def head_deadline_slack(self, rsu: int, time_slot: int) -> Optional[float]:
+        if self._deadline_slots is None:
+            return None
+        entry = self.head(rsu)
+        if entry is None:
+            return None
+        return float(entry[1] + self._deadline_slots - time_slot)
+
+    def serve(self, rsu: int, count: int) -> int:
+        """Serve the *count* oldest pending requests; return how many departed."""
+        count = min(count, self.pending[rsu])
+        if count <= 0:
+            return 0
+        head = self._head[rsu]
+        self._issue_sum[rsu] -= sum(self._issues[rsu][head : head + count])
+        self.pending[rsu] -= count
+        self._head[rsu] = head + count
+        self._compact(rsu)
+        return count
+
+    def _compact(self, rsu: int) -> None:
+        head = self._head[rsu]
+        if head > 1024 and head * 2 > len(self._issues[rsu]):
+            self._issues[rsu] = self._issues[rsu][head:]
+            self._contents[rsu] = self._contents[rsu][head:]
+            self._head[rsu] = 0
+
+
+def _vector_service_slot(
+    state: _SystemState,
+    queues: _VectorQueues,
+    policy: ServicePolicy,
+    service_batch: Optional[int],
+    metrics: ServiceMetrics,
+    time_slot: int,
+    cost: float,
+    ages: np.ndarray,
+) -> None:
+    """One slot of the vectorised stage-2 loop across all RSUs.
+
+    Shared by :class:`ServiceSimulator` (frozen *ages*) and
+    :class:`JointSimulator` (the live stage-1 ages matrix): expire, account
+    latency/backlog, build the per-RSU observation with the AoI-guard head
+    lookup, apply the policy decision, and record the slot.
+    """
+    backlogs, latencies, costs, decisions, served_counts = ([], [], [], [], [])
+    for k in range(state.config.num_rsus):
+        queues.expire(k, time_slot)
+        latency = float(queues.total_waiting(k, time_slot))
+        backlog = float(queues.pending[k])
+        head = queues.head(k)
+        head_age = head_max = None
+        if head is not None:
+            slot = state.content_slot[head[0]]
+            # Plain floats, not np.float64: ServiceObservation's freshness
+            # property must return the bool singletons the AoI guard
+            # compares against by identity.
+            head_age = float(ages[k, slot])
+            head_max = float(state.max_ages[k, slot])
+        observation = ServiceObservation(
+            time_slot=time_slot,
+            rsu_id=k,
+            queue_backlog=latency,
+            service_cost=cost,
+            departure=latency,
+            head_content_age=head_age,
+            head_content_max_age=head_max,
+            head_deadline_slack=queues.head_deadline_slack(k, time_slot),
         )
+        serve = policy.decide(observation) and queues.pending[k] > 0
+        served = 0
+        spent = 0.0
+        if serve:
+            batch = (
+                queues.pending[k]
+                if service_batch is None
+                else min(service_batch, queues.pending[k])
+            )
+            served = queues.serve(k, batch)
+            spent = cost * served
+        backlogs.append(backlog)
+        latencies.append(latency)
+        costs.append(spent)
+        decisions.append(bool(serve))
+        served_counts.append(served)
+    metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
 
 
 class ServiceSimulator:
@@ -293,12 +544,14 @@ class ServiceSimulator:
         policy: ServicePolicy,
         *,
         service_batch: Optional[int] = None,
+        reference: bool = False,
     ) -> None:
         if service_batch is not None:
             check_positive_int(service_batch, "service_batch")
         self._config = config
         self._policy = policy
         self._service_batch = service_batch
+        self._reference = bool(reference)
 
     @property
     def config(self) -> ScenarioConfig:
@@ -310,6 +563,11 @@ class ServiceSimulator:
         """The service policy under evaluation."""
         return self._policy
 
+    @property
+    def reference(self) -> bool:
+        """Whether the scalar reference loop is used instead of the vectorised one."""
+        return self._reference
+
     def run(self, *, num_slots: Optional[int] = None) -> ServiceSimulationResult:
         """Run the simulation and return the recorded result."""
         num_slots = check_positive_int(
@@ -319,6 +577,20 @@ class ServiceSimulator:
         state = _SystemState(self._config)
         metrics = ServiceMetrics(self._config.num_rsus)
         self._policy.reset()
+        if self._reference:
+            self._run_reference(state, metrics, num_slots)
+        else:
+            self._run_vectorized(state, metrics, num_slots)
+        return ServiceSimulationResult(
+            config=self._config,
+            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+            metrics=metrics,
+        )
+
+    def _run_reference(
+        self, state: _SystemState, metrics: ServiceMetrics, num_slots: int
+    ) -> None:
+        """The original per-request object loop."""
         queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
 
         for t in range(num_slots):
@@ -380,11 +652,33 @@ class ServiceSimulator:
             # the coupled behaviour is exercised by JointSimulator.
             state.mbs_store.tick(t + 1)
 
-        return ServiceSimulationResult(
-            config=self._config,
-            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
-            metrics=metrics,
-        )
+    def _run_vectorized(
+        self, state: _SystemState, metrics: ServiceMetrics, num_slots: int
+    ) -> None:
+        """Flat-array service loop: same trajectories, no request objects.
+
+        The workload RNG draws are shared with the reference loop through
+        :meth:`~repro.net.requests.RequestGenerator.generate_slot_contents`,
+        the per-slot service cost is evaluated once (every RSU sees the same
+        distance), and queue accounting runs on :class:`_VectorQueues`
+        aggregates.  Cache ages are static here, so the AoI guard reads a
+        frozen ages matrix.
+        """
+        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+        static_ages = state.ages_matrix()
+        distance = 0.5 * state.topology.region_length
+
+        for t in range(num_slots):
+            for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+                queues.enqueue(rsu_id, t, content_ids)
+            cost = state.service_cost_model.cost(
+                distance=distance, size=1.0, time_slot=t
+            )
+            _vector_service_slot(
+                state, queues, self._policy, self._service_batch, metrics,
+                t, cost, static_ages,
+            )
+            state.mbs_store.tick(t + 1)
 
 
 class JointSimulator:
@@ -405,6 +699,7 @@ class JointSimulator:
         service_policy: ServicePolicy,
         *,
         service_batch: Optional[int] = None,
+        reference: bool = False,
     ) -> None:
         if service_batch is not None:
             check_positive_int(service_batch, "service_batch")
@@ -412,11 +707,17 @@ class JointSimulator:
         self._caching_policy = caching_policy
         self._service_policy = service_policy
         self._service_batch = service_batch
+        self._reference = bool(reference)
 
     @property
     def config(self) -> ScenarioConfig:
         """The scenario being simulated."""
         return self._config
+
+    @property
+    def reference(self) -> bool:
+        """Whether the scalar reference loop is used instead of the vectorised one."""
+        return self._reference
 
     def run(self, *, num_slots: Optional[int] = None) -> JointSimulationResult:
         """Run the coupled simulation and return both stages' metrics."""
@@ -431,6 +732,30 @@ class JointSimulator:
         service_metrics = ServiceMetrics(self._config.num_rsus)
         self._caching_policy.reset()
         self._service_policy.reset()
+        if self._reference:
+            self._run_reference(state, cache_metrics, service_metrics, num_slots)
+        else:
+            self._run_vectorized(state, cache_metrics, service_metrics, num_slots)
+        return JointSimulationResult(
+            config=self._config,
+            caching_policy_name=getattr(
+                self._caching_policy, "name", type(self._caching_policy).__name__
+            ),
+            service_policy_name=getattr(
+                self._service_policy, "name", type(self._service_policy).__name__
+            ),
+            cache_metrics=cache_metrics,
+            service_metrics=service_metrics,
+        )
+
+    def _run_reference(
+        self,
+        state: _SystemState,
+        cache_metrics: CacheMetrics,
+        service_metrics: ServiceMetrics,
+        num_slots: int,
+    ) -> None:
+        """The original scalar two-stage loop."""
         queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
 
         for t in range(num_slots):
@@ -510,14 +835,47 @@ class JointSimulator:
                 cache.tick(1)
             state.mbs_store.tick(t + 1)
 
-        return JointSimulationResult(
-            config=self._config,
-            caching_policy_name=getattr(
-                self._caching_policy, "name", type(self._caching_policy).__name__
-            ),
-            service_policy_name=getattr(
-                self._service_policy, "name", type(self._service_policy).__name__
-            ),
-            cache_metrics=cache_metrics,
-            service_metrics=service_metrics,
-        )
+    def _run_vectorized(
+        self,
+        state: _SystemState,
+        cache_metrics: CacheMetrics,
+        service_metrics: ServiceMetrics,
+        num_slots: int,
+    ) -> None:
+        """Vectorised two-stage loop sharing one live ages matrix.
+
+        Stage 1 updates the ages matrix exactly like the vectorised
+        :class:`CacheSimulator`; stage 2's AoI-validity guard then reads the
+        post-update (pre-tick) ages, preserving the reference coupling.
+        """
+        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+        ages = state.ages_matrix()
+        distance = 0.5 * state.topology.region_length
+
+        for t in range(num_slots):
+            # ---- Stage 1: cache management -------------------------------
+            observation = state.observation_vector(t, ages)
+            actions = self._caching_policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            ages = np.where(actions > 0, 1.0, ages)
+            cache_metrics.record_slot(t, ages, actions, breakdown)
+
+            # ---- Stage 2: content service ---------------------------------
+            # The AoI guard reads the live post-update (pre-tick) ages.
+            for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+                queues.enqueue(rsu_id, t, content_ids)
+            cost = state.service_cost_model.cost(
+                distance=distance, size=1.0, time_slot=t
+            )
+            _vector_service_slot(
+                state, queues, self._service_policy, self._service_batch,
+                service_metrics, t, cost, ages,
+            )
+
+            # ---- Advance time ---------------------------------------------
+            ages = np.minimum(ages + 1.0, state.cache_ceilings)
+            state.mbs_store.tick(t + 1)

@@ -50,6 +50,34 @@ def ensure_rng(source: RandomSource = None) -> np.random.Generator:
     )
 
 
+def spawn_run_seeds(base_seed: int, count: int) -> list:
+    """Derive *count* distinct integer scenario seeds from *base_seed*.
+
+    The first seed is *base_seed* itself, so a single-seed run is identical
+    to passing the base seed directly; the remaining seeds come from
+    independent :class:`numpy.random.SeedSequence` children, so the runs of
+    a multi-seed batch never share RNG streams regardless of how the work is
+    split across worker processes.  The derivation is deterministic: the
+    same ``(base_seed, count)`` always yields the same seed list.
+    """
+    if not isinstance(base_seed, (int, np.integer)) or base_seed < 0:
+        raise ValidationError(
+            f"base_seed must be a non-negative integer, got {base_seed!r}"
+        )
+    if count < 1:
+        raise ValidationError(f"count must be >= 1, got {count}")
+    seeds = [int(base_seed)]
+    children = np.random.SeedSequence(int(base_seed)).spawn(count - 1)
+    for child in children:
+        seed = int(child.generate_state(2, dtype=np.uint64)[0] >> 1)
+        # Astronomically unlikely, but keep the guarantee airtight: nudge
+        # forward past any collision with an already-issued seed.
+        while seed in seeds:
+            seed += 1
+        seeds.append(seed)
+    return seeds
+
+
 def spawn_streams(source: RandomSource, count: int) -> list:
     """Derive *count* independent generators from *source*.
 

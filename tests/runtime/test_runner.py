@@ -1,0 +1,232 @@
+"""Tests for repro.runtime.runner (the batched parallel experiment runner).
+
+The load-bearing property is determinism: the same grid must produce the
+bit-identical :class:`BatchResult` for every worker count, and the derived
+per-run seeds must never collide.  Grids here use tiny scenarios and cheap
+policies so the process-pool cases stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import (
+    lyapunov_policy_factory,
+    mdp_policy_factory,
+    v_sweep,
+    weight_sweep,
+)
+from repro.baselines.caching import PeriodicUpdatePolicy, RandomUpdatePolicy
+from repro.exceptions import ValidationError
+from repro.runtime.runner import (
+    BatchResult,
+    ExperimentRunner,
+    RunRecord,
+    RunSpec,
+    expand_seeds,
+    execute_spec,
+)
+from repro.sim.scenario import ScenarioConfig
+from repro.utils.rng import spawn_run_seeds
+
+
+def make_periodic_policy(scenario):
+    """Module-level factory so the spec pickles into pool workers."""
+    return PeriodicUpdatePolicy(period=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    return ScenarioConfig.small(seed=11, num_slots=30)
+
+
+def cache_grid(tiny_scenario, labels=("a", "b")):
+    return [
+        RunSpec(
+            kind="cache",
+            scenario=tiny_scenario,
+            policy=make_periodic_policy,
+            seed=7 + index,
+            label=label,
+        )
+        for index, label in enumerate(labels)
+    ]
+
+
+class TestSeedSpawning:
+    def test_first_seed_is_base(self):
+        assert spawn_run_seeds(42, 5)[0] == 42
+
+    def test_deterministic(self):
+        assert spawn_run_seeds(3, 8) == spawn_run_seeds(3, 8)
+
+    def test_distinct(self):
+        seeds = spawn_run_seeds(0, 64)
+        assert len(set(seeds)) == 64
+
+    def test_non_negative_ints(self):
+        assert all(isinstance(s, int) and s >= 0 for s in spawn_run_seeds(1, 16))
+
+    def test_different_bases_differ(self):
+        assert spawn_run_seeds(0, 4)[1:] != spawn_run_seeds(1, 4)[1:]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_run_seeds(-1, 2)
+        with pytest.raises(ValidationError):
+            spawn_run_seeds(0, 0)
+
+
+class TestRunSpec:
+    def test_invalid_kind_rejected(self, tiny_scenario):
+        with pytest.raises(ValidationError):
+            RunSpec(kind="nope", scenario=tiny_scenario, policy=make_periodic_policy)
+
+    def test_joint_requires_service_policy(self, tiny_scenario):
+        with pytest.raises(ValidationError):
+            RunSpec(kind="joint", scenario=tiny_scenario, policy=make_periodic_policy)
+
+    def test_expand_seeds_single_is_identity(self, tiny_scenario):
+        specs = cache_grid(tiny_scenario)
+        assert expand_seeds(specs, 1) == specs
+
+    def test_expand_seeds_replicates(self, tiny_scenario):
+        expanded = expand_seeds(cache_grid(tiny_scenario), 3)
+        assert len(expanded) == 6
+        assert [spec.label for spec in expanded] == ["a"] * 3 + ["b"] * 3
+        assert len({(spec.label, spec.seed) for spec in expanded}) == 6
+
+
+class TestExecuteSpec:
+    def test_matches_direct_simulation(self, tiny_scenario):
+        from repro.sim.simulator import CacheSimulator
+
+        spec = cache_grid(tiny_scenario)[0]
+        record = execute_spec(spec)
+        direct = CacheSimulator(
+            tiny_scenario.with_overrides(seed=spec.seed), make_periodic_policy(None)
+        ).run()
+        assert record.summary == direct.summary()
+        assert np.array_equal(record.trace, direct.cumulative_reward)
+
+    def test_policy_instance_not_mutated(self, tiny_scenario):
+        # A stochastic policy instance shared by several specs must be
+        # deep-copied per run, so serial re-use equals parallel pickling.
+        policy = RandomUpdatePolicy(rate=0.5, rng=99)
+        spec = RunSpec(kind="cache", scenario=tiny_scenario, policy=policy, seed=1)
+        first = execute_spec(spec)
+        second = execute_spec(spec)
+        assert first.matches(second)
+
+
+class TestRunnerDeterminism:
+    def test_serial_and_parallel_batches_identical(self, tiny_scenario):
+        specs = expand_seeds(cache_grid(tiny_scenario), 2)
+        serial = ExperimentRunner(workers=1).run(specs)
+        parallel = ExperimentRunner(workers=4).run(specs)
+        assert serial.matches(parallel)
+        assert serial.aggregate() == parallel.aggregate()
+
+    def test_service_grid_across_worker_counts(self, tiny_scenario):
+        specs = [
+            RunSpec(
+                kind="service",
+                scenario=tiny_scenario,
+                policy=lyapunov_policy_factory,
+                seed=5,
+                label="lyapunov",
+            )
+        ]
+        batches = [
+            ExperimentRunner(workers=workers).run_grid(specs, num_seeds=3)
+            for workers in (1, 2, 4)
+        ]
+        assert batches[0].matches(batches[1])
+        assert batches[1].matches(batches[2])
+
+    def test_child_seeds_do_not_collide(self, tiny_scenario):
+        batch = ExperimentRunner(workers=1).run_grid(
+            cache_grid(tiny_scenario, labels=("a",)), num_seeds=16
+        )
+        assert len(set(batch.seeds())) == 16
+
+    def test_different_seeds_give_different_results(self, tiny_scenario):
+        batch = ExperimentRunner(workers=1).run_grid(
+            cache_grid(tiny_scenario, labels=("a",)), num_seeds=4
+        )
+        rewards = [record.summary["total_reward"] for record in batch.records]
+        assert len(set(rewards)) > 1
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentRunner(workers=1).run([])
+
+
+class TestAggregation:
+    def test_single_seed_rows_have_no_ci(self, tiny_scenario):
+        rows = ExperimentRunner(workers=1).run(cache_grid(tiny_scenario)).aggregate()
+        assert [row["label"] for row in rows] == ["a", "b"]
+        assert all(row["num_seeds"] == 1 for row in rows)
+        assert not any(key.endswith("_ci") for row in rows for key in row)
+
+    def test_multi_seed_rows_report_mean_and_ci(self, tiny_scenario):
+        batch = ExperimentRunner(workers=1).run_grid(
+            cache_grid(tiny_scenario, labels=("a",)), num_seeds=5
+        )
+        (row,) = batch.aggregate()
+        rewards = [record.summary["total_reward"] for record in batch.records]
+        assert row["num_seeds"] == 5
+        assert row["total_reward"] == pytest.approx(float(np.mean(rewards)))
+        assert row["total_reward_ci"] >= 0.0
+        # Non-numeric summary entries (policy name) survive aggregation.
+        assert row["policy"] == batch.records[0].summary["policy"]
+
+    def test_labels_preserve_grid_order(self, tiny_scenario):
+        batch = ExperimentRunner(workers=1).run_grid(
+            cache_grid(tiny_scenario, labels=("z", "a", "m")), num_seeds=2
+        )
+        assert batch.labels() == ["z", "a", "m"]
+
+
+class TestSweepsThroughRunner:
+    def test_weight_sweep_identical_across_worker_counts(self):
+        config = ScenarioConfig.small(seed=2, num_slots=30)
+        serial = weight_sweep([0.5, 2.0], config=config, num_seeds=2, workers=1)
+        parallel = weight_sweep([0.5, 2.0], config=config, num_seeds=2, workers=4)
+        assert serial == parallel
+
+    def test_v_sweep_identical_across_worker_counts(self):
+        config = ScenarioConfig.small(seed=2, num_slots=30)
+        serial = v_sweep([1.0, 10.0], config=config, num_seeds=2, workers=1)
+        parallel = v_sweep([1.0, 10.0], config=config, num_seeds=2, workers=3)
+        assert serial == parallel
+
+    def test_single_seed_matches_legacy_rows(self):
+        # num_seeds=1 must reproduce the pre-runner behaviour exactly: same
+        # seed, same simulation, same row values, no extra columns.
+        config = ScenarioConfig.small(seed=2, num_slots=30)
+        rows = weight_sweep([0.5], config=config)
+        assert set(rows[0]) == {
+            "weight",
+            "mean_age",
+            "violation_fraction",
+            "total_cost",
+            "total_updates",
+            "total_reward",
+        }
+
+
+class TestRunRecordMatching:
+    def test_matches_requires_identical_traces(self):
+        a = RunRecord(label="x", seed=0, kind="cache", summary={"m": 1.0},
+                      trace=np.asarray([1.0, 2.0]))
+        b = RunRecord(label="x", seed=0, kind="cache", summary={"m": 1.0},
+                      trace=np.asarray([1.0, 2.5]))
+        assert not a.matches(b)
+        assert a.matches(a)
+
+    def test_batch_matches_detects_reordering(self):
+        a = RunRecord(label="x", seed=0, kind="cache", summary={"m": 1.0})
+        b = RunRecord(label="y", seed=1, kind="cache", summary={"m": 2.0})
+        assert not BatchResult([a, b]).matches(BatchResult([b, a]))
