@@ -105,7 +105,7 @@ from repro.sim import (
     ServiceSimulator,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlwaysServePolicy",

@@ -10,7 +10,10 @@ Every sweep executes through :class:`repro.runtime.ExperimentRunner`: pass
 ``num_seeds`` to average each grid point over independent scenario seeds
 (rows then carry ``<metric>_ci`` 95% half-widths and a ``num_seeds`` count)
 and ``workers`` to fan the grid out over worker processes.  Results are
-identical for every worker count.
+identical for every worker count.  Multi-seed grids dispatch through the
+simulators' seed-batched tensor path, and MDP solves are shared across grid
+points and processes via :mod:`repro.core.solve_cache` — a sweep only
+re-solves the models whose parameters actually changed.
 """
 
 from __future__ import annotations

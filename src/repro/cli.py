@@ -1,10 +1,11 @@
 """Command-line interface for the reproduction harness.
 
-Three subcommands cover the common workflows without writing any Python:
+Four subcommands cover the common workflows without writing any Python:
 
 * ``list`` — show every registered experiment (the E1-E7 index of DESIGN.md).
 * ``run`` — run one or more experiments and print their reports.
 * ``figures`` — regenerate the paper's Fig. 1a / Fig. 1b as ASCII charts.
+* ``cache`` — inspect or clear the on-disk MDP solve cache.
 
 Examples::
 
@@ -12,12 +13,17 @@ Examples::
     python -m repro.cli run E1 E2 --slots 300
     python -m repro.cli run all --slots 1000 --seed 1
     python -m repro.cli run all --seeds 5 --workers 4   # multi-seed, parallel
+    python -m repro.cli run E1 --profile                # cProfile hotspots
     python -m repro.cli figures --slots 500
+    python -m repro.cli cache --clear
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import os
+import pstats
 import sys
 from typing import List, Optional, Sequence
 
@@ -85,11 +91,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "wrap the run in cProfile and print the top-20 cumulative-time "
+            "hotspots after the reports"
+        ),
+    )
+
     figures_parser = subparsers.add_parser(
         "figures", help="regenerate Fig. 1a and Fig. 1b as ASCII charts"
     )
     figures_parser.add_argument("--slots", type=int, default=300)
     figures_parser.add_argument("--seed", type=int, default=0)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk MDP solve cache"
+    )
+    cache_parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="delete every persisted solve from the cache directory",
+    )
 
     return parser
 
@@ -145,6 +169,48 @@ def _command_figures(arguments, out) -> int:
     return 0
 
 
+def _command_cache(arguments, out) -> int:
+    from repro.core.solve_cache import default_directory, global_solve_cache
+
+    directory = default_directory()
+    if directory is None:
+        out.write("Solve cache: disk persistence disabled (REPRO_SOLVE_CACHE=0)\n")
+        return 0
+    entries = (
+        [name for name in os.listdir(directory) if name.endswith(".npz")]
+        if os.path.isdir(directory)
+        else []
+    )
+    if arguments.clear:
+        global_solve_cache().clear(disk=True)
+        out.write(
+            f"Cleared {len(entries)} persisted solve(s) from {directory}\n"
+        )
+        return 0
+    stats = global_solve_cache().stats
+    out.write(f"Solve cache directory: {directory}\n")
+    out.write(f"Persisted solves: {len(entries)}\n")
+    out.write(
+        f"This process: hits={stats.hits} disk_hits={stats.disk_hits} "
+        f"misses={stats.misses}\n"
+    )
+    return 0
+
+
+def _profiled(fn, out) -> int:
+    """Run *fn* under cProfile and append the top-20 cumulative hotspots."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        exit_code = fn()
+    finally:
+        profiler.disable()
+        out.write("\nTop 20 hotspots (cumulative time)\n")
+        out.write("---------------------------------\n")
+        pstats.Stats(profiler, stream=out).sort_stats("cumulative").print_stats(20)
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -152,9 +218,13 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if arguments.command == "list":
         return _command_list(out)
     if arguments.command == "run":
+        if arguments.profile:
+            return _profiled(lambda: _command_run(arguments, out), out)
         return _command_run(arguments, out)
     if arguments.command == "figures":
         return _command_figures(arguments, out)
+    if arguments.command == "cache":
+        return _command_cache(arguments, out)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
 
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.mdp import DiscreteSpace, MDPModel, TabularMDP, build_tabular
 from repro.core.policies import CacheObservation, CachingPolicy
 from repro.core.reward import UtilityFunction
+from repro.core.solve_cache import global_solve_cache, solve_key
 from repro.core.solvers import SolverResult, value_iteration
 from repro.exceptions import ConfigurationError, ModelError, ValidationError
 from repro.utils.validation import (
@@ -441,7 +442,8 @@ class MDPCachingPolicy(CachingPolicy):
 
     name = "mdp"
 
-    #: Cap on memoised single-content solutions; see _build_content_models.
+    #: Default cap on memoised single-content solutions; see
+    #: _build_content_models and the ``memo_limit`` parameter.
     _SOLUTION_MEMO_LIMIT = 4096
 
     def __init__(
@@ -450,6 +452,8 @@ class MDPCachingPolicy(CachingPolicy):
         *,
         mode: str = "auto",
         exact_state_limit: int = 2_000,
+        memo_limit: Optional[int] = None,
+        use_solve_cache: bool = True,
     ) -> None:
         if mode not in ("exact", "factored", "auto"):
             raise ConfigurationError(
@@ -460,6 +464,17 @@ class MDPCachingPolicy(CachingPolicy):
         self._exact_state_limit = check_positive_int(
             exact_state_limit, "exact_state_limit"
         )
+        self._memo_limit = check_positive_int(
+            memo_limit if memo_limit is not None else self._SOLUTION_MEMO_LIMIT,
+            "memo_limit",
+        )
+        self._use_solve_cache = bool(use_solve_cache)
+        self._memo_hits = 0
+        self._memo_misses = 0
+        # Bumped on every full model rebuild; lets batched callers detect
+        # when their stacked advantage tables went stale.
+        self._models_version = 0
+        self._rebuild_count = 0
         self._content_models: Dict[Tuple[int, int], _SolvedContentModel] = {}
         self._rsu_models: Dict[int, _SolvedRSUModel] = {}
         self._rsu_mode: Dict[int, str] = {}
@@ -489,6 +504,32 @@ class MDPCachingPolicy(CachingPolicy):
     def mode(self) -> str:
         """The requested operating mode."""
         return self._mode
+
+    @property
+    def memo_limit(self) -> int:
+        """FIFO bound on the per-instance solved-model memo."""
+        return self._memo_limit
+
+    @property
+    def memo_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the per-instance solved-model memo.
+
+        A hit means a requested single-content model was served without any
+        solver work *and* without consulting the shared solve cache; misses
+        count the lookups that had to go further (shared cache or a fresh
+        value iteration — the shared cache's own stats distinguish the two).
+        """
+        return {
+            "hits": self._memo_hits,
+            "misses": self._memo_misses,
+            "size": len(self._solution_memo),
+            "limit": self._memo_limit,
+        }
+
+    @property
+    def models_version(self) -> int:
+        """Counter bumped whenever the solved models are rebuilt."""
+        return self._models_version
 
     def reset(self) -> None:
         """Drop all solved models (they will be rebuilt on the next decide).
@@ -562,14 +603,30 @@ class MDPCachingPolicy(CachingPolicy):
     # Internals
     # ------------------------------------------------------------------
     def _ensure_models(self, observation: CacheObservation) -> None:
-        max_ages = np.asarray(observation.max_ages, dtype=float)
-        popularity = np.asarray(observation.popularity, dtype=float)
-        costs = np.asarray(observation.update_costs, dtype=float)
+        self._ensure_params(
+            np.asarray(observation.max_ages, dtype=float),
+            np.asarray(observation.popularity, dtype=float),
+            np.asarray(observation.update_costs, dtype=float),
+        )
+
+    def _ensure_params(
+        self,
+        max_ages: np.ndarray,
+        popularity: np.ndarray,
+        costs: np.ndarray,
+    ) -> None:
+        """Array-level twin of :meth:`_ensure_models`.
+
+        Takes the three parameter matrices directly so the seed-batched
+        simulator path can ensure per-seed models without constructing
+        per-slot :class:`CacheObservation` objects.
+        """
+        num_rsus, contents_per_rsu = max_ages.shape
         signature = self._params_signature
         shape_matches = (
             signature is not None
-            and signature[0] == observation.num_rsus
-            and signature[1] == observation.contents_per_rsu
+            and signature[0] == num_rsus
+            and signature[1] == contents_per_rsu
         )
         # Fast path for the per-slot hot loop: parameters are usually reused
         # verbatim, so exact array equality short-circuits the rounding.
@@ -590,8 +647,8 @@ class MDPCachingPolicy(CachingPolicy):
             and np.array_equal(np.round(costs, 9), np.round(signature[4], 9))
         ):
             self._params_signature = (
-                observation.num_rsus,
-                observation.contents_per_rsu,
+                num_rsus,
+                contents_per_rsu,
                 max_ages.copy(),
                 popularity.copy(),
                 costs.copy(),
@@ -599,23 +656,23 @@ class MDPCachingPolicy(CachingPolicy):
             return
         self.reset()
         self._params_signature = (
-            observation.num_rsus,
-            observation.contents_per_rsu,
+            num_rsus,
+            contents_per_rsu,
             max_ages.copy(),
             popularity.copy(),
             costs.copy(),
         )
-        for rsu in range(observation.num_rsus):
-            max_ages = np.asarray(observation.max_ages[rsu], dtype=float)
-            popularity = np.asarray(observation.popularity[rsu], dtype=float)
-            costs = np.asarray(observation.update_costs[rsu], dtype=float)
-            self._build_content_models(rsu, max_ages, popularity, costs)
-            self._rsu_mode[rsu] = self._select_mode(max_ages)
+        self._rebuild_count += 1
+        for rsu in range(num_rsus):
+            rsu_max_ages = np.asarray(max_ages[rsu], dtype=float)
+            rsu_popularity = np.asarray(popularity[rsu], dtype=float)
+            rsu_costs = np.asarray(costs[rsu], dtype=float)
+            self._build_content_models(rsu, rsu_max_ages, rsu_popularity, rsu_costs)
+            self._rsu_mode[rsu] = self._select_mode(rsu_max_ages)
             if self._rsu_mode[rsu] == "exact":
-                self._build_rsu_model(rsu, max_ages, popularity, costs)
-        self._build_advantage_table(
-            observation.num_rsus, observation.contents_per_rsu
-        )
+                self._build_rsu_model(rsu, rsu_max_ages, rsu_popularity, rsu_costs)
+        self._build_advantage_table(num_rsus, contents_per_rsu)
+        self._models_version += 1
 
     def _build_advantage_table(self, num_rsus: int, contents_per_rsu: int) -> None:
         levels = max(
@@ -663,24 +720,66 @@ class MDPCachingPolicy(CachingPolicy):
             )
             solved = self._solution_memo.get(key)
             if solved is None:
+                self._memo_misses += 1
                 mdp = ContentUpdateMDP(
                     max_age=key[0],
                     popularity=key[1],
                     update_cost=key[2],
                     config=self._config,
                 )
-                result = value_iteration(
-                    mdp, discount=self._config.discount, tolerance=1e-9
-                )
-                solved = _SolvedContentModel(mdp=mdp, q_values=result.q_values)
+                q_values = self._solve_content(mdp, key)
+                solved = _SolvedContentModel(mdp=mdp, q_values=q_values)
                 # Bound the memo: time-varying costs mint fresh keys every
                 # re-solve, and an uncapped memo would grow for the whole
                 # run.  FIFO eviction keeps the static-cost fast path (few
                 # recurring keys) intact.
-                if len(self._solution_memo) >= self._SOLUTION_MEMO_LIMIT:
+                if len(self._solution_memo) >= self._memo_limit:
                     self._solution_memo.pop(next(iter(self._solution_memo)))
                 self._solution_memo[key] = solved
+            else:
+                self._memo_hits += 1
             self._content_models[(rsu, content)] = solved
+
+    def _solve_content(
+        self, mdp: ContentUpdateMDP, key: Tuple[float, float, float]
+    ) -> np.ndarray:
+        """Solve one single-content MDP, going through the shared solve cache."""
+        if not self._use_solve_cache:
+            return value_iteration(
+                mdp, discount=self._config.discount, tolerance=1e-9
+            ).q_values
+        cache = global_solve_cache()
+        cache_key = self._content_cache_key(key)
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached.q_values
+        result = value_iteration(mdp, discount=self._config.discount, tolerance=1e-9)
+        # Runs with time-varying costs mint fresh keys every slot; after a
+        # few rebuilds stop persisting those one-shot solves so the disk
+        # layer holds only keys that can actually recur across runs.
+        cache.put(cache_key, result, persist=self._rebuild_count <= 2)
+        return result.q_values
+
+    def _content_cache_key(self, key: Tuple[float, float, float]) -> str:
+        return solve_key(
+            "content-update",
+            max_age=key[0],
+            popularity=key[1],
+            update_cost=key[2],
+            tolerance=1e-9,
+            **self._config_key_fields(),
+        )
+
+    def _config_key_fields(self) -> Dict[str, object]:
+        config = self._config
+        return {
+            "weight": config.weight,
+            "discount": config.discount,
+            "age_ceiling": config.age_ceiling,
+            "max_age_ceiling": config.max_age_ceiling,
+            "refresh_age": config.refresh_age,
+            "violation_penalty": config.violation_penalty,
+        }
 
     def _build_rsu_model(
         self,
@@ -696,8 +795,126 @@ class MDPCachingPolicy(CachingPolicy):
             config=self._config,
             max_states=self._exact_state_limit,
         )
-        result = value_iteration(mdp, discount=self._config.discount, tolerance=1e-7)
+        result = None
+        cache_key = None
+        if self._use_solve_cache:
+            cache_key = solve_key(
+                "rsu-joint",
+                max_ages=max_ages,
+                popularity=popularity,
+                update_costs=costs,
+                tolerance=1e-7,
+                **self._config_key_fields(),
+            )
+            result = global_solve_cache().get(cache_key)
+        if result is None:
+            result = value_iteration(
+                mdp, discount=self._config.discount, tolerance=1e-7
+            )
+            if cache_key is not None:
+                global_solve_cache().put(
+                    cache_key, result, persist=self._rebuild_count <= 2
+                )
         self._rsu_models[rsu] = _SolvedRSUModel(mdp=mdp, result=result)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"MDPCachingPolicy(mode={self._mode!r}, weight={self._config.weight:g})"
+
+
+class BatchedCacheDecider:
+    """One vectorised decide across a batch of per-seed MDP caching policies.
+
+    The seed-batched simulator keeps one :class:`MDPCachingPolicy` per seed
+    (each solved against that seed's catalog parameters, so results stay
+    bit-identical to per-seed execution) but wants a single tensor operation
+    per slot.  This helper stacks the per-policy factored advantage tables
+    into an ``(S, num_rsus, contents_per_rsu, levels)`` tensor and replays
+    exactly the gather + argmax of :meth:`MDPCachingPolicy.decide` along a
+    leading seed axis.
+
+    Only the all-factored case batches; if any policy selects the exact
+    per-RSU mode for any RSU, :meth:`prepare` reports ``False`` and the
+    caller falls back to per-seed decisions.
+    """
+
+    def __init__(self, policies: Sequence[MDPCachingPolicy]) -> None:
+        if not policies:
+            raise ValidationError("policies must be non-empty")
+        self._policies = list(policies)
+        self._versions: Optional[Tuple[int, ...]] = None
+        self._tables: Optional[np.ndarray] = None
+        self._ceilings: Optional[np.ndarray] = None
+
+    @staticmethod
+    def supports(policies: Sequence) -> bool:
+        """Whether every policy is a plain :class:`MDPCachingPolicy`.
+
+        Subclasses may override ``decide``, so only exact instances are
+        eligible for the stacked fast path.
+        """
+        return bool(policies) and all(
+            type(policy) is MDPCachingPolicy for policy in policies
+        )
+
+    def prepare(
+        self,
+        max_ages: np.ndarray,
+        popularity: np.ndarray,
+        update_costs: np.ndarray,
+    ) -> bool:
+        """Ensure per-seed models for the given ``(S, R, C)`` parameter tensors.
+
+        Returns ``True`` when every seed's every RSU runs the factored
+        controller (the stacked tables are then current), ``False`` when the
+        caller must fall back to per-seed ``decide`` calls.
+        """
+        for s, policy in enumerate(self._policies):
+            policy._ensure_params(max_ages[s], popularity[s], update_costs[s])
+            if any(mode != "factored" for mode in policy._rsu_mode.values()):
+                return False
+        versions = tuple(policy._models_version for policy in self._policies)
+        if versions != self._versions:
+            self._stack_tables()
+            self._versions = versions
+        return True
+
+    def _stack_tables(self) -> None:
+        tables = [policy._advantage_table for policy in self._policies]
+        levels = max(table.shape[2] for table in tables)
+        # Indices are clamped to each content's own grid ceiling before the
+        # gather, so the edge padding beyond a shorter table is never read.
+        self._tables = np.stack(
+            [
+                np.pad(table, ((0, 0), (0, 0), (0, levels - table.shape[2])), mode="edge")
+                for table in tables
+            ]
+        )
+        self._ceilings = np.stack(
+            [policy._grid_ceilings for policy in self._policies]
+        )
+
+    def decide(self, ages: np.ndarray) -> np.ndarray:
+        """Return the stacked ``(S, R, C)`` update decisions for *ages*.
+
+        Bit-identical to calling each policy's ``decide`` on its own seed's
+        ages matrix: the rounding, clamping, gather, argmax, and positive-
+        advantage threshold are the same operations applied along one extra
+        axis.
+        """
+        if self._tables is None:
+            raise ModelError("prepare() must succeed before decide()")
+        ages = np.asarray(ages, dtype=float)
+        if np.any(ages < 0) or not np.all(np.isfinite(ages)):
+            raise ValidationError("ages must be finite and >= 0")
+        indices = (np.clip(np.rint(ages), 1.0, self._ceilings) - 1.0).astype(int)
+        advantages = np.take_along_axis(
+            self._tables, indices[..., np.newaxis], axis=3
+        )[..., 0]
+        best = np.argmax(advantages, axis=2)
+        best_advantage = np.take_along_axis(
+            advantages, best[..., np.newaxis], axis=2
+        )[..., 0]
+        actions = np.zeros(ages.shape, dtype=int)
+        seed_rows, rsu_rows = np.nonzero(best_advantage > 1e-12)
+        actions[seed_rows, rsu_rows, best[seed_rows, rsu_rows]] = 1
+        return actions

@@ -19,18 +19,20 @@ service policy does not perturb the request workload.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.caching_mdp import BatchedCacheDecider
 from repro.core.policies import (
     CacheObservation,
     CachingPolicy,
     ServiceObservation,
     ServicePolicy,
 )
-from repro.core.reward import UtilityFunction
+from repro.core.reward import RewardBreakdown, UtilityFunction
 from repro.exceptions import SimulationError, ValidationError
 from repro.net.cache import MBSContentStore, RSUCache
 from repro.net.channel import CostModel, LinkBudget
@@ -256,6 +258,118 @@ class _SystemState:
         )
 
 
+def _expand_batch_policies(seeds: Sequence[int], policies, base_policy) -> List:
+    """Normalise a ``run_batch`` seed/policy pairing.
+
+    ``policies=None`` deep-copies the simulator's own policy per seed — the
+    exact semantics of executing the per-run path once per seed, where each
+    run starts from a pristine copy of the policy instance.
+    """
+    if not len(seeds):
+        raise ValidationError("seeds must be non-empty")
+    for seed in seeds:
+        if seed < 0:
+            raise ValidationError(f"seeds must be >= 0, got {seed}")
+    if policies is None:
+        return [copy.deepcopy(base_policy) for _ in seeds]
+    policies = list(policies)
+    if len(policies) != len(seeds):
+        raise ValidationError(
+            f"got {len(policies)} policies for {len(seeds)} seeds"
+        )
+    return policies
+
+
+class _BatchedCacheStage:
+    """Seed-axis tensor execution of the stage-1 (cache management) loop.
+
+    Stacks the per-seed ages, parameter, and cost matrices into
+    ``(num_seeds, num_rsus, contents_per_rsu)`` tensors and replays the
+    vectorised per-run loop along the leading seed axis: the element-wise
+    updates are the identical float operations, and the per-seed reward
+    reductions run over the same contiguous buffers, so every seed's
+    trajectory is bit-identical to its own per-run execution (pinned by
+    tests/sim/test_batch_equivalence.py).
+
+    Policies decide through :class:`~repro.core.caching_mdp.BatchedCacheDecider`
+    when every seed runs the factored MDP controller — one stacked gather +
+    argmax per slot — and fall back to per-seed ``decide`` calls (identical
+    results, per-run speed) for exact-mode or non-MDP policies.
+    """
+
+    def __init__(self, states: List[_SystemState], policies: List) -> None:
+        self.states = states
+        self.policies = policies
+        self.ages = np.stack([state.ages_matrix() for state in states])
+        self.max_ages = np.stack([state.max_ages for state in states])
+        self.popularity = np.stack([state.popularity for state in states])
+        self.ceilings = np.stack([state.cache_ceilings for state in states])
+        self.weight = states[0].config.aoi_weight
+        self.time_varying = states[0].update_cost_model.time_varying
+        self._decider = (
+            BatchedCacheDecider(policies)
+            if BatchedCacheDecider.supports(policies)
+            else None
+        )
+        self._batched = self._decider is not None
+        self._costs: Optional[np.ndarray] = None
+
+    def slot_costs(self, time_slot: int) -> np.ndarray:
+        """Stacked per-seed update costs for *time_slot* (cached when static)."""
+        if self._costs is None or self.time_varying:
+            self._costs = np.stack(
+                [state.update_costs_vector(time_slot) for state in self.states]
+            )
+        return self._costs
+
+    def decide(self, time_slot: int, costs: np.ndarray) -> np.ndarray:
+        """Stacked update decisions of every seed's policy for this slot."""
+        if self._batched and (time_slot == 0 or self.time_varying):
+            # Static parameters only need ensuring once: later slots would
+            # hit the policy's exact-equality fast path and change nothing.
+            self._batched = self._decider.prepare(
+                self.max_ages, self.popularity, costs
+            )
+        if self._batched:
+            return self._decider.decide(self.ages)
+        per_seed = []
+        for s, state in enumerate(self.states):
+            observation = state.observation_vector(time_slot, self.ages[s])
+            actions = self.policies[s].decide(observation)
+            per_seed.append(CachingPolicy.validate_actions(actions, observation))
+        return np.stack(per_seed)
+
+    def step(self, time_slot: int, metrics: List[CacheMetrics]) -> None:
+        """Run one slot: decide, account the Eq. (1) reward, apply updates."""
+        costs = self.slot_costs(time_slot)
+        actions = self.decide(time_slot, costs)
+        num_seeds = len(self.states)
+        # Batched twin of UtilityFunction.evaluate: identical element-wise
+        # expressions, reduced per seed over the same contiguous layout.
+        post_ages = np.where(actions > 0, 1.0, self.ages)
+        utilities = (self.max_ages / np.maximum(post_ages, 1.0)) * self.popularity
+        aoi_totals = utilities.reshape(num_seeds, -1).sum(axis=1)
+        cost_totals = (actions.astype(float) * costs).reshape(num_seeds, -1).sum(axis=1)
+        self.ages = np.where(actions > 0, 1.0, self.ages)
+        for s in range(num_seeds):
+            metrics[s].record_slot(
+                time_slot,
+                self.ages[s],
+                actions[s],
+                RewardBreakdown(
+                    aoi_utility=float(aoi_totals[s]),
+                    cost=float(cost_totals[s]),
+                    weight=self.weight,
+                ),
+            )
+
+    def advance(self, time_slot: int) -> None:
+        """Age every cached copy by one slot and regenerate the MBS copies."""
+        self.ages = np.minimum(self.ages + 1.0, self.ceilings)
+        for state in self.states:
+            state.mbs_store.tick(time_slot + 1)
+
+
 class CacheSimulator:
     """Stage-1 simulator: MBS cache management over the RSU caches.
 
@@ -321,6 +435,72 @@ class CacheSimulator:
             catalog=state.catalog,
             topology=state.topology,
         )
+
+    def run_batch(
+        self,
+        seeds: Sequence[int],
+        *,
+        policies: Optional[Sequence[CachingPolicy]] = None,
+        num_slots: Optional[int] = None,
+    ) -> List[CacheSimulationResult]:
+        """Run one simulation per seed through a single seed-batched loop.
+
+        Equivalent — bit for bit — to calling :meth:`run` once per seed on
+        ``config.with_overrides(seed=seed)``, but the hot loop carries all
+        seeds through ``(num_seeds, num_rsus, contents_per_rsu)`` tensors, so
+        one vectorised slot replaces ``len(seeds)`` separate ones.
+
+        Parameters
+        ----------
+        seeds:
+            Master scenario seeds, one per run.
+        policies:
+            Optional per-seed policy instances (e.g. factory-built); omitted,
+            each run gets a deep copy of the simulator's policy, exactly as
+            the per-run path would.
+        num_slots:
+            Optional horizon override shared by every run.
+        """
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        seeds = [int(seed) for seed in seeds]
+        policies = _expand_batch_policies(seeds, policies, self._policy)
+        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
+        if self._reference:
+            # The scalar loop has no tensor twin; replay it per seed.
+            return [
+                CacheSimulator(config, policy, reference=True).run(
+                    num_slots=num_slots
+                )
+                for config, policy in zip(configs, policies)
+            ]
+        states = [_SystemState(config) for config in configs]
+        metrics = [
+            CacheMetrics(
+                config.num_rsus, config.contents_per_rsu, state.max_ages
+            )
+            for config, state in zip(configs, states)
+        ]
+        for policy in policies:
+            policy.reset()
+        stage = _BatchedCacheStage(states, policies)
+        for t in range(num_slots):
+            stage.step(t, metrics)
+            stage.advance(t)
+        return [
+            CacheSimulationResult(
+                config=config,
+                policy_name=getattr(policy, "name", type(policy).__name__),
+                metrics=metric,
+                catalog=state.catalog,
+                topology=state.topology,
+            )
+            for config, policy, metric, state in zip(
+                configs, policies, metrics, states
+            )
+        ]
 
     def _run_reference(
         self, state: _SystemState, metrics: CacheMetrics, num_slots: int
@@ -587,6 +767,69 @@ class ServiceSimulator:
             metrics=metrics,
         )
 
+    def run_batch(
+        self,
+        seeds: Sequence[int],
+        *,
+        policies: Optional[Sequence[ServicePolicy]] = None,
+        num_slots: Optional[int] = None,
+    ) -> List[ServiceSimulationResult]:
+        """Run one simulation per seed, interleaved slot by slot.
+
+        Bit-identical to per-seed :meth:`run` calls.  The service stage's
+        per-slot work is per-RSU queue bookkeeping and policy calls (already
+        scalar), so unlike :meth:`CacheSimulator.run_batch` there is no
+        tensor axis to fold the seeds into; batching here exists so the
+        runtime can dispatch whole seed groups uniformly across run kinds.
+        """
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        seeds = [int(seed) for seed in seeds]
+        policies = _expand_batch_policies(seeds, policies, self._policy)
+        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
+        if self._reference:
+            return [
+                ServiceSimulator(
+                    config,
+                    policy,
+                    service_batch=self._service_batch,
+                    reference=True,
+                ).run(num_slots=num_slots)
+                for config, policy in zip(configs, policies)
+            ]
+        states = [_SystemState(config) for config in configs]
+        metrics = [ServiceMetrics(config.num_rsus) for config in configs]
+        for policy in policies:
+            policy.reset()
+        queues = [
+            _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+            for _ in states
+        ]
+        static_ages = [state.ages_matrix() for state in states]
+        for t in range(num_slots):
+            for s, state in enumerate(states):
+                for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+                    queues[s].enqueue(rsu_id, t, content_ids)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                _vector_service_slot(
+                    state, queues[s], policies[s], self._service_batch,
+                    metrics[s], t, cost, static_ages[s],
+                )
+                state.mbs_store.tick(t + 1)
+        return [
+            ServiceSimulationResult(
+                config=config,
+                policy_name=getattr(policy, "name", type(policy).__name__),
+                metrics=metric,
+            )
+            for config, policy, metric in zip(configs, policies, metrics)
+        ]
+
     def _run_reference(
         self, state: _SystemState, metrics: ServiceMetrics, num_slots: int
     ) -> None:
@@ -747,6 +990,100 @@ class JointSimulator:
             cache_metrics=cache_metrics,
             service_metrics=service_metrics,
         )
+
+    def run_batch(
+        self,
+        seeds: Sequence[int],
+        *,
+        caching_policies: Optional[Sequence[CachingPolicy]] = None,
+        service_policies: Optional[Sequence[ServicePolicy]] = None,
+        num_slots: Optional[int] = None,
+    ) -> List[JointSimulationResult]:
+        """Run one coupled simulation per seed through a seed-batched loop.
+
+        Stage 1 (cache management) runs on the stacked
+        ``(num_seeds, num_rsus, contents_per_rsu)`` ages tensor exactly like
+        :meth:`CacheSimulator.run_batch`; stage 2 reads each seed's live
+        post-update slice of that tensor, preserving the AoI-guard coupling.
+        Bit-identical to per-seed :meth:`run` calls.
+        """
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        seeds = [int(seed) for seed in seeds]
+        caching_policies = _expand_batch_policies(
+            seeds, caching_policies, self._caching_policy
+        )
+        service_policies = _expand_batch_policies(
+            seeds, service_policies, self._service_policy
+        )
+        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
+        if self._reference:
+            return [
+                JointSimulator(
+                    config,
+                    caching_policy,
+                    service_policy,
+                    service_batch=self._service_batch,
+                    reference=True,
+                ).run(num_slots=num_slots)
+                for config, caching_policy, service_policy in zip(
+                    configs, caching_policies, service_policies
+                )
+            ]
+        states = [_SystemState(config) for config in configs]
+        cache_metrics = [
+            CacheMetrics(
+                config.num_rsus, config.contents_per_rsu, state.max_ages
+            )
+            for config, state in zip(configs, states)
+        ]
+        service_metrics = [ServiceMetrics(config.num_rsus) for config in configs]
+        for policy in caching_policies:
+            policy.reset()
+        for policy in service_policies:
+            policy.reset()
+        stage = _BatchedCacheStage(states, caching_policies)
+        queues = [
+            _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+            for _ in states
+        ]
+        for t in range(num_slots):
+            # ---- Stage 1: cache management (seed-batched) ----------------
+            stage.step(t, cache_metrics)
+            # ---- Stage 2: content service, AoI guard on live ages --------
+            for s, state in enumerate(states):
+                for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+                    queues[s].enqueue(rsu_id, t, content_ids)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                _vector_service_slot(
+                    state, queues[s], service_policies[s], self._service_batch,
+                    service_metrics[s], t, cost, stage.ages[s],
+                )
+            # ---- Advance time --------------------------------------------
+            stage.advance(t)
+        return [
+            JointSimulationResult(
+                config=config,
+                caching_policy_name=getattr(
+                    caching_policy, "name", type(caching_policy).__name__
+                ),
+                service_policy_name=getattr(
+                    service_policy, "name", type(service_policy).__name__
+                ),
+                cache_metrics=cache_metric,
+                service_metrics=service_metric,
+            )
+            for config, caching_policy, service_policy, cache_metric, service_metric
+            in zip(
+                configs, caching_policies, service_policies,
+                cache_metrics, service_metrics,
+            )
+        ]
 
     def _run_reference(
         self,

@@ -163,6 +163,71 @@ class TestRunnerDeterminism:
             ExperimentRunner(workers=1).run([])
 
 
+class TestSeedBatchedDispatch:
+    """run_grid's seed-batched execution must be invisible in the results."""
+
+    def test_cache_grid_batched_matches_per_run(self, tiny_scenario):
+        specs = cache_grid(tiny_scenario)
+        batched = ExperimentRunner(workers=1).run_grid(specs, num_seeds=3)
+        per_run = ExperimentRunner(workers=1).run_grid(
+            specs, num_seeds=3, seed_batching=False
+        )
+        assert batched.matches(per_run)
+
+    def test_all_kinds_batched_match_per_run(self, tiny_scenario):
+        specs = [
+            RunSpec(kind="cache", scenario=tiny_scenario,
+                    policy=mdp_policy_factory, seed=7, label="c"),
+            RunSpec(kind="service", scenario=tiny_scenario,
+                    policy=lyapunov_policy_factory, seed=5, label="s"),
+            RunSpec(kind="joint", scenario=tiny_scenario,
+                    policy=mdp_policy_factory,
+                    service_policy=lyapunov_policy_factory, seed=2, label="j"),
+        ]
+        batched = ExperimentRunner(workers=1).run_grid(specs, num_seeds=3)
+        per_run = ExperimentRunner(workers=1).run_grid(
+            specs, num_seeds=3, seed_batching=False
+        )
+        assert batched.matches(per_run)
+
+    def test_batched_identical_across_worker_counts(self, tiny_scenario):
+        # Worker counts change how seed groups are chunked across the pool;
+        # the records must not notice.
+        specs = cache_grid(tiny_scenario)
+        batches = [
+            ExperimentRunner(workers=workers).run_grid(specs, num_seeds=4)
+            for workers in (1, 2, 4)
+        ]
+        assert batches[0].matches(batches[1])
+        assert batches[1].matches(batches[2])
+
+    def test_reference_specs_batch_through_fallback(self, tiny_scenario):
+        from dataclasses import replace
+
+        specs = [replace(spec, reference=True) for spec in cache_grid(tiny_scenario)]
+        batched = ExperimentRunner(workers=1).run_grid(specs, num_seeds=2)
+        per_run = ExperimentRunner(workers=1).run_grid(
+            specs, num_seeds=2, seed_batching=False
+        )
+        assert batched.matches(per_run)
+
+    def test_stochastic_instance_policy_batches_identically(self, tiny_scenario):
+        specs = [
+            RunSpec(
+                kind="cache",
+                scenario=tiny_scenario,
+                policy=RandomUpdatePolicy(rate=0.5, rng=99),
+                seed=1,
+                label="random",
+            )
+        ]
+        batched = ExperimentRunner(workers=1).run_grid(specs, num_seeds=3)
+        per_run = ExperimentRunner(workers=1).run_grid(
+            specs, num_seeds=3, seed_batching=False
+        )
+        assert batched.matches(per_run)
+
+
 class TestAggregation:
     def test_single_seed_rows_have_no_ci(self, tiny_scenario):
         rows = ExperimentRunner(workers=1).run(cache_grid(tiny_scenario)).aggregate()
@@ -187,6 +252,51 @@ class TestAggregation:
             cache_grid(tiny_scenario, labels=("z", "a", "m")), num_seeds=2
         )
         assert batch.labels() == ["z", "a", "m"]
+
+    def test_single_seed_degenerate_ci(self, tiny_scenario):
+        # One record per label: the mean is the value itself, and no
+        # degenerate zero-width CI column may appear for any confidence.
+        batch = ExperimentRunner(workers=1).run(cache_grid(tiny_scenario))
+        for confidence in (0.5, 0.95, 0.99):
+            rows = batch.aggregate(confidence=confidence)
+            for row, record in zip(rows, batch.records):
+                assert row["num_seeds"] == 1
+                assert row["total_reward"] == record.summary["total_reward"]
+                assert not any(key.endswith("_ci") for key in row)
+
+    def test_duplicate_labels_merge_into_one_row(self, tiny_scenario):
+        # Two specs sharing a label (different base seeds) aggregate as one
+        # grid point: a single row whose num_seeds spans both specs' records.
+        specs = [
+            RunSpec(kind="cache", scenario=tiny_scenario,
+                    policy=make_periodic_policy, seed=seed, label="shared")
+            for seed in (7, 8)
+        ]
+        batch = ExperimentRunner(workers=1).run_grid(specs, num_seeds=2)
+        assert len(batch) == 4
+        (row,) = batch.aggregate()
+        assert row["label"] == "shared"
+        assert row["num_seeds"] == 4
+        rewards = [record.summary["total_reward"] for record in batch.records]
+        assert row["total_reward"] == pytest.approx(float(np.mean(rewards)))
+
+    def test_non_default_confidence_scales_ci(self, tiny_scenario):
+        batch = ExperimentRunner(workers=1).run_grid(
+            cache_grid(tiny_scenario, labels=("a",)), num_seeds=5
+        )
+        half_widths = {
+            confidence: batch.aggregate(confidence=confidence)[0][
+                "total_reward_ci"
+            ]
+            for confidence in (0.5, 0.95, 0.99)
+        }
+        # Means are confidence-independent; half-widths widen monotonically.
+        means = {
+            confidence: batch.aggregate(confidence=confidence)[0]["total_reward"]
+            for confidence in (0.5, 0.95, 0.99)
+        }
+        assert len(set(means.values())) == 1
+        assert half_widths[0.5] < half_widths[0.95] < half_widths[0.99]
 
 
 class TestSweepsThroughRunner:

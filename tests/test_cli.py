@@ -74,3 +74,68 @@ class TestMain:
         text = out.getvalue()
         assert "Fig. 1a" in text
         assert "Fig. 1b" in text
+
+
+class TestProfileFlag:
+    def test_profile_flag_parses(self):
+        arguments = build_parser().parse_args(["run", "E1", "--profile"])
+        assert arguments.profile is True
+        assert build_parser().parse_args(["run", "E1"]).profile is False
+
+    def test_profile_appends_hotspot_report(self):
+        out = io.StringIO()
+        exit_code = main(["run", "E3", "--slots", "60", "--profile"], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        # The run report still prints, followed by the cProfile table.
+        assert "[E3]" in text
+        assert "Top 20 hotspots (cumulative time)" in text
+        assert "cumtime" in text
+
+
+class TestCacheCommand:
+    @pytest.fixture
+    def isolated_cache_dir(self, tmp_path, monkeypatch):
+        from repro.core import solve_cache
+
+        directory = tmp_path / "solves"
+        monkeypatch.setenv("REPRO_SOLVE_CACHE_DIR", str(directory))
+        monkeypatch.delenv("REPRO_SOLVE_CACHE", raising=False)
+        solve_cache.reset_solve_cache()
+        yield directory
+        solve_cache.reset_solve_cache()
+
+    def test_cache_stats_prints_directory(self, isolated_cache_dir):
+        out = io.StringIO()
+        assert main(["cache"], out=out) == 0
+        text = out.getvalue()
+        assert str(isolated_cache_dir) in text
+        assert "Persisted solves: 0" in text
+
+    def test_cache_clear_removes_persisted_solves(self, isolated_cache_dir):
+        from repro.core.caching_mdp import ContentUpdateMDP
+        from repro.core.solve_cache import global_solve_cache, solve_key
+        from repro.core.solvers import value_iteration
+
+        result = value_iteration(
+            ContentUpdateMDP(max_age=3.0, popularity=0.5, update_cost=1.0),
+            discount=0.9,
+        )
+        global_solve_cache().put(solve_key("k", x=1.0), result)
+        out = io.StringIO()
+        assert main(["cache"], out=out) == 0
+        assert "Persisted solves: 1" in out.getvalue()
+        out = io.StringIO()
+        assert main(["cache", "--clear"], out=out) == 0
+        assert "Cleared 1" in out.getvalue()
+        assert not any(isolated_cache_dir.glob("*.npz"))
+
+    def test_cache_disabled_via_env(self, monkeypatch):
+        from repro.core import solve_cache
+
+        monkeypatch.setenv("REPRO_SOLVE_CACHE", "0")
+        solve_cache.reset_solve_cache()
+        out = io.StringIO()
+        assert main(["cache"], out=out) == 0
+        assert "disabled" in out.getvalue()
+        solve_cache.reset_solve_cache()
