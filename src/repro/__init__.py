@@ -104,8 +104,16 @@ from repro.sim import (
     ScenarioConfig,
     ServiceSimulator,
 )
+from repro.workloads import (
+    WorkloadModel,
+    WorkloadSpec,
+    available_workloads,
+    create_workload,
+    export_trace,
+    workload_names,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlwaysServePolicy",
@@ -161,5 +169,11 @@ __all__ = [
     "RunRecord",
     "RunSpec",
     "expand_seeds",
+    "WorkloadModel",
+    "WorkloadSpec",
+    "available_workloads",
+    "create_workload",
+    "export_trace",
+    "workload_names",
     "__version__",
 ]

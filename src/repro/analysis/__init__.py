@@ -31,6 +31,7 @@ from repro.analysis.sweep import (
     service_policy_comparison,
     v_sweep,
     weight_sweep,
+    workload_sweep,
 )
 
 __all__ = [
@@ -58,4 +59,5 @@ __all__ = [
     "service_policy_comparison",
     "v_sweep",
     "weight_sweep",
+    "workload_sweep",
 ]

@@ -24,6 +24,7 @@ from repro.analysis.sweep import (
     service_policy_comparison,
     v_sweep,
     weight_sweep,
+    workload_sweep,
 )
 from repro.analysis.stats import mean_confidence_interval
 from repro.core.lyapunov import LyapunovServiceController, run_backlog_simulation
@@ -32,6 +33,7 @@ from repro.runtime.runner import ExperimentRunner
 from repro.sim.scenario import ScenarioConfig
 from repro.utils.rng import spawn_run_seeds
 from repro.utils.validation import check_positive_int
+from repro.workloads import WorkloadSpec
 
 
 @dataclass
@@ -60,8 +62,19 @@ class ExperimentReport:
         return "\n".join(lines)
 
 
-def _run_e1(num_slots: int, seed: int) -> ExperimentReport:
-    config = ScenarioConfig.fig1a(seed=seed).with_overrides(num_slots=num_slots)
+def _workload_override(workload) -> Dict[str, object]:
+    """Overrides dict applying a ``--workload`` request, empty when unset.
+
+    Keeping the default path override-free means a run without the flag
+    builds the exact historical scenario objects (and trajectories).
+    """
+    return {} if workload is None else {"workload": workload}
+
+
+def _run_e1(num_slots: int, seed: int, workload=None) -> ExperimentReport:
+    config = ScenarioConfig.fig1a(seed=seed).with_overrides(
+        num_slots=num_slots, **_workload_override(workload)
+    )
     data = build_fig1a_data(config)
     slope, _ = linear_trend(data.cumulative_reward)
     worst_violation = max(
@@ -88,8 +101,10 @@ def _run_e1(num_slots: int, seed: int) -> ExperimentReport:
     )
 
 
-def _run_e2(num_slots: int, seed: int) -> ExperimentReport:
-    config = ScenarioConfig.fig1b(seed=seed).with_overrides(num_slots=num_slots)
+def _run_e2(num_slots: int, seed: int, workload=None) -> ExperimentReport:
+    config = ScenarioConfig.fig1b(seed=seed).with_overrides(
+        num_slots=num_slots, **_workload_override(workload)
+    )
     data = build_fig1b_data(config)
     passed = (
         data.time_average_cost["lyapunov"]
@@ -110,7 +125,7 @@ def _run_e2(num_slots: int, seed: int) -> ExperimentReport:
     )
 
 
-def _run_e3(num_slots: int, seed: int) -> ExperimentReport:
+def _run_e3(num_slots: int, seed: int, workload=None) -> ExperimentReport:
     starved = run_backlog_simulation(
         LyapunovServiceController(tradeoff_v=10.0),
         num_slots=num_slots,
@@ -139,8 +154,10 @@ def _run_e3(num_slots: int, seed: int) -> ExperimentReport:
     )
 
 
-def _run_e4(num_slots: int, seed: int) -> ExperimentReport:
-    config = ScenarioConfig.fig1a(seed=seed)
+def _run_e4(num_slots: int, seed: int, workload=None) -> ExperimentReport:
+    config = ScenarioConfig.fig1a(seed=seed).with_overrides(
+        **_workload_override(workload)
+    )
     rows = weight_sweep([0.1, 0.5, 1.0, 5.0], config=config, num_slots=num_slots)
     passed = (
         rows[-1]["mean_age"] <= rows[0]["mean_age"] + 1e-9
@@ -161,8 +178,10 @@ def _run_e4(num_slots: int, seed: int) -> ExperimentReport:
     )
 
 
-def _run_e5(num_slots: int, seed: int) -> ExperimentReport:
-    config = ScenarioConfig.fig1b(seed=seed)
+def _run_e5(num_slots: int, seed: int, workload=None) -> ExperimentReport:
+    config = ScenarioConfig.fig1b(seed=seed).with_overrides(
+        **_workload_override(workload)
+    )
     rows = v_sweep([0.5, 2.0, 10.0, 50.0, 100.0], config=config, num_slots=num_slots)
     passed = (
         rows[-1]["time_average_cost"] <= rows[0]["time_average_cost"] + 1e-9
@@ -183,8 +202,10 @@ def _run_e5(num_slots: int, seed: int) -> ExperimentReport:
     )
 
 
-def _run_e6(num_slots: int, seed: int) -> ExperimentReport:
-    config = ScenarioConfig.fig1a(seed=seed)
+def _run_e6(num_slots: int, seed: int, workload=None) -> ExperimentReport:
+    config = ScenarioConfig.fig1a(seed=seed).with_overrides(
+        **_workload_override(workload)
+    )
     rows = caching_policy_comparison(config=config, num_slots=num_slots)
     by_name = {row["policy"]: row for row in rows}
     best_baseline = max(
@@ -195,7 +216,10 @@ def _run_e6(num_slots: int, seed: int) -> ExperimentReport:
         and by_name["mdp"]["violation_fraction"] <= 0.10
     )
     service_rows = service_policy_comparison(
-        config=ScenarioConfig.fig1b(seed=seed), num_slots=num_slots
+        config=ScenarioConfig.fig1b(seed=seed).with_overrides(
+            **_workload_override(workload)
+        ),
+        num_slots=num_slots,
     )
     return ExperimentReport(
         experiment_id="E6",
@@ -211,7 +235,7 @@ def _run_e6(num_slots: int, seed: int) -> ExperimentReport:
     )
 
 
-def _run_e7(num_slots: int, seed: int) -> ExperimentReport:
+def _run_e7(num_slots: int, seed: int, workload=None) -> ExperimentReport:
     sizes = [
         {"num_rsus": 1, "contents_per_rsu": 5},
         {"num_rsus": 4, "contents_per_rsu": 5},
@@ -235,6 +259,38 @@ def _run_e7(num_slots: int, seed: int) -> ExperimentReport:
     )
 
 
+def _run_e8(num_slots: int, seed: int, workload=None) -> ExperimentReport:
+    # The workload override is ignored here by design: E8 *is* the workload
+    # grid — the two-stage scheme evaluated under every registered synthetic
+    # request process.
+    workloads = [
+        "stationary",
+        "drift:period=25",
+        "flash-crowd:burst_prob=0.05",
+        "shot-noise:event_rate=0.1",
+    ]
+    config = ScenarioConfig.fig1b(seed=seed)
+    rows = workload_sweep(
+        workloads, kind="service", config=config, num_slots=num_slots
+    )
+    passed = all(row["stable"] >= 1.0 for row in rows) and all(
+        row["service_rate"] > 0.0 for row in rows
+    )
+    metrics = {}
+    for row in rows:
+        name = str(row["workload"]).split("(")[0]
+        metrics[f"time_avg_cost[{name}]"] = row["time_average_cost"]
+        metrics[f"time_avg_backlog[{name}]"] = row["time_average_backlog"]
+    return ExperimentReport(
+        experiment_id="E8",
+        title="Workload robustness (non-stationary request processes)",
+        claim="the Lyapunov stage keeps every registered workload's queues stable",
+        passed=passed,
+        metrics=metrics,
+        table=format_table(rows),
+    )
+
+
 _REGISTRY: Dict[str, Dict] = {
     "E1": {"runner": _run_e1, "title": "Fig. 1a — AoI-aware content caching"},
     "E2": {"runner": _run_e2, "title": "Fig. 1b — delay-aware content service"},
@@ -243,6 +299,7 @@ _REGISTRY: Dict[str, Dict] = {
     "E5": {"runner": _run_e5, "title": "Lyapunov V sweep"},
     "E6": {"runner": _run_e6, "title": "Policy comparison"},
     "E7": {"runner": _run_e7, "title": "Scalability"},
+    "E8": {"runner": _run_e8, "title": "Workload robustness"},
 }
 
 
@@ -253,8 +310,15 @@ def available_experiments() -> Dict[str, str]:
 
 def _experiment_task(task: tuple) -> ExperimentReport:
     """Run one (experiment, seed) grid point (module-level, picklable)."""
-    key, num_slots, seed = task
-    return _REGISTRY[key]["runner"](num_slots, seed)
+    key, num_slots, seed, workload = task
+    return _REGISTRY[key]["runner"](num_slots, seed, workload)
+
+
+def _validated_workload(workload):
+    """Normalise a workload override early so a typo fails before any run."""
+    if workload is None:
+        return None
+    return WorkloadSpec.coerce(workload)
 
 
 def _aggregate_reports(reports: List[ExperimentReport]) -> ExperimentReport:
@@ -299,6 +363,7 @@ def run_experiment(
     seed: int = 0,
     num_seeds: int = 1,
     workers: Optional[int] = None,
+    workload=None,
 ) -> ExperimentReport:
     """Run one registered experiment and return its report.
 
@@ -319,9 +384,22 @@ def run_experiment(
     workers:
         Worker processes used to fan the replicates out; the report is
         identical for every worker count.
+    workload:
+        Optional request-process override (a registered name,
+        ``"name:k=v,..."`` string, or :class:`~repro.workloads.WorkloadSpec`)
+        applied to every scenario the experiment builds.  ``None`` keeps the
+        historical stationary behaviour exactly.  The override only changes
+        trajectories where requests are actually consumed — the service
+        stage (E2, E5, and E6's service half); cache-only experiments
+        (E1, E4, E6's caching half) see a workload only through its base
+        content population, which every synthetic model keeps stationary,
+        so their results match the stationary run.  E3 (no request
+        workload), E7 (timing-only), and E8 (itself a workload grid)
+        ignore it entirely.
     """
     check_positive_int(num_slots, "num_slots")
     check_positive_int(num_seeds, "num_seeds")
+    workload = _validated_workload(workload)
     key = experiment_id.strip().upper()
     if key not in _REGISTRY:
         raise ValidationError(
@@ -329,7 +407,8 @@ def run_experiment(
             f"{', '.join(sorted(_REGISTRY))}"
         )
     tasks = [
-        (key, num_slots, run_seed) for run_seed in spawn_run_seeds(seed, num_seeds)
+        (key, num_slots, run_seed, workload)
+        for run_seed in spawn_run_seeds(seed, num_seeds)
     ]
     reports = ExperimentRunner(workers).map(_experiment_task, tasks)
     return _aggregate_reports(reports)
@@ -341,18 +420,23 @@ def run_all_experiments(
     seed: int = 0,
     num_seeds: int = 1,
     workers: Optional[int] = None,
+    workload=None,
 ) -> List[ExperimentReport]:
     """Run every registered experiment in id order.
 
     The full (experiment, seed) grid is executed as one batch through
     :class:`~repro.runtime.ExperimentRunner`, so with ``workers > 1`` the
     experiments themselves run concurrently — not just their seeds.
+    ``workload`` behaves as in :func:`run_experiment`.
     """
     check_positive_int(num_slots, "num_slots")
     check_positive_int(num_seeds, "num_seeds")
+    workload = _validated_workload(workload)
     keys = sorted(_REGISTRY)
     seeds = spawn_run_seeds(seed, num_seeds)
-    tasks = [(key, num_slots, run_seed) for key in keys for run_seed in seeds]
+    tasks = [
+        (key, num_slots, run_seed, workload) for key in keys for run_seed in seeds
+    ]
     reports = ExperimentRunner(workers).map(_experiment_task, tasks)
     return [
         _aggregate_reports(reports[index * num_seeds : (index + 1) * num_seeds])

@@ -36,6 +36,7 @@ from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import CacheSimulator, ServiceSimulator
 from repro.utils.rng import spawn_run_seeds
 from repro.utils.validation import check_positive_int
+from repro.workloads import WorkloadSpec
 
 
 def mdp_policy_factory(scenario: ScenarioConfig) -> MDPCachingPolicy:
@@ -310,6 +311,104 @@ def service_policy_comparison(
     return [
         _row_from_aggregate(aggregated, keys, {"policy": name})
         for name, aggregated in zip(policies, batch.aggregate())
+    ]
+
+
+_WORKLOAD_SWEEP_KEYS = {
+    "cache": _WEIGHT_SWEEP_KEYS,
+    "service": (
+        "time_average_cost",
+        "time_average_backlog",
+        "peak_backlog",
+        "service_rate",
+        "stable",
+    ),
+    "joint": (
+        "cache_total_reward",
+        "cache_mean_age",
+        "cache_violation_fraction",
+        "service_time_average_cost",
+        "service_time_average_backlog",
+    ),
+}
+
+
+def workload_sweep(
+    workloads: Sequence,
+    *,
+    kind: str = "service",
+    config: Optional[ScenarioConfig] = None,
+    num_slots: Optional[int] = None,
+    num_seeds: int = 1,
+    workers: Optional[int] = None,
+    reference: bool = False,
+) -> List[Dict[str, float]]:
+    """Evaluate the paper's policies under each registered workload model.
+
+    Every entry of *workloads* (a registered name, a ``"name:k=v,..."``
+    string, or a :class:`~repro.workloads.WorkloadSpec`) becomes one grid
+    point: the base scenario re-run with that request process.  ``kind``
+    selects the simulator — ``"service"`` (default, Fig. 1b scenario with
+    the Lyapunov controller, where workload churn actually bites),
+    ``"cache"`` (Fig. 1a scenario with the MDP policy), or ``"joint"``
+    (both stages coupled).  ``num_seeds`` and ``workers`` behave as in
+    :func:`weight_sweep`.
+    """
+    if not workloads:
+        raise ValidationError("workloads must be non-empty")
+    if kind not in _WORKLOAD_SWEEP_KEYS:
+        raise ValidationError(
+            f"kind must be one of {tuple(_WORKLOAD_SWEEP_KEYS)}, got {kind!r}"
+        )
+    if config is None:
+        config = ScenarioConfig.fig1a() if kind == "cache" else ScenarioConfig.fig1b()
+    specs_workloads = [WorkloadSpec.coerce(workload) for workload in workloads]
+    seed = config.seed if config.seed is not None else 0
+    specs = []
+    for index, workload in enumerate(specs_workloads):
+        scenario = config.with_overrides(workload=workload)
+        # Index-prefixed for uniqueness; see weight_sweep.
+        label = f"{index}:{workload.label()}"
+        if kind == "cache":
+            spec = RunSpec(
+                kind="cache",
+                scenario=scenario,
+                policy=mdp_policy_factory,
+                seed=seed,
+                label=label,
+                num_slots=num_slots,
+                reference=reference,
+            )
+        elif kind == "service":
+            spec = RunSpec(
+                kind="service",
+                scenario=scenario,
+                policy=lyapunov_policy_factory,
+                seed=seed,
+                label=label,
+                num_slots=num_slots,
+                reference=reference,
+            )
+        else:
+            spec = RunSpec(
+                kind="joint",
+                scenario=scenario,
+                policy=mdp_policy_factory,
+                service_policy=lyapunov_policy_factory,
+                seed=seed,
+                label=label,
+                num_slots=num_slots,
+                reference=reference,
+            )
+        specs.append(spec)
+    batch = ExperimentRunner(workers).run_grid(specs, num_seeds=num_seeds)
+    return [
+        _row_from_aggregate(
+            aggregated,
+            _WORKLOAD_SWEEP_KEYS[kind],
+            {"workload": workload.label()},
+        )
+        for workload, aggregated in zip(specs_workloads, batch.aggregate())
     ]
 
 

@@ -1,10 +1,11 @@
 """Command-line interface for the reproduction harness.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
-* ``list`` — show every registered experiment (the E1-E7 index of DESIGN.md).
+* ``list`` — show every registered experiment (the E1-E8 index of DESIGN.md).
 * ``run`` — run one or more experiments and print their reports.
 * ``figures`` — regenerate the paper's Fig. 1a / Fig. 1b as ASCII charts.
+* ``workloads`` — show every registered request-process model.
 * ``cache`` — inspect or clear the on-disk MDP solve cache.
 
 Examples::
@@ -13,8 +14,10 @@ Examples::
     python -m repro.cli run E1 E2 --slots 300
     python -m repro.cli run all --slots 1000 --seed 1
     python -m repro.cli run all --seeds 5 --workers 4   # multi-seed, parallel
+    python -m repro.cli run E2 --workload drift:period=25,step=0.4
     python -m repro.cli run E1 --profile                # cProfile hotspots
-    python -m repro.cli figures --slots 500
+    python -m repro.cli figures --slots 500 --workload flash-crowd
+    python -m repro.cli workloads
     python -m repro.cli cache --clear
 """
 
@@ -58,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment ids (E1..E7) or 'all'",
+        help="experiment ids (E1..E8) or 'all'",
     )
     run_parser.add_argument(
         "--slots",
@@ -92,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run_parser.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help=(
+            "request-process model applied to every scenario, e.g. "
+            "'drift:period=25,step=0.4' or 'trace:path=run.jsonl'; "
+            "see 'python -m repro.cli workloads' for the registry "
+            "(default: the paper's stationary workload; affects the "
+            "request-consuming service-stage experiments — cache-only "
+            "experiments see only its stationary base popularity)"
+        ),
+    )
+
+    run_parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -105,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures_parser.add_argument("--slots", type=int, default=300)
     figures_parser.add_argument("--seed", type=int, default=0)
+    figures_parser.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help="request-process model for both figure scenarios",
+    )
+
+    subparsers.add_parser(
+        "workloads", help="list the registered request-process models"
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk MDP solve cache"
@@ -129,12 +158,14 @@ def _command_list(out) -> int:
 
 def _command_run(arguments, out) -> int:
     requested = [item.strip() for item in arguments.experiments]
+    workload = _parse_workload(arguments.workload)
     if any(item.lower() == "all" for item in requested):
         reports = run_all_experiments(
             num_slots=arguments.slots,
             seed=arguments.seed,
             num_seeds=arguments.seeds,
             workers=arguments.workers,
+            workload=workload,
         )
     else:
         reports = [
@@ -144,6 +175,7 @@ def _command_run(arguments, out) -> int:
                 seed=arguments.seed,
                 num_seeds=arguments.seeds,
                 workers=arguments.workers,
+                workload=workload,
             )
             for item in requested
         ]
@@ -157,15 +189,48 @@ def _command_run(arguments, out) -> int:
     return 0
 
 
+def _parse_workload(text: Optional[str]):
+    """Parse a ``--workload`` value into a validated spec (``None`` passthrough)."""
+    if text is None:
+        return None
+    from repro.workloads import WorkloadSpec
+
+    return WorkloadSpec.parse(text)
+
+
 def _command_figures(arguments, out) -> int:
+    overrides = {"num_slots": arguments.slots}
+    workload = _parse_workload(arguments.workload)
+    if workload is not None:
+        overrides["workload"] = workload
     fig1a_config = ScenarioConfig.fig1a(seed=arguments.seed).with_overrides(
-        num_slots=arguments.slots
+        **overrides
     )
     fig1b_config = ScenarioConfig.fig1b(seed=arguments.seed).with_overrides(
-        num_slots=arguments.slots
+        **overrides
     )
     out.write(render_fig1a(build_fig1a_data(fig1a_config)) + "\n\n")
     out.write(render_fig1b(build_fig1b_data(fig1b_config)) + "\n")
+    return 0
+
+
+def _command_workloads(out) -> int:
+    from repro.workloads import available_workloads, get_workload_class
+
+    out.write("Registered workload models\n")
+    out.write("--------------------------\n")
+    for name, description in available_workloads().items():
+        out.write(f"  {name}  {description}\n")
+        defaults = get_workload_class(name).PARAM_DEFAULTS
+        if defaults:
+            rendered = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(defaults.items())
+            )
+            out.write(f"      parameters: {rendered}\n")
+    out.write(
+        "\nUse with: python -m repro.cli run E2 --workload "
+        "drift:period=25,step=0.4\n"
+    )
     return 0
 
 
@@ -223,6 +288,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_run(arguments, out)
     if arguments.command == "figures":
         return _command_figures(arguments, out)
+    if arguments.command == "workloads":
+        return _command_workloads(out)
     if arguments.command == "cache":
         return _command_cache(arguments, out)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

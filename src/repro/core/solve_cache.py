@@ -20,7 +20,10 @@ Environment knobs
 ``REPRO_SOLVE_CACHE_DIR``
     Overrides the on-disk location of the global cache.
 ``REPRO_SOLVE_CACHE=0``
-    Disables disk persistence of the global cache (memory-only).
+    Disables disk persistence of the global cache (memory-only).  The
+    usual falsey spellings — ``0``, ``false``, ``no``, ``off``, and the
+    empty string, case-insensitively — all disable it; anything else
+    leaves it on.
 """
 
 from __future__ import annotations
@@ -50,6 +53,10 @@ SOLVER_CODE_VERSION = 1
 
 _ENV_DIR = "REPRO_SOLVE_CACHE_DIR"
 _ENV_DISABLE = "REPRO_SOLVE_CACHE"
+
+#: Spellings of "disabled" accepted for ``REPRO_SOLVE_CACHE`` (compared
+#: case-insensitively after stripping whitespace).
+_FALSEY_VALUES = frozenset(("0", "false", "no", "off", ""))
 
 
 def _canonical(value: Any) -> Any:
@@ -279,7 +286,8 @@ _global_cache: Optional[SolveCache] = None
 
 def default_directory() -> Optional[str]:
     """Resolve the on-disk location of the global cache from the environment."""
-    if os.environ.get(_ENV_DISABLE) == "0":
+    disable = os.environ.get(_ENV_DISABLE)
+    if disable is not None and disable.strip().lower() in _FALSEY_VALUES:
         return None
     return os.environ.get(_ENV_DIR, DEFAULT_DIRECTORY)
 

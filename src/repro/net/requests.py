@@ -152,6 +152,74 @@ class DeterministicArrivals(ArrivalProcess):
         return f"DeterministicArrivals(count={self._count})"
 
 
+@dataclass(frozen=True)
+class WorkloadHorizon:
+    """A whole horizon of per-slot request arrivals, packed into flat arrays.
+
+    Produced by :meth:`RequestGenerator.generate_horizon`; the vectorised
+    and seed-batched simulator loops consume it instead of calling back into
+    the workload model every slot.  Arrival batches are stored in generation
+    order — one batch per (slot, RSU-with-arrivals) pair — with CSR-style
+    pointer arrays, so reading one slot is pure array slicing.
+
+    Attributes
+    ----------
+    num_slots, num_rsus:
+        Shape of the horizon.
+    batch_rsus:
+        RSU id of each arrival batch, in generation order.
+    batch_ptr:
+        ``batch_ptr[i]:batch_ptr[i+1]`` slices :attr:`content_ids` to the
+        contents requested by batch ``i``.
+    content_ids:
+        All requested content ids, concatenated across batches.
+    slot_ptr:
+        ``slot_ptr[t]:slot_ptr[t+1]`` is the range of batch indices issued
+        in slot ``t``.
+    """
+
+    num_slots: int
+    num_rsus: int
+    batch_rsus: np.ndarray
+    batch_ptr: np.ndarray
+    content_ids: np.ndarray
+    slot_ptr: np.ndarray
+
+    @property
+    def total_requests(self) -> int:
+        """Total number of requests over the horizon."""
+        return int(self.content_ids.size)
+
+    def slot_batches(self, time_slot: int) -> List[Tuple[int, np.ndarray]]:
+        """Return slot *time_slot*'s arrivals as ``(rsu_id, content_ids)`` pairs.
+
+        The pairs carry array *views* into the packed horizon, in the same
+        order :meth:`RequestGenerator.generate_slot_contents` would produce
+        them — bit for bit.
+        """
+        if not 0 <= time_slot < self.num_slots:
+            raise ValidationError(
+                f"time_slot {time_slot} outside horizon [0, {self.num_slots})"
+            )
+        start, stop = int(self.slot_ptr[time_slot]), int(self.slot_ptr[time_slot + 1])
+        return [
+            (
+                int(self.batch_rsus[i]),
+                self.content_ids[self.batch_ptr[i] : self.batch_ptr[i + 1]],
+            )
+            for i in range(start, stop)
+        ]
+
+    def counts(self) -> np.ndarray:
+        """Arrival counts as a dense ``(num_slots, num_rsus)`` matrix."""
+        matrix = np.zeros((self.num_slots, self.num_rsus), dtype=int)
+        sizes = np.diff(self.batch_ptr)
+        for t in range(self.num_slots):
+            for i in range(int(self.slot_ptr[t]), int(self.slot_ptr[t + 1])):
+                matrix[t, int(self.batch_rsus[i])] += int(sizes[i])
+        return matrix
+
+
 class RequestGenerator:
     """Generates per-RSU request batches for each simulation slot.
 
@@ -160,6 +228,13 @@ class RequestGenerator:
     local popularity distribution (restricted to the contents the RSU
     caches, per the paper's "only the content of the region covered by the
     RSU is cached").
+
+    This class is also the sampling engine behind :mod:`repro.workloads`:
+    non-stationary request-process models subclass it and override the
+    :meth:`_advance_to` / :meth:`_weights` hooks to evolve the per-RSU
+    popularity over time, inheriting the exact per-slot RNG draw discipline
+    that keeps the scalar, vectorised, and seed-batched simulator loops on
+    identical workloads.
 
     Parameters
     ----------
@@ -198,9 +273,14 @@ class RequestGenerator:
         self._id_counter = itertools.count()
         self._local_popularity: Dict[int, np.ndarray] = {}
         self._local_contents: Dict[int, Tuple[int, ...]] = {}
+        # Cached integer arrays of each RSU's contents so the hot path can
+        # fancy-index the chosen contents instead of round-tripping through
+        # a Python list comprehension.
+        self._local_content_arrays: Dict[int, np.ndarray] = {}
         for rsu in topology.rsus:
             contents = rsu.covered_regions
             self._local_contents[rsu.rsu_id] = contents
+            self._local_content_arrays[rsu.rsu_id] = np.asarray(contents, dtype=int)
             if zipf_exponent is None:
                 weights = catalog.subset_popularity(contents)
             else:
@@ -236,6 +316,47 @@ class RequestGenerator:
         weights = self._local_popularity[rsu_id]
         return {int(h): float(w) for h, w in zip(contents, weights)}
 
+    # ------------------------------------------------------------------
+    # Hooks for non-stationary request-process models (repro.workloads)
+    # ------------------------------------------------------------------
+    def _advance_to(self, time_slot: int) -> None:
+        """Evolve internal workload state up to *time_slot*.
+
+        The stationary generator has no evolving state and draws nothing
+        here — which is what keeps its RNG stream byte-identical to the
+        pre-workload-subsystem behaviour.  Non-stationary subclasses advance
+        a slot cursor and draw their evolution variates from ``self._rng``;
+        because every execution mode samples slots in the same order, the
+        draw sequence stays identical across modes.
+        """
+
+    def _weights(self, rsu_id: int, time_slot: int) -> np.ndarray:
+        """Popularity over RSU *rsu_id*'s contents in effect at *time_slot*."""
+        return self._local_popularity[rsu_id]
+
+    def _slot_batches(self, time_slot: int) -> List[Tuple[int, np.ndarray]]:
+        """Sample one slot's arrivals: the single RNG-drawing core.
+
+        Every public generation method funnels through here, so all of them
+        perform exactly the same draws in exactly the same order: first the
+        state evolution of :meth:`_advance_to`, then per RSU (in topology
+        order) one arrival-count sample, then one ``choice`` call when that
+        RSU has arrivals.
+        """
+        if time_slot < 0:
+            raise ValidationError(f"time_slot must be >= 0, got {time_slot}")
+        self._advance_to(time_slot)
+        batches: List[Tuple[int, np.ndarray]] = []
+        for rsu in self._topology.rsus:
+            count = self._arrivals.sample(self._rng)
+            if count <= 0:
+                continue
+            contents = self._local_content_arrays[rsu.rsu_id]
+            weights = self._weights(rsu.rsu_id, time_slot)
+            chosen = self._rng.choice(contents.size, size=count, p=weights)
+            batches.append((rsu.rsu_id, contents[np.atleast_1d(chosen)]))
+        return batches
+
     def generate_slot(
         self,
         time_slot: int,
@@ -243,26 +364,18 @@ class RequestGenerator:
         deadline_slots: Optional[int] = None,
     ) -> List[Request]:
         """Generate all requests issued in *time_slot* across all RSUs."""
-        if time_slot < 0:
-            raise ValidationError(f"time_slot must be >= 0, got {time_slot}")
         requests: List[Request] = []
-        for rsu in self._topology.rsus:
-            count = self._arrivals.sample(self._rng)
-            if count <= 0:
-                continue
-            contents = self._local_contents[rsu.rsu_id]
-            weights = self._local_popularity[rsu.rsu_id]
-            chosen = self._rng.choice(len(contents), size=count, p=weights)
-            for index in np.atleast_1d(chosen):
-                deadline = (
-                    None if deadline_slots is None else int(time_slot + deadline_slots)
-                )
+        deadline = (
+            None if deadline_slots is None else int(time_slot + deadline_slots)
+        )
+        for rsu_id, content_ids in self._slot_batches(time_slot):
+            for content_id in content_ids:
                 requests.append(
                     Request(
                         request_id=next(self._id_counter),
                         time_slot=int(time_slot),
-                        rsu_id=rsu.rsu_id,
-                        content_id=int(contents[int(index)]),
+                        rsu_id=rsu_id,
+                        content_id=int(content_id),
                         deadline=deadline,
                     )
                 )
@@ -279,22 +392,40 @@ class RequestGenerator:
         :meth:`generate_slot` — it just skips building per-request
         :class:`Request` objects.
         """
-        if time_slot < 0:
-            raise ValidationError(f"time_slot must be >= 0, got {time_slot}")
-        batches: List[Tuple[int, np.ndarray]] = []
-        for rsu in self._topology.rsus:
-            count = self._arrivals.sample(self._rng)
-            if count <= 0:
-                continue
-            contents = self._local_contents[rsu.rsu_id]
-            weights = self._local_popularity[rsu.rsu_id]
-            chosen = self._rng.choice(len(contents), size=count, p=weights)
-            content_ids = np.asarray(
-                [int(contents[int(index)]) for index in np.atleast_1d(chosen)],
-                dtype=int,
-            )
-            batches.append((rsu.rsu_id, content_ids))
-        return batches
+        return self._slot_batches(time_slot)
+
+    def generate_horizon(self, num_slots: int) -> WorkloadHorizon:
+        """Precompute *num_slots* slots of arrivals as one packed tensor.
+
+        Performs the identical draw sequence as *num_slots* successive
+        :meth:`generate_slot_contents` calls (it is implemented on top of
+        the same sampling core), then packs the batches into flat arrays so
+        the simulator hot loops can replay the workload with pure array
+        slicing — no per-slot calls back into the workload model.
+        """
+        if num_slots <= 0:
+            raise ValidationError(f"num_slots must be > 0, got {num_slots}")
+        batch_rsus: List[int] = []
+        batch_sizes: List[int] = [0]
+        chunks: List[np.ndarray] = []
+        slot_ptr = np.zeros(int(num_slots) + 1, dtype=int)
+        for t in range(int(num_slots)):
+            batches = self._slot_batches(t)
+            slot_ptr[t + 1] = slot_ptr[t] + len(batches)
+            for rsu_id, content_ids in batches:
+                batch_rsus.append(rsu_id)
+                batch_sizes.append(int(content_ids.size))
+                chunks.append(content_ids)
+        return WorkloadHorizon(
+            num_slots=int(num_slots),
+            num_rsus=self._topology.num_rsus,
+            batch_rsus=np.asarray(batch_rsus, dtype=int),
+            batch_ptr=np.cumsum(batch_sizes, dtype=int),
+            content_ids=(
+                np.concatenate(chunks) if chunks else np.zeros(0, dtype=int)
+            ),
+            slot_ptr=slot_ptr,
+        )
 
     def generate_trace(
         self, num_slots: int, *, deadline_slots: Optional[int] = None

@@ -19,6 +19,7 @@ from repro.runtime.runner import (
     execute_batch,
     execute_spec,
     expand_seeds,
+    expand_workloads,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "execute_batch",
     "execute_spec",
     "expand_seeds",
+    "expand_workloads",
 ]

@@ -32,6 +32,7 @@ from repro.exceptions import ValidationError
 from repro.sim.scenario import ScenarioConfig
 from repro.utils.rng import spawn_run_seeds
 from repro.utils.validation import check_positive_int
+from repro.workloads import WorkloadSpec
 
 #: Environment marker set inside pool workers so nested runner calls (for
 #: example a sweep executed inside a parallel experiment task) degrade to the
@@ -196,6 +197,38 @@ def expand_seeds(specs: Sequence[RunSpec], num_seeds: int) -> List[RunSpec]:
     for spec in specs:
         for seed in spawn_run_seeds(spec.seed, num_seeds):
             expanded.append(replace(spec, seed=seed))
+    return expanded
+
+
+def expand_workloads(specs: Sequence[RunSpec], workloads: Sequence) -> List[RunSpec]:
+    """Cross each spec with every workload: the scenarios × workloads grid.
+
+    Each entry of *workloads* may be a registered name, a ``"name:k=v,..."``
+    string, or a :class:`~repro.workloads.WorkloadSpec`; the returned grid
+    holds one spec per (input spec, workload) pair, with the workload set on
+    the scenario and appended to the label (``"fig1a|drift"``), so labels —
+    the aggregation key — stay unique per grid point.  Compose with
+    ``num_seeds`` in :meth:`ExperimentRunner.run_grid` for the full
+    scenarios × workloads × seeds grid.
+    """
+    if not specs:
+        raise ValidationError("specs must be non-empty")
+    if not workloads:
+        raise ValidationError("workloads must be non-empty")
+    expanded: List[RunSpec] = []
+    for spec in specs:
+        for workload in workloads:
+            workload = WorkloadSpec.coerce(workload)
+            label = (
+                f"{spec.label}|{workload.label()}" if spec.label else workload.label()
+            )
+            expanded.append(
+                replace(
+                    spec,
+                    scenario=spec.scenario.with_overrides(workload=workload),
+                    label=label,
+                )
+            )
     return expanded
 
 

@@ -15,7 +15,7 @@ benchmark harness consume.  Factory methods reproduce the paper's two setups:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.utils.validation import (
     check_positive,
     check_positive_int,
 )
+from repro.workloads import WorkloadModel, WorkloadSpec
 
 
 @dataclass
@@ -73,6 +74,14 @@ class ScenarioConfig:
     zipf_exponent:
         Skew of the request popularity over each RSU's local contents
         (0 = uniform, the paper's setting).
+    workload:
+        Request-process model: a registered workload name, a
+        ``"name:k=v,..."`` string, a :class:`~repro.workloads.WorkloadSpec`,
+        or ``None`` for the default ``stationary`` model (the paper's
+        workload, byte-identical to the pre-workload-subsystem behaviour).
+        Normalised to a validated :class:`~repro.workloads.WorkloadSpec` on
+        construction, so invalid workload knobs fail fast — including in
+        sweeps built through ``dataclasses.replace`` / ``with_overrides``.
     region_length:
         Physical length of each road region in metres.
     random_initial_ages:
@@ -101,6 +110,7 @@ class ScenarioConfig:
     arrival_rate: float = 0.5
     arrival_kind: str = "bernoulli"
     zipf_exponent: float = 0.0
+    workload: Union[None, str, WorkloadSpec] = None
     region_length: float = 100.0
     random_initial_ages: bool = True
     deadline_slots: Optional[int] = None
@@ -128,7 +138,23 @@ class ScenarioConfig:
         check_non_negative(self.tradeoff_v, "tradeoff_v")
         check_non_negative(self.arrival_rate, "arrival_rate")
         check_non_negative(self.zipf_exponent, "zipf_exponent")
+        check_non_negative(self.cost_sigma, "cost_sigma")
         check_positive(self.region_length, "region_length")
+        if self.seed is not None:
+            if isinstance(self.seed, bool) or not isinstance(
+                self.seed, (int, np.integer)
+            ):
+                raise ConfigurationError(
+                    f"seed must be a non-negative integer or None, got {self.seed!r}"
+                )
+            if self.seed < 0:
+                raise ConfigurationError(
+                    f"seed must be a non-negative integer or None, got {self.seed}"
+                )
+        # Normalising through WorkloadSpec.coerce validates the workload name
+        # and every parameter at construction time (dataclasses.replace and
+        # with_overrides re-run this hook, so sweeps cannot dodge it).
+        self.workload = WorkloadSpec.coerce(self.workload)
         if self.cost_model_kind not in ("constant", "distance", "fading"):
             raise ConfigurationError(
                 "cost_model_kind must be 'constant', 'distance', or 'fading', "
@@ -142,6 +168,12 @@ class ScenarioConfig:
             raise ConfigurationError(
                 "bernoulli arrival_rate must be <= 1; use arrival_kind='poisson' "
                 "for heavier load"
+            )
+        if self.arrival_kind == "poisson" and self.arrival_rate == 0.0:
+            raise ConfigurationError(
+                "poisson arrivals need arrival_rate > 0; an empty workload is "
+                "almost always a sweep mistake — use arrival_kind='bernoulli' "
+                "with arrival_rate=0 if it is intentional"
             )
         if self.deadline_slots is not None:
             check_positive_int(self.deadline_slots, "deadline_slots")
@@ -256,6 +288,28 @@ class ScenarioConfig:
         if self.arrival_kind == "bernoulli":
             return BernoulliArrivals(self.arrival_rate)
         return PoissonArrivals(self.arrival_rate)
+
+    def build_workload(
+        self,
+        topology: RoadTopology,
+        catalog: ContentCatalog,
+        *,
+        rng: RandomSource = None,
+    ) -> WorkloadModel:
+        """Instantiate the request-process model of this scenario.
+
+        The default ``stationary`` spec builds a model whose RNG draw
+        sequence is byte-identical to the historical
+        :class:`~repro.net.requests.RequestGenerator`.
+        """
+        spec = WorkloadSpec.coerce(self.workload)
+        return spec.build(
+            topology,
+            catalog,
+            arrivals=self.build_arrivals(),
+            zipf_exponent=None if self.zipf_exponent == 0 else self.zipf_exponent,
+            rng=rng if rng is not None else self.seed,
+        )
 
     def build_mdp_config(self) -> CachingMDPConfig:
         """Instantiate the cache-management MDP configuration."""

@@ -38,7 +38,6 @@ from repro.net.cache import MBSContentStore, RSUCache
 from repro.net.channel import CostModel, LinkBudget
 from repro.net.content import ContentCatalog
 from repro.net.queueing import RequestQueue
-from repro.net.requests import RequestGenerator
 from repro.net.topology import RoadTopology
 from repro.sim.metrics import CacheMetrics, ServiceMetrics
 from repro.sim.scenario import ScenarioConfig
@@ -136,13 +135,11 @@ class _SystemState:
         self.catalog = config.build_catalog(self.catalog_rng)
         self.update_cost_model = config.build_update_cost_model(self.update_cost_rng)
         self.service_cost_model = config.build_service_cost_model(self.service_cost_rng)
-        self.request_generator = RequestGenerator(
-            self.topology,
-            self.catalog,
-            arrivals=config.build_arrivals(),
-            zipf_exponent=None if config.zipf_exponent == 0 else config.zipf_exponent,
-            rng=self.workload_rng,
+        self.workload = config.build_workload(
+            self.topology, self.catalog, rng=self.workload_rng
         )
+        # Historical alias: the workload model is a RequestGenerator subclass.
+        self.request_generator = self.workload
         self.mbs_store = MBSContentStore(self.catalog)
         self.caches: List[RSUCache] = []
         for rsu in self.topology.rsus:
@@ -808,9 +805,12 @@ class ServiceSimulator:
             for _ in states
         ]
         static_ages = [state.ages_matrix() for state in states]
+        # Precompute every seed's arrival tensor up front: the hot loop then
+        # replays packed arrays instead of calling into the workload models.
+        horizons = [state.workload.generate_horizon(num_slots) for state in states]
         for t in range(num_slots):
             for s, state in enumerate(states):
-                for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+                for rsu_id, content_ids in horizons[s].slot_batches(t):
                     queues[s].enqueue(rsu_id, t, content_ids)
                 distance = 0.5 * state.topology.region_length
                 cost = state.service_cost_model.cost(
@@ -900,19 +900,21 @@ class ServiceSimulator:
     ) -> None:
         """Flat-array service loop: same trajectories, no request objects.
 
-        The workload RNG draws are shared with the reference loop through
-        :meth:`~repro.net.requests.RequestGenerator.generate_slot_contents`,
-        the per-slot service cost is evaluated once (every RSU sees the same
-        distance), and queue accounting runs on :class:`_VectorQueues`
-        aggregates.  Cache ages are static here, so the AoI guard reads a
-        frozen ages matrix.
+        The whole arrival tensor is precomputed through
+        :meth:`~repro.net.requests.RequestGenerator.generate_horizon`, which
+        performs the identical RNG draws as the reference loop's per-slot
+        calls; the per-slot service cost is evaluated once (every RSU sees
+        the same distance), and queue accounting runs on
+        :class:`_VectorQueues` aggregates.  Cache ages are static here, so
+        the AoI guard reads a frozen ages matrix.
         """
         queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
         static_ages = state.ages_matrix()
         distance = 0.5 * state.topology.region_length
+        horizon = state.workload.generate_horizon(num_slots)
 
         for t in range(num_slots):
-            for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+            for rsu_id, content_ids in horizon.slot_batches(t):
                 queues.enqueue(rsu_id, t, content_ids)
             cost = state.service_cost_model.cost(
                 distance=distance, size=1.0, time_slot=t
@@ -1049,12 +1051,13 @@ class JointSimulator:
             _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
             for _ in states
         ]
+        horizons = [state.workload.generate_horizon(num_slots) for state in states]
         for t in range(num_slots):
             # ---- Stage 1: cache management (seed-batched) ----------------
             stage.step(t, cache_metrics)
             # ---- Stage 2: content service, AoI guard on live ages --------
             for s, state in enumerate(states):
-                for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+                for rsu_id, content_ids in horizons[s].slot_batches(t):
                     queues[s].enqueue(rsu_id, t, content_ids)
                 distance = 0.5 * state.topology.region_length
                 cost = state.service_cost_model.cost(
@@ -1188,6 +1191,7 @@ class JointSimulator:
         queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
         ages = state.ages_matrix()
         distance = 0.5 * state.topology.region_length
+        horizon = state.workload.generate_horizon(num_slots)
 
         for t in range(num_slots):
             # ---- Stage 1: cache management -------------------------------
@@ -1203,7 +1207,7 @@ class JointSimulator:
 
             # ---- Stage 2: content service ---------------------------------
             # The AoI guard reads the live post-update (pre-tick) ages.
-            for rsu_id, content_ids in state.request_generator.generate_slot_contents(t):
+            for rsu_id, content_ids in horizon.slot_batches(t):
                 queues.enqueue(rsu_id, t, content_ids)
             cost = state.service_cost_model.cost(
                 distance=distance, size=1.0, time_slot=t

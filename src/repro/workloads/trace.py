@@ -1,0 +1,335 @@
+"""Trace-driven workload: replay request logs, and export generated ones.
+
+A trace file is a flat list of ``(time_slot, rsu_id, content_id)`` records
+in one of two formats, selected by extension (or forced via the ``format``
+parameter):
+
+* **JSONL** (``.jsonl``/``.json``) — one JSON object per line with keys
+  ``t``, ``rsu``, ``content``; an optional first line
+  ``{"meta": {"num_slots": N}}`` declares the horizon, so traces with
+  empty trailing slots round-trip exactly.
+* **CSV** (``.csv``) — header ``time_slot,rsu_id,content_id``.
+
+:func:`write_trace` serialises any list of
+:class:`~repro.net.requests.Request` objects (so every generated workload
+can be exported — see :func:`export_trace`) and
+:class:`TraceWorkload` replays a file through the same three entry points
+the synthetic models expose, drawing nothing from the RNG: a replayed
+trace is the same workload in every execution mode by construction.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.net.content import ContentCatalog
+from repro.net.requests import ArrivalProcess, Request
+from repro.net.topology import RoadTopology
+from repro.utils.rng import RandomSource
+from repro.workloads.base import WorkloadModel
+from repro.workloads.registry import register_workload
+
+__all__ = ["TraceWorkload", "export_trace", "read_trace", "write_trace"]
+
+_FORMATS = ("auto", "jsonl", "csv")
+
+
+def _resolve_format(path: str, format: str) -> str:
+    if format not in _FORMATS:
+        raise ConfigurationError(
+            f"trace format must be one of {_FORMATS}, got {format!r}"
+        )
+    if format != "auto":
+        return format
+    extension = os.path.splitext(path)[1].lower()
+    if extension in (".jsonl", ".json"):
+        return "jsonl"
+    if extension == ".csv":
+        return "csv"
+    raise ConfigurationError(
+        f"cannot infer trace format from {path!r}; pass format='jsonl' or 'csv'"
+    )
+
+
+def write_trace(
+    path: str,
+    requests: Sequence[Request],
+    *,
+    num_slots: Optional[int] = None,
+    format: str = "auto",
+) -> int:
+    """Write *requests* to *path*; returns the number of records written.
+
+    ``num_slots`` declares the trace horizon (JSONL only); when omitted the
+    horizon is the last request's slot plus one.
+    """
+    resolved = _resolve_format(path, format)
+    if num_slots is not None and num_slots <= 0:
+        raise ValidationError(f"num_slots must be > 0, got {num_slots}")
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        if resolved == "jsonl":
+            if num_slots is not None:
+                handle.write(json.dumps({"meta": {"num_slots": int(num_slots)}}))
+                handle.write("\n")
+            for request in requests:
+                handle.write(
+                    json.dumps(
+                        {
+                            "t": int(request.time_slot),
+                            "rsu": int(request.rsu_id),
+                            "content": int(request.content_id),
+                        }
+                    )
+                )
+                handle.write("\n")
+        else:
+            writer = csv.writer(handle)
+            writer.writerow(["time_slot", "rsu_id", "content_id"])
+            for request in requests:
+                writer.writerow(
+                    [int(request.time_slot), int(request.rsu_id), int(request.content_id)]
+                )
+    return len(requests)
+
+
+def export_trace(
+    workload,
+    num_slots: int,
+    path: str,
+    *,
+    format: str = "auto",
+) -> int:
+    """Generate *num_slots* slots from *workload* and write them to *path*.
+
+    Works with any :class:`~repro.net.requests.RequestGenerator`-derived
+    model; the exported file replays through :class:`TraceWorkload` into the
+    identical per-slot arrival batches.
+    """
+    requests = workload.generate_trace(num_slots)
+    return write_trace(path, requests, num_slots=num_slots, format=format)
+
+
+def read_trace(
+    path: str, *, format: str = "auto"
+) -> Tuple[List[Tuple[int, int, int]], Optional[int]]:
+    """Read *path* into ``([(time_slot, rsu_id, content_id), ...], num_slots)``.
+
+    ``num_slots`` is the declared horizon from the JSONL meta line, or
+    ``None`` when the file does not declare one.
+    """
+    resolved = _resolve_format(path, format)
+    if not os.path.isfile(path):
+        raise ConfigurationError(f"trace file not found: {path!r}")
+    records: List[Tuple[int, int, int]] = []
+    declared: Optional[int] = None
+    try:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            if resolved == "jsonl":
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    row = json.loads(line)
+                    if "meta" in row:
+                        meta_slots = row["meta"].get("num_slots")
+                        if meta_slots is not None:
+                            declared = int(meta_slots)
+                        continue
+                    records.append(
+                        (int(row["t"]), int(row["rsu"]), int(row["content"]))
+                    )
+            else:
+                reader = csv.DictReader(handle)
+                for row in reader:
+                    records.append(
+                        (
+                            int(row["time_slot"]),
+                            int(row["rsu_id"]),
+                            int(row["content_id"]),
+                        )
+                    )
+    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"malformed trace file {path!r}: {error}") from error
+    return records, declared
+
+
+@register_workload("trace")
+class TraceWorkload(WorkloadModel):
+    """Replay a recorded request trace file, slot for slot.
+
+    Parameters (via the workload spec): ``path`` (required), ``format``
+    (``auto``/``jsonl``/``csv``), and ``num_slots`` (optional horizon
+    override, extending or truncating the file's own).  The replay draws
+    nothing from the workload RNG and its
+    :meth:`~repro.net.requests.RequestGenerator.content_population` is the
+    *empirical* per-RSU request frequency of the trace, so the MDP stage
+    weights contents by how often the trace actually asks for them.
+    """
+
+    PARAM_DEFAULTS: Dict[str, Any] = {
+        "path": "",
+        "format": "auto",
+        "num_slots": 0,
+    }
+
+    @classmethod
+    def normalize_params(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        merged = super().normalize_params(params)
+        path = merged["path"]
+        if not isinstance(path, str) or not path.strip():
+            raise ConfigurationError(
+                "workload 'trace' requires a path parameter, e.g. "
+                "trace:path=runs/workload.jsonl"
+            )
+        if merged["format"] not in _FORMATS:
+            raise ConfigurationError(
+                f"workload 'trace' format must be one of {_FORMATS}, "
+                f"got {merged['format']!r}"
+            )
+        num_slots = merged["num_slots"]
+        if not isinstance(num_slots, int) or isinstance(num_slots, bool) or num_slots < 0:
+            raise ConfigurationError(
+                "workload 'trace' num_slots must be a non-negative integer "
+                f"(0 = use the file's horizon), got {num_slots!r}"
+            )
+        return merged
+
+    def __init__(
+        self,
+        topology: RoadTopology,
+        catalog: ContentCatalog,
+        *,
+        arrivals: Optional[ArrivalProcess] = None,
+        zipf_exponent: Optional[float] = None,
+        rng: RandomSource = None,
+        path: str = "",
+        format: str = "auto",
+        num_slots: int = 0,
+    ) -> None:
+        super().__init__(
+            topology,
+            catalog,
+            arrivals=arrivals,
+            zipf_exponent=zipf_exponent,
+            rng=rng,
+        )
+        params = self.normalize_params(
+            {"path": path, "format": format, "num_slots": num_slots}
+        )
+        self._path = params["path"]
+        records, declared = read_trace(self._path, format=params["format"])
+        # Stable sort by slot: intra-slot file order (and therefore batch
+        # structure) is preserved, while out-of-order files still replay.
+        records.sort(key=lambda record: record[0])
+        rsu_of_content: Dict[int, int] = {}
+        for rsu in topology.rsus:
+            for content_id in rsu.covered_regions:
+                rsu_of_content[content_id] = rsu.rsu_id
+        for t, rsu_id, content_id in records:
+            if t < 0:
+                raise ConfigurationError(
+                    f"trace {self._path!r}: negative time_slot {t}"
+                )
+            if rsu_id not in self._local_contents:
+                raise ConfigurationError(
+                    f"trace {self._path!r}: unknown rsu_id {rsu_id}"
+                )
+            if rsu_of_content.get(content_id) != rsu_id:
+                raise ConfigurationError(
+                    f"trace {self._path!r}: content {content_id} is not cached "
+                    f"by RSU {rsu_id}"
+                )
+        inferred = (records[-1][0] + 1) if records else 0
+        self._trace_slots = int(params["num_slots"]) or max(
+            declared or 0, inferred
+        )
+        if self._trace_slots <= 0:
+            raise ConfigurationError(
+                f"trace {self._path!r} is empty and declares no horizon; "
+                "pass num_slots explicitly"
+            )
+        # Pre-group records into per-slot batches: consecutive same-RSU runs
+        # within a slot become one (rsu_id, content_ids) batch, mirroring
+        # how the synthetic generators emit them.
+        self._batches: List[List[Tuple[int, np.ndarray]]] = [
+            [] for _ in range(self._trace_slots)
+        ]
+        run_slot = run_rsu = None
+        run_contents: List[int] = []
+        for t, rsu_id, content_id in records:
+            if t >= self._trace_slots:
+                continue
+            if (t, rsu_id) != (run_slot, run_rsu):
+                if run_contents:
+                    self._batches[run_slot].append(
+                        (run_rsu, np.asarray(run_contents, dtype=int))
+                    )
+                run_slot, run_rsu, run_contents = t, rsu_id, []
+            run_contents.append(content_id)
+        if run_contents:
+            self._batches[run_slot].append(
+                (run_rsu, np.asarray(run_contents, dtype=int))
+            )
+        # Empirical per-RSU popularity of the replayed requests, bucketed in
+        # one pass over the batches; RSUs the trace never touches keep
+        # their base (catalog) profile.
+        slot_of = {
+            rsu.rsu_id: {
+                int(h): i
+                for i, h in enumerate(self._local_content_arrays[rsu.rsu_id])
+            }
+            for rsu in topology.rsus
+        }
+        counts = {
+            rsu.rsu_id: np.zeros(self._local_content_arrays[rsu.rsu_id].size)
+            for rsu in topology.rsus
+        }
+        for batches in self._batches:
+            for batch_rsu, content_ids in batches:
+                bucket = counts[batch_rsu]
+                indices = slot_of[batch_rsu]
+                for content_id in content_ids:
+                    bucket[indices[int(content_id)]] += 1.0
+        for rsu_id, bucket in counts.items():
+            if bucket.sum() > 0:
+                self._local_popularity[rsu_id] = self._normalized(bucket)
+
+    @property
+    def path(self) -> str:
+        """The trace file being replayed."""
+        return self._path
+
+    @property
+    def trace_slots(self) -> int:
+        """Horizon of the trace (slots it can replay)."""
+        return self._trace_slots
+
+    @property
+    def mean_load_per_rsu(self) -> float:
+        """Average replayed requests per RSU per slot."""
+        total = sum(
+            int(content_ids.size)
+            for batches in self._batches
+            for _, content_ids in batches
+        )
+        return total / (self._trace_slots * self._topology.num_rsus)
+
+    def _slot_batches(self, time_slot: int) -> List[Tuple[int, np.ndarray]]:
+        if time_slot < 0:
+            raise ValidationError(f"time_slot must be >= 0, got {time_slot}")
+        if time_slot >= self._trace_slots:
+            raise ValidationError(
+                f"slot {time_slot} beyond the trace horizon "
+                f"({self._trace_slots} slots in {self._path!r}); shorten the "
+                "simulation or extend the trace with num_slots"
+            )
+        return [
+            (rsu_id, content_ids.copy())
+            for rsu_id, content_ids in self._batches[time_slot]
+        ]

@@ -14,9 +14,11 @@ from repro.exceptions import ValidationError
 
 
 class TestRegistry:
-    def test_all_seven_experiments_registered(self):
+    def test_all_eight_experiments_registered(self):
         experiments = available_experiments()
-        assert sorted(experiments) == ["E1", "E2", "E3", "E4", "E5", "E6", "E7"]
+        assert sorted(experiments) == [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+        ]
 
     def test_titles_are_non_empty(self):
         assert all(title for title in available_experiments().values())
@@ -72,6 +74,22 @@ class TestExperimentRuns:
         assert report.passed
         assert report.metrics["wall_seconds_large"] > 0
 
+    def test_e8_sweeps_registered_workloads(self):
+        report = run_experiment("E8", num_slots=80, seed=0)
+        assert report.passed
+        assert "time_avg_backlog[flash-crowd]" in report.metrics
+        assert "workload" in report.table
+
+    def test_workload_override_reaches_the_scenarios(self):
+        stationary = run_experiment("E2", num_slots=80, seed=0)
+        drifted = run_experiment(
+            "E2", num_slots=80, seed=0, workload="flash-crowd:burst_prob=0.2"
+        )
+        assert (
+            drifted.metrics["time_avg_backlog[lyapunov]"]
+            != stationary.metrics["time_avg_backlog[lyapunov]"]
+        )
+
     def test_run_all_returns_ordered_reports(self):
         reports = run_all_experiments(num_slots=60, seed=0)
         assert [report.experiment_id for report in reports] == [
@@ -82,6 +100,7 @@ class TestExperimentRuns:
             "E5",
             "E6",
             "E7",
+            "E8",
         ]
 
 

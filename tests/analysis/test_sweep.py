@@ -12,6 +12,7 @@ from repro.analysis.sweep import (
     service_policy_comparison,
     v_sweep,
     weight_sweep,
+    workload_sweep,
 )
 from repro.exceptions import ValidationError
 from repro.sim.scenario import ScenarioConfig
@@ -124,3 +125,62 @@ class TestFormatTable:
         lines = text.splitlines()
         assert len(lines) == 3
         assert len(lines[0]) == len(lines[1])
+
+
+class TestWorkloadSweep:
+    WORKLOADS = ["stationary", "drift:period=10", "flash-crowd:burst_prob=0.2"]
+
+    def test_service_rows_and_keys(self, tiny_fig1b):
+        rows = workload_sweep(self.WORKLOADS, config=tiny_fig1b, num_slots=60)
+        assert len(rows) == 3
+        assert {"workload", "time_average_cost", "time_average_backlog"} <= set(
+            rows[0]
+        )
+        assert [row["workload"] for row in rows] == [
+            "stationary",
+            "drift(period=10)",
+            "flash-crowd(burst_prob=0.2)",
+        ]
+
+    def test_cache_kind_uses_mdp_metrics(self, tiny_fig1a):
+        rows = workload_sweep(
+            ["stationary", "shot-noise:event_rate=0.1"],
+            kind="cache",
+            config=tiny_fig1a,
+            num_slots=40,
+        )
+        assert {"workload", "total_reward", "mean_age"} <= set(rows[0])
+
+    def test_joint_kind_reports_both_stages(self):
+        config = ScenarioConfig.small(seed=1, num_slots=40)
+        rows = workload_sweep(
+            ["stationary", "drift:period=5"], kind="joint", config=config
+        )
+        assert {"cache_total_reward", "service_time_average_cost"} <= set(rows[0])
+
+    def test_multi_seed_rows_carry_ci(self, tiny_fig1b):
+        rows = workload_sweep(
+            ["stationary", "drift:period=10"],
+            config=tiny_fig1b,
+            num_slots=40,
+            num_seeds=3,
+        )
+        assert all(row["num_seeds"] == 3 for row in rows)
+        assert "time_average_cost_ci" in rows[0]
+
+    def test_identical_across_worker_counts(self, tiny_fig1b):
+        serial = workload_sweep(
+            self.WORKLOADS, config=tiny_fig1b, num_slots=40, num_seeds=2, workers=1
+        )
+        parallel = workload_sweep(
+            self.WORKLOADS, config=tiny_fig1b, num_slots=40, num_seeds=2, workers=2
+        )
+        assert serial == parallel
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValidationError):
+            workload_sweep([])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            workload_sweep(["stationary"], kind="quantum")

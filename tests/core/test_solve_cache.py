@@ -216,3 +216,36 @@ class TestSweepSolveSharing:
         # A new weight is a different MDP: it must miss (and only it).
         weight_sweep([0.75], config=config, workers=1)
         assert isolated_cache.stats.misses > before
+
+
+class TestDisableEnvSpellings:
+    """REPRO_SOLVE_CACHE falsey spellings must all disable disk persistence."""
+
+    @pytest.mark.parametrize(
+        "value", ["0", "false", "False", "FALSE", "no", "No", "off", "OFF", "", "  "]
+    )
+    def test_falsey_spellings_disable_disk(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE", value)
+        assert solve_cache.default_directory() is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "enabled"])
+    def test_truthy_spellings_keep_disk_enabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE", value)
+        monkeypatch.delenv("REPRO_SOLVE_CACHE_DIR", raising=False)
+        assert solve_cache.default_directory() == solve_cache.DEFAULT_DIRECTORY
+
+    def test_unset_keeps_disk_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVE_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_SOLVE_CACHE_DIR", raising=False)
+        assert solve_cache.default_directory() == solve_cache.DEFAULT_DIRECTORY
+
+    def test_disabled_global_cache_stays_memory_only(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE", "off")
+        monkeypatch.setenv("REPRO_SOLVE_CACHE_DIR", str(tmp_path / "solves"))
+        solve_cache.reset_solve_cache()
+        try:
+            cache = solve_cache.global_solve_cache()
+            cache.put(solve_key("k", x=1.0), small_solver_result())
+            assert not (tmp_path / "solves").exists()
+        finally:
+            solve_cache.reset_solve_cache()

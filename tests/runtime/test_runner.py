@@ -26,6 +26,7 @@ from repro.runtime.runner import (
     RunSpec,
     expand_seeds,
     execute_spec,
+    expand_workloads,
 )
 from repro.sim.scenario import ScenarioConfig
 from repro.utils.rng import spawn_run_seeds
@@ -340,3 +341,59 @@ class TestRunRecordMatching:
         a = RunRecord(label="x", seed=0, kind="cache", summary={"m": 1.0})
         b = RunRecord(label="y", seed=1, kind="cache", summary={"m": 2.0})
         assert not BatchResult([a, b]).matches(BatchResult([b, a]))
+
+
+class TestWorkloadGrids:
+    WORKLOADS = ["stationary", "drift:period=10", "flash-crowd:burst_prob=0.2"]
+
+    def test_expand_workloads_crosses_specs_and_workloads(self, tiny_scenario):
+        specs = cache_grid(tiny_scenario)
+        grid = expand_workloads(specs, self.WORKLOADS)
+        assert len(grid) == len(specs) * len(self.WORKLOADS)
+        assert [spec.label for spec in grid[:3]] == [
+            "a|stationary",
+            "a|drift(period=10)",
+            "a|flash-crowd(burst_prob=0.2)",
+        ]
+        from repro.workloads import WorkloadSpec
+
+        assert grid[1].scenario.workload == WorkloadSpec.parse("drift:period=10")
+        # The original specs are untouched.
+        assert specs[0].scenario.workload == WorkloadSpec()
+
+    def test_expand_workloads_rejects_empty_inputs(self, tiny_scenario):
+        with pytest.raises(ValidationError):
+            expand_workloads([], self.WORKLOADS)
+        with pytest.raises(ValidationError):
+            expand_workloads(cache_grid(tiny_scenario), [])
+
+    def test_scenarios_by_workloads_grid_runs_end_to_end(self):
+        # The acceptance grid: scenarios x workloads x seeds through run_grid.
+        scenarios = [
+            ("small", ScenarioConfig.small(seed=3, num_slots=25)),
+            ("small-poisson", ScenarioConfig.small(
+                seed=5, num_slots=25, arrival_kind="poisson", arrival_rate=1.5
+            )),
+        ]
+        specs = [
+            RunSpec(
+                kind="service",
+                scenario=scenario,
+                policy=lyapunov_policy_factory,
+                seed=scenario.seed,
+                label=label,
+            )
+            for label, scenario in scenarios
+        ]
+        grid = expand_workloads(specs, self.WORKLOADS)
+        batch = ExperimentRunner(workers=1).run_grid(grid, num_seeds=2)
+        assert len(batch) == len(grid) * 2
+        assert len(batch.labels()) == len(grid)
+        rows = batch.aggregate()
+        assert all(row["num_seeds"] == 2 for row in rows)
+
+    def test_workload_grid_identical_across_worker_counts(self, tiny_scenario):
+        grid = expand_workloads(cache_grid(tiny_scenario), self.WORKLOADS[:2])
+        serial = ExperimentRunner(workers=1).run_grid(grid, num_seeds=2)
+        parallel = ExperimentRunner(workers=3).run_grid(grid, num_seeds=2)
+        assert serial.matches(parallel)

@@ -127,3 +127,96 @@ class TestBuilders:
     def test_road_length(self):
         config = ScenarioConfig(num_rsus=2, contents_per_rsu=3, region_length=50.0)
         assert config.road_length() == pytest.approx(300.0)
+
+
+class TestWorkloadField:
+    def test_default_workload_is_stationary_spec(self):
+        from repro.workloads import WorkloadSpec
+
+        config = ScenarioConfig()
+        assert isinstance(config.workload, WorkloadSpec)
+        assert config.workload == WorkloadSpec()
+
+    def test_string_workload_normalised_to_spec(self):
+        from repro.workloads import WorkloadSpec
+
+        config = ScenarioConfig(workload="drift:period=10")
+        assert config.workload == WorkloadSpec.parse("drift:period=10")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(workload="bogus")
+
+    def test_invalid_workload_param_rejected_through_with_overrides(self):
+        config = ScenarioConfig()
+        with pytest.raises((ConfigurationError, ValidationError)):
+            config.with_overrides(workload="drift:period=0")
+
+    def test_build_workload_returns_registered_model(self):
+        from repro.workloads import FlashCrowdWorkload
+
+        config = ScenarioConfig(workload="flash-crowd:burst_prob=0.1")
+        topology = config.build_topology()
+        catalog = config.build_catalog()
+        model = config.build_workload(topology, catalog, rng=0)
+        assert isinstance(model, FlashCrowdWorkload)
+
+    def test_build_workload_default_matches_request_generator(self):
+        from repro.net.requests import RequestGenerator
+
+        config = ScenarioConfig.small(seed=2)
+        topology = config.build_topology()
+        catalog = config.build_catalog()
+        model = config.build_workload(topology, catalog, rng=9)
+        legacy = RequestGenerator(
+            topology, catalog, arrivals=config.build_arrivals(), rng=9
+        )
+        for t in range(20):
+            expected = legacy.generate_slot_contents(t)
+            actual = model.generate_slot_contents(t)
+            assert len(expected) == len(actual)
+            for (r1, c1), (r2, c2) in zip(expected, actual):
+                assert r1 == r2
+                assert np.array_equal(c1, c2)
+
+
+class TestValidationAudit:
+    """Knobs reachable through with_overrides/replace must all validate."""
+
+    def test_negative_zipf_rejected_through_with_overrides(self):
+        with pytest.raises(ValidationError):
+            ScenarioConfig().with_overrides(zipf_exponent=-0.5)
+
+    def test_negative_arrival_rate_rejected_through_with_overrides(self):
+        with pytest.raises(ValidationError):
+            ScenarioConfig().with_overrides(arrival_rate=-0.1)
+
+    def test_zero_rate_poisson_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(arrival_kind="poisson", arrival_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig().with_overrides(
+                arrival_kind="poisson", arrival_rate=0.0
+            )
+
+    def test_zero_rate_bernoulli_still_allowed(self):
+        config = ScenarioConfig(arrival_kind="bernoulli", arrival_rate=0.0)
+        assert isinstance(config.build_arrivals(), BernoulliArrivals)
+
+    def test_negative_cost_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioConfig().with_overrides(cost_sigma=-0.25)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(seed=-1)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig().with_overrides(seed="nope")
+        assert ScenarioConfig(seed=None).seed is None
+
+    def test_workload_knobs_validate_through_with_overrides(self):
+        config = ScenarioConfig()
+        with pytest.raises((ConfigurationError, ValidationError)):
+            config.with_overrides(workload="shot-noise:boost=0.1")
+        with pytest.raises((ConfigurationError, ValidationError)):
+            config.with_overrides(workload="flash-crowd:burst_prob=7")

@@ -139,3 +139,63 @@ class TestCacheCommand:
         assert main(["cache"], out=out) == 0
         assert "disabled" in out.getvalue()
         solve_cache.reset_solve_cache()
+
+
+class TestWorkloadFlag:
+    def test_workload_flag_parses(self):
+        arguments = build_parser().parse_args(
+            ["run", "E2", "--workload", "drift:period=25,step=0.4"]
+        )
+        assert arguments.workload == "drift:period=25,step=0.4"
+        assert build_parser().parse_args(["run", "E2"]).workload is None
+
+    def test_run_with_workload_end_to_end(self):
+        out = io.StringIO()
+        exit_code = main(
+            ["run", "E2", "--slots", "80", "--workload", "drift:period=20"],
+            out=out,
+        )
+        assert exit_code == 0
+        assert "[E2]" in out.getvalue()
+
+    def test_run_with_unknown_workload_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "E2", "--slots", "10", "--workload", "bogus"],
+                 out=io.StringIO())
+
+    def test_run_with_invalid_workload_param_raises(self):
+        with pytest.raises(Exception):
+            main(
+                ["run", "E2", "--slots", "10", "--workload", "drift:period=0"],
+                out=io.StringIO(),
+            )
+
+    def test_figures_with_workload(self):
+        out = io.StringIO()
+        exit_code = main(
+            ["figures", "--slots", "50", "--workload",
+             "flash-crowd:burst_prob=0.1"],
+            out=out,
+        )
+        assert exit_code == 0
+        assert "Fig. 1a" in out.getvalue()
+
+    def test_e8_runs_the_workload_grid(self):
+        out = io.StringIO()
+        exit_code = main(["run", "E8", "--slots", "60"], out=out)
+        assert exit_code == 0
+        assert "[E8]" in out.getvalue()
+
+
+class TestWorkloadsCommand:
+    def test_lists_registered_models_and_parameters(self):
+        out = io.StringIO()
+        exit_code = main(["workloads"], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        for name in ("stationary", "drift", "flash-crowd", "shot-noise", "trace"):
+            assert name in text
+        assert "burst_prob" in text
+        assert "period" in text
