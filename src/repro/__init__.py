@@ -7,36 +7,34 @@ controller (stage 2), together with the vehicular-network substrate, the
 baseline policies, the simulators, and the experiment harness needed to
 regenerate the paper's evaluation.
 
-Quickstart::
+Quickstart — one façade covers every simulation kind, with policies and
+workloads referenced through their registries::
 
-    from repro import ScenarioConfig, MDPCachingPolicy, CacheSimulator
+    from repro import ScenarioConfig, simulate
 
-    config = ScenarioConfig.fig1a(seed=0)
-    policy = MDPCachingPolicy(config.build_mdp_config())
-    result = CacheSimulator(config, policy).run(num_slots=200)
+    result = simulate(ScenarioConfig.fig1a(seed=0), "mdp", num_slots=200)
     print(result.summary())
 
-Running sweeps in parallel::
+    # Both stages coupled, 8 seeds through one seed-batched tensor loop:
+    results = simulate(ScenarioConfig.fig1b(), ("mdp", "lyapunov"), seeds=8)
 
-    from repro import ExperimentRunner, RunSpec, ScenarioConfig
-    from repro.analysis.sweep import mdp_policy_factory, weight_sweep
+Declarative experiment grids round-trip through JSON and execute through
+the batched parallel runner::
 
-    # High-level: every sweep takes num_seeds (CI aggregation) and workers.
-    rows = weight_sweep([0.5, 1.0, 5.0], num_seeds=5, workers=4)
+    from repro import ExperimentRunner, ExperimentSpec, ScenarioConfig
 
-    # Low-level: build a (scenario, policy, seed) grid yourself.  The same
-    # grid yields the identical BatchResult for any worker count.
-    specs = [
-        RunSpec(kind="cache", scenario=ScenarioConfig.fig1a(),
-                policy=mdp_policy_factory, label="fig1a")
-    ]
-    batch = ExperimentRunner(workers=4).run_grid(specs, num_seeds=8)
+    spec = ExperimentSpec(kind="cache", scenario=ScenarioConfig.fig1a(),
+                          policy="mdp", num_seeds=8, label="fig1a")
+    spec = ExperimentSpec.from_json(spec.to_json())   # lossless
+    batch = ExperimentRunner(workers=4).run_grid([spec])
     print(batch.aggregate())   # mean +- ci per grid point
+    batch.to_json("results.json")
 
-The simulators run a vectorised hot loop by default; pass ``reference=True``
-to any of them for the scalar reference implementation, which produces
-bit-for-bit identical trajectories (enforced by the golden-trajectory
-equivalence tests).
+All execution modes — scalar ``reference``, ``vectorized``, and seed-batched
+``batch`` — produce bit-for-bit identical trajectories (enforced by the
+golden-trajectory equivalence tests).  The old per-kind entry points
+(``CacheSimulator`` et al.) remain available and bit-identical behind the
+façade.
 """
 
 from repro.baselines import (
@@ -91,18 +89,34 @@ from repro.net import (
     RSUCache,
     VehicleFleet,
 )
+from repro.policies import (
+    PolicySpec,
+    available_policies,
+    create_policy,
+    list_policies,
+    register_policy,
+)
 from repro.runtime import (
     BatchResult,
     ExperimentRunner,
+    ExperimentSpec,
     RunRecord,
     RunSpec,
     expand_seeds,
+    expand_workloads,
+    load_specs,
+    save_specs,
 )
 from repro.sim import (
+    CacheSimulationResult,
     CacheSimulator,
+    JointSimulationResult,
     JointSimulator,
     ScenarioConfig,
+    ServiceSimulationResult,
     ServiceSimulator,
+    SimulationResult,
+    simulate,
 )
 from repro.workloads import (
     WorkloadModel,
@@ -113,7 +127,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AlwaysServePolicy",
@@ -160,15 +174,29 @@ __all__ = [
     "RoadTopology",
     "RSUCache",
     "VehicleFleet",
+    "CacheSimulationResult",
     "CacheSimulator",
+    "JointSimulationResult",
     "JointSimulator",
     "ScenarioConfig",
+    "ServiceSimulationResult",
     "ServiceSimulator",
+    "SimulationResult",
+    "simulate",
+    "PolicySpec",
+    "available_policies",
+    "create_policy",
+    "list_policies",
+    "register_policy",
     "BatchResult",
     "ExperimentRunner",
+    "ExperimentSpec",
     "RunRecord",
     "RunSpec",
     "expand_seeds",
+    "expand_workloads",
+    "load_specs",
+    "save_specs",
     "WorkloadModel",
     "WorkloadSpec",
     "available_workloads",

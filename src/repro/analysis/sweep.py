@@ -26,30 +26,43 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.caching import standard_caching_baselines
-from repro.baselines.service import AlwaysServePolicy, CostGreedyPolicy
-from repro.core.caching_mdp import CachingMDPConfig, MDPCachingPolicy
+from repro.core.caching_mdp import MDPCachingPolicy
 from repro.core.lyapunov import LyapunovServiceController
 from repro.core.policies import CachingPolicy, ServicePolicy
 from repro.exceptions import ValidationError
+from repro.policies.registry import PolicySpec, create_policy
 from repro.runtime.runner import ExperimentRunner, RunSpec
 from repro.sim.scenario import ScenarioConfig
-from repro.sim.simulator import CacheSimulator, ServiceSimulator
+from repro.sim.simulator import CacheSimulator
 from repro.utils.rng import spawn_run_seeds
 from repro.utils.validation import check_positive_int
 from repro.workloads import WorkloadSpec
 
+#: Canonical registry spec of the paper's MDP caching policy.  Building
+#: every sweep's policy through one spec keeps the constructor parameters
+#: canonical, so MDP solves are shared via the solve cache across all call
+#: sites regardless of how a sweep spelled the policy.
+_MDP_SPEC = PolicySpec("mdp")
+
 
 def mdp_policy_factory(scenario: ScenarioConfig) -> MDPCachingPolicy:
-    """Build the paper's MDP caching policy for *scenario* (picklable)."""
-    return MDPCachingPolicy(scenario.build_mdp_config())
+    """Build the paper's MDP caching policy for *scenario* (picklable).
+
+    Routed through the policy registry (``PolicySpec("mdp")``), so the
+    construction — and therefore the solve-cache key — is canonical.
+    """
+    return _MDP_SPEC.build(scenario)
 
 
 def lyapunov_policy_factory(
     scenario: ScenarioConfig, *, tradeoff_v: Optional[float] = None
 ) -> LyapunovServiceController:
-    """Build the Lyapunov service controller for *scenario* (picklable)."""
-    v = scenario.tradeoff_v if tradeoff_v is None else tradeoff_v
-    return LyapunovServiceController(float(v))
+    """Build the Lyapunov service controller for *scenario* (picklable).
+
+    Routed through the policy registry; ``tradeoff_v=None`` defaults to
+    the scenario's coefficient.
+    """
+    return PolicySpec.create("lyapunov", tradeoff_v=tradeoff_v).build(scenario)
 
 
 def _row_from_aggregate(
@@ -186,7 +199,7 @@ def _default_caching_policy(
     while staying deterministic for any worker count.
     """
     if name == "mdp":
-        return MDPCachingPolicy(scenario.build_mdp_config())
+        return _MDP_SPEC.build(scenario)
     scenario_seed = int(scenario.seed if scenario.seed is not None else 0)
     if scenario_seed == int(base_seed):
         rng: object = rng_seed
@@ -219,9 +232,7 @@ def caching_policy_comparison(
     scenario = config or ScenarioConfig.fig1a()
     base_seed = scenario.seed if scenario.seed is not None else 0
     if policies is None:
-        legacy: Dict[str, CachingPolicy] = {
-            "mdp": MDPCachingPolicy(scenario.build_mdp_config())
-        }
+        legacy: Dict[str, CachingPolicy] = {"mdp": _MDP_SPEC.build(scenario)}
         legacy.update(
             standard_caching_baselines(weight=scenario.aoi_weight, rng=rng_seed)
         )
@@ -283,10 +294,14 @@ def service_policy_comparison(
     """
     scenario = config or ScenarioConfig.fig1b()
     if policies is None:
+        # Registry-built: identical instances to the historical literals,
+        # with canonical construction parameters.
         policies = {
-            "lyapunov": LyapunovServiceController(scenario.tradeoff_v),
-            "always-serve": AlwaysServePolicy(),
-            "cost-greedy": CostGreedyPolicy(backlog_cap=50.0),
+            "lyapunov": create_policy("lyapunov", scenario),
+            "always-serve": create_policy("always-serve", scenario),
+            "cost-greedy": create_policy(
+                PolicySpec.create("cost-greedy", backlog_cap=50.0), scenario
+            ),
         }
     specs = [
         RunSpec(
@@ -423,7 +438,7 @@ def _timed_scalability_run(
         num_slots=num_slots,
         seed=seed,
     )
-    policy = MDPCachingPolicy(scenario.build_mdp_config())
+    policy = _MDP_SPEC.build(scenario)
     start = time.perf_counter()
     result = CacheSimulator(scenario, policy, reference=reference).run()
     elapsed = time.perf_counter() - start

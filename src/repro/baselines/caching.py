@@ -33,6 +33,7 @@ from repro.core.policies import (
 )
 from repro.core.reward import UtilityFunction
 from repro.exceptions import ConfigurationError, ValidationError
+from repro.policies.registry import register_policy
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import (
     check_in_range,
@@ -42,6 +43,7 @@ from repro.utils.validation import (
 )
 
 
+@register_policy("never", role="caching")
 class NeverUpdatePolicy(StatelessCachingPolicy):
     """Never refresh anything: zero cost, unbounded AoI."""
 
@@ -54,6 +56,7 @@ class NeverUpdatePolicy(StatelessCachingPolicy):
         return self.validate_actions(actions, observation)
 
 
+@register_policy("always", role="caching")
 class AlwaysUpdatePolicy(StatelessCachingPolicy):
     """Refresh the stalest content of every RSU every slot.
 
@@ -71,6 +74,7 @@ class AlwaysUpdatePolicy(StatelessCachingPolicy):
         return self.validate_actions(actions, observation)
 
 
+@register_policy("periodic", role="caching")
 class PeriodicUpdatePolicy(CachingPolicy):
     """Round-robin refresh: each RSU updates its contents cyclically.
 
@@ -129,6 +133,7 @@ class RandomUpdatePolicy(CachingPolicy):
         return self.validate_actions(actions, observation)
 
 
+@register_policy("threshold", role="caching")
 class ThresholdUpdatePolicy(StatelessCachingPolicy):
     """Refresh the stalest content whose age exceeds ``threshold * A_max``.
 

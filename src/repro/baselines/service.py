@@ -31,10 +31,12 @@ from repro.core.policies import (
     StatelessServicePolicy,
 )
 from repro.exceptions import ConfigurationError
+from repro.policies.registry import register_policy
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_non_negative, check_probability
 
 
+@register_policy("always-serve", role="service")
 class AlwaysServePolicy(StatelessServicePolicy):
     """Serve in every slot in which at least one request is pending."""
 
@@ -44,6 +46,7 @@ class AlwaysServePolicy(StatelessServicePolicy):
         return observation.queue_backlog > 0
 
 
+@register_policy("never-serve", role="service")
 class NeverServePolicy(StatelessServicePolicy):
     """Never serve (degenerate lower bound on cost; the queue grows forever)."""
 
@@ -53,6 +56,7 @@ class NeverServePolicy(StatelessServicePolicy):
         return False
 
 
+@register_policy("cost-greedy", role="service")
 class CostGreedyPolicy(ServicePolicy):
     """Defer as long as possible; serve only when a hard trigger fires.
 
@@ -130,6 +134,7 @@ class FixedProbabilityPolicy(ServicePolicy):
         return bool(self._rng.random() < self._probability)
 
 
+@register_policy("backlog-threshold", role="service")
 class BacklogThresholdPolicy(StatelessServicePolicy):
     """Serve whenever the backlog exceeds a fixed threshold.
 

@@ -1,11 +1,12 @@
 """Command-line interface for the reproduction harness.
 
-Five subcommands cover the common workflows without writing any Python:
+Six subcommands cover the common workflows without writing any Python:
 
 * ``list`` — show every registered experiment (the E1-E8 index of DESIGN.md).
-* ``run`` — run one or more experiments and print their reports.
+* ``run`` — run registered experiments, or a declarative spec file.
 * ``figures`` — regenerate the paper's Fig. 1a / Fig. 1b as ASCII charts.
 * ``workloads`` — show every registered request-process model.
+* ``policies`` — show every registered caching/service policy.
 * ``cache`` — inspect or clear the on-disk MDP solve cache.
 
 Examples::
@@ -16,9 +17,15 @@ Examples::
     python -m repro.cli run all --seeds 5 --workers 4   # multi-seed, parallel
     python -m repro.cli run E2 --workload drift:period=25,step=0.4
     python -m repro.cli run E1 --profile                # cProfile hotspots
+    python -m repro.cli run --spec experiments.json --out results.json
+    python -m repro.cli run --spec experiments.json --policy mdp:mode=factored
     python -m repro.cli figures --slots 500 --workload flash-crowd
     python -m repro.cli workloads
+    python -m repro.cli policies
     python -m repro.cli cache --clear
+
+``--workload`` and ``--policy`` share one ``name[:k=v,...]`` grammar; see
+the ``workloads`` and ``policies`` subcommands for the two catalogs.
 """
 
 from __future__ import annotations
@@ -57,29 +64,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the registered experiments")
 
-    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser = subparsers.add_parser(
+        "run", help="run registered experiments or a declarative spec file"
+    )
     run_parser.add_argument(
         "experiments",
-        nargs="+",
-        help="experiment ids (E1..E8) or 'all'",
+        nargs="*",
+        help="experiment ids (E1..E8) or 'all'; omit when using --spec",
+    )
+    run_parser.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "run the declarative ExperimentSpec grid in this JSON file "
+            "instead of registered experiments; prints the aggregated "
+            "mean/CI table (see repro.runtime.ExperimentSpec)"
+        ),
+    )
+    run_parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --spec: also write the full BatchResult (per-seed rows + "
+            "aggregate) as JSON to PATH"
+        ),
+    )
+    run_parser.add_argument(
+        "--policy",
+        type=str,
+        default=None,
+        metavar="NAME[:K=V,...]",
+        help=(
+            "with --spec: override the matching-role policy of every "
+            "experiment in the file, e.g. 'mdp:mode=factored' or "
+            "'lyapunov:tradeoff_v=50'; see 'python -m repro.cli policies' "
+            "for the registry (shares the --workload spec grammar)"
+        ),
     )
     run_parser.add_argument(
         "--slots",
         type=int,
-        default=300,
-        help="simulation horizon in slots (paper uses 1000; default 300)",
+        default=None,
+        help=(
+            "simulation horizon in slots (paper uses 1000; default 300); "
+            "not applicable with --spec (set num_slots in the spec file)"
+        ),
     )
     run_parser.add_argument(
-        "--seed", type=int, default=0, help="master scenario seed (default 0)"
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "master scenario seed (default 0); not applicable with --spec "
+            "(set seed in the spec file)"
+        ),
     )
     run_parser.add_argument(
         "--seeds",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help=(
             "independent replicate seeds per experiment (derived from --seed); "
-            "reports then aggregate metrics into mean/CI (default 1)"
+            "reports then aggregate metrics into mean/CI (default 1); with "
+            "--spec, overrides every experiment's own num_seeds"
         ),
     )
     run_parser.add_argument(
@@ -135,6 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
         "workloads", help="list the registered request-process models"
     )
 
+    subparsers.add_parser(
+        "policies", help="list the registered caching and service policies"
+    )
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk MDP solve cache"
     )
@@ -157,13 +213,30 @@ def _command_list(out) -> int:
 
 
 def _command_run(arguments, out) -> int:
+    if arguments.spec is not None:
+        return _run_spec_file(arguments, out)
+    if not arguments.experiments:
+        out.write("error: give experiment ids (E1..E8, 'all') or --spec PATH\n")
+        return 2
+    if arguments.policy is not None:
+        out.write(
+            "error: --policy applies to --spec runs (registered experiments "
+            "define their own policies)\n"
+        )
+        return 2
+    if arguments.out is not None:
+        out.write("error: --out applies to --spec runs\n")
+        return 2
     requested = [item.strip() for item in arguments.experiments]
     workload = _parse_workload(arguments.workload)
+    num_slots = arguments.slots if arguments.slots is not None else 300
+    seed = arguments.seed if arguments.seed is not None else 0
+    num_seeds = arguments.seeds if arguments.seeds is not None else 1
     if any(item.lower() == "all" for item in requested):
         reports = run_all_experiments(
-            num_slots=arguments.slots,
-            seed=arguments.seed,
-            num_seeds=arguments.seeds,
+            num_slots=num_slots,
+            seed=seed,
+            num_seeds=num_seeds,
             workers=arguments.workers,
             workload=workload,
         )
@@ -171,9 +244,9 @@ def _command_run(arguments, out) -> int:
         reports = [
             run_experiment(
                 item,
-                num_slots=arguments.slots,
-                seed=arguments.seed,
-                num_seeds=arguments.seeds,
+                num_slots=num_slots,
+                seed=seed,
+                num_seeds=num_seeds,
                 workers=arguments.workers,
                 workload=workload,
             )
@@ -196,6 +269,74 @@ def _parse_workload(text: Optional[str]):
     from repro.workloads import WorkloadSpec
 
     return WorkloadSpec.parse(text)
+
+
+def _override_spec(spec, workload, policy):
+    """Apply the ``--workload`` / ``--policy`` overrides to one spec."""
+    overrides = {}
+    if workload is not None:
+        overrides["scenario"] = spec.scenario.with_overrides(workload=workload)
+    if policy is not None:
+        main_role = "service" if spec.kind == "service" else "caching"
+        auto_label = spec.auto_label()
+        if policy.role == main_role:
+            overrides["policy"] = policy
+        elif spec.kind == "joint":
+            overrides["service_policy"] = policy
+        else:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"--policy {policy.name!r} is a {policy.role} policy but "
+                f"experiment {spec.label!r} is kind={spec.kind!r}"
+            )
+        if spec.label == auto_label:
+            # The label tracked the policy; let it regenerate.
+            overrides["label"] = ""
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _run_spec_file(arguments, out) -> int:
+    """Execute a declarative ExperimentSpec file through the runner."""
+    from repro.analysis.sweep import format_table
+    from repro.policies import PolicySpec
+    from repro.runtime import ExperimentRunner, load_specs
+
+    if arguments.experiments:
+        out.write("error: give either experiment ids or --spec, not both\n")
+        return 2
+    if arguments.slots is not None or arguments.seed is not None:
+        out.write(
+            "error: --slots/--seed do not apply to --spec runs; set "
+            "num_slots and seed in the spec file\n"
+        )
+        return 2
+    workload = _parse_workload(arguments.workload)
+    policy = (
+        PolicySpec.parse(arguments.policy) if arguments.policy is not None else None
+    )
+    specs = [
+        _override_spec(spec, workload, policy)
+        for spec in load_specs(arguments.spec)
+    ]
+    runner = ExperimentRunner(arguments.workers)
+    batch = runner.run_grid(specs, num_seeds=arguments.seeds)
+    out.write(f"Ran {len(batch)} run(s) across {len(specs)} experiment(s)\n")
+    # One table per simulation kind: kinds report different metric columns,
+    # and format_table takes its header from the first row.
+    kind_of_label = {
+        label: records[0].kind for label, records in batch.by_label().items()
+    }
+    aggregated = batch.aggregate()
+    for kind in ("cache", "service", "joint"):
+        rows = [row for row in aggregated if kind_of_label[row["label"]] == kind]
+        if rows:
+            out.write(f"\n[{kind}]\n")
+            out.write(format_table(rows) + "\n")
+    if arguments.out is not None:
+        batch.to_json(arguments.out)
+        out.write(f"\nWrote per-seed rows and aggregate to {arguments.out}\n")
+    return 0
 
 
 def _command_figures(arguments, out) -> int:
@@ -230,6 +371,28 @@ def _command_workloads(out) -> int:
     out.write(
         "\nUse with: python -m repro.cli run E2 --workload "
         "drift:period=25,step=0.4\n"
+    )
+    return 0
+
+
+def _command_policies(out) -> int:
+    from repro.policies import available_policies, get_policy_entry
+
+    out.write("Registered policies\n")
+    out.write("-------------------\n")
+    for role, title in (("caching", "Caching (stage 1)"), ("service", "Service (stage 2)")):
+        out.write(f"{title}:\n")
+        for name, description in available_policies(role).items():
+            out.write(f"  {name}  {description}\n")
+            defaults = get_policy_entry(name).defaults
+            if defaults:
+                rendered = ", ".join(
+                    f"{key}={value!r}" for key, value in sorted(defaults.items())
+                )
+                out.write(f"      parameters: {rendered}\n")
+    out.write(
+        "\nUse with: python -m repro.cli run --spec experiments.json "
+        "--policy mdp:mode=factored\n"
     )
     return 0
 
@@ -290,6 +453,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_figures(arguments, out)
     if arguments.command == "workloads":
         return _command_workloads(out)
+    if arguments.command == "policies":
+        return _command_policies(out)
     if arguments.command == "cache":
         return _command_cache(arguments, out)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

@@ -21,14 +21,18 @@ from repro.runtime.runner import (
     expand_seeds,
     expand_workloads,
 )
+from repro.runtime.spec import ExperimentSpec, load_specs, save_specs
 
 __all__ = [
     "BatchResult",
     "ExperimentRunner",
+    "ExperimentSpec",
     "RunRecord",
     "RunSpec",
     "execute_batch",
     "execute_spec",
     "expand_seeds",
     "expand_workloads",
+    "load_specs",
+    "save_specs",
 ]

@@ -21,6 +21,7 @@ Determinism is a hard requirement: the same grid must produce the same
 from __future__ import annotations
 
 import copy
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -184,6 +185,65 @@ class BatchResult:
             for mine, theirs in zip(self.records, other.records)
         )
 
+    def rows(self) -> List[Dict[str, Any]]:
+        """Per-record export rows with a stable column schema.
+
+        Every row leads with ``label, seed, kind`` followed by that
+        record's summary metrics, so sweep outputs are machine-readable
+        without pickling.  Traces are intentionally excluded (use the
+        records directly for trajectory data).
+        """
+        rows: List[Dict[str, Any]] = []
+        for record in self.records:
+            row: Dict[str, Any] = {
+                "label": record.label,
+                "seed": int(record.seed),
+                "kind": record.kind,
+            }
+            row.update(record.summary)
+            rows.append(row)
+        return rows
+
+    def to_json(
+        self, path: Optional[str] = None, *, confidence: float = 0.95
+    ) -> str:
+        """Serialize the batch as JSON; optionally write it to *path*.
+
+        The document holds ``schema`` (version and the leading row
+        columns), ``rows`` (:meth:`rows`), and ``aggregate``
+        (:meth:`aggregate` mean/CI rows), with numpy scalars converted to
+        plain Python so the output is loadable anywhere.
+        """
+        document = {
+            "schema": {"version": 1, "row_columns": ["label", "seed", "kind"]},
+            "rows": _jsonify(self.rows()),
+            "aggregate": _jsonify(self.aggregate(confidence=confidence)),
+        }
+        text = json.dumps(document, indent=2)
+        if path is not None:
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp, path)
+        return text
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain JSON-ready Python."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return _jsonify(value.tolist())
+    return value
+
 
 def expand_seeds(specs: Sequence[RunSpec], num_seeds: int) -> List[RunSpec]:
     """Replicate each spec across *num_seeds* derived seeds.
@@ -200,16 +260,19 @@ def expand_seeds(specs: Sequence[RunSpec], num_seeds: int) -> List[RunSpec]:
     return expanded
 
 
-def expand_workloads(specs: Sequence[RunSpec], workloads: Sequence) -> List[RunSpec]:
+def expand_workloads(specs: Sequence[Any], workloads: Sequence) -> List[Any]:
     """Cross each spec with every workload: the scenarios × workloads grid.
 
     Each entry of *workloads* may be a registered name, a ``"name:k=v,..."``
     string, or a :class:`~repro.workloads.WorkloadSpec`; the returned grid
     holds one spec per (input spec, workload) pair, with the workload set on
     the scenario and appended to the label (``"fig1a|drift"``), so labels —
-    the aggregation key — stay unique per grid point.  Compose with
-    ``num_seeds`` in :meth:`ExperimentRunner.run_grid` for the full
-    scenarios × workloads × seeds grid.
+    the aggregation key — stay unique per grid point.  Works on
+    :class:`RunSpec` and declarative
+    :class:`~repro.runtime.spec.ExperimentSpec` entries alike (the output
+    mirrors the input type, so a serializable grid stays serializable).
+    Compose with ``num_seeds`` in :meth:`ExperimentRunner.run_grid` for the
+    full scenarios × workloads × seeds grid.
     """
     if not specs:
         raise ValidationError("specs must be non-empty")
@@ -408,20 +471,62 @@ class ExperimentRunner:
         ) as pool:
             return list(pool.map(fn, items))
 
-    def run(self, specs: Sequence[RunSpec]) -> BatchResult:
-        """Execute every spec and return the batched records in grid order."""
+    @staticmethod
+    def _seed_pairs(
+        specs: Sequence[Any], num_seeds: Optional[int]
+    ) -> List["tuple"]:
+        """Normalise a mixed grid into ``(RunSpec, num_seeds)`` pairs.
+
+        :class:`~repro.runtime.spec.ExperimentSpec` entries convert through
+        ``to_run_spec()`` and carry their own replicate count (overridden by
+        an explicit *num_seeds* argument); plain :class:`RunSpec` entries
+        default to one seed.
+        """
+        # Imported lazily: the spec module imports RunSpec from here.
+        from repro.runtime.spec import ExperimentSpec
+
+        if num_seeds is not None:
+            check_positive_int(num_seeds, "num_seeds")
+        pairs = []
+        for spec in specs:
+            if isinstance(spec, ExperimentSpec):
+                count = spec.num_seeds if num_seeds is None else num_seeds
+                spec = spec.to_run_spec()
+            else:
+                count = 1 if num_seeds is None else num_seeds
+            pairs.append((spec, count))
+        return pairs
+
+    def run(self, specs: Sequence[Any]) -> BatchResult:
+        """Execute every spec and return the batched records in grid order.
+
+        Accepts :class:`RunSpec` and
+        :class:`~repro.runtime.spec.ExperimentSpec` entries; the latter
+        expand over their own ``num_seeds`` replicates.
+        """
         if not specs:
             raise ValidationError("specs must be non-empty")
-        return BatchResult(records=self.map(execute_spec, list(specs)))
+        expanded = [
+            replace(spec, seed=seed)
+            for spec, count in self._seed_pairs(specs, None)
+            for seed in spawn_run_seeds(spec.seed, count)
+        ]
+        return BatchResult(records=self.map(execute_spec, expanded))
 
     def run_grid(
         self,
-        specs: Sequence[RunSpec],
+        specs: Sequence[Any],
         *,
-        num_seeds: int = 1,
+        num_seeds: Optional[int] = None,
         seed_batching: bool = True,
     ) -> BatchResult:
         """Expand each spec over derived seeds, then execute the full grid.
+
+        The grid may mix :class:`RunSpec` and declarative
+        :class:`~repro.runtime.spec.ExperimentSpec` entries.  *num_seeds*
+        applies one replicate count to every spec; when omitted each
+        ``ExperimentSpec`` uses its own ``num_seeds`` and plain ``RunSpec``
+        entries run once.
 
         With ``seed_batching`` (the default) each ``(scenario, policy)``
         group's seed replicates execute through the simulators' seed-batched
@@ -431,22 +536,27 @@ class ExperimentRunner:
         (``seed_batching=False``) for every worker count; only wall-clock
         time changes.
         """
-        num_seeds = check_positive_int(num_seeds, "num_seeds")
         if not specs:
             raise ValidationError("specs must be non-empty")
-        if not seed_batching or num_seeds == 1:
-            return self.run(expand_seeds(specs, num_seeds))
+        pairs = self._seed_pairs(specs, num_seeds)
+        if not seed_batching or all(count == 1 for _, count in pairs):
+            expanded = [
+                replace(spec, seed=seed)
+                for spec, count in pairs
+                for seed in spawn_run_seeds(spec.seed, count)
+            ]
+            return BatchResult(records=self.map(execute_spec, expanded))
         # Fill the pool: one task per group would leave workers idle when
         # the grid has fewer groups than workers, so split each group's
         # seeds into ceil(workers / groups) chunks.  Records are ordered by
         # (spec, seed) regardless, exactly like expand_seeds.
-        workers = self.effective_workers(len(specs) * num_seeds)
-        splits = max(1, min(num_seeds, -(-workers // len(specs))))
-        chunk = -(-num_seeds // splits)
+        workers = self.effective_workers(sum(count for _, count in pairs))
         tasks = []
-        for spec in specs:
-            seeds = spawn_run_seeds(spec.seed, num_seeds)
-            for start in range(0, num_seeds, chunk):
+        for spec, count in pairs:
+            seeds = spawn_run_seeds(spec.seed, count)
+            splits = max(1, min(count, -(-workers // len(pairs))))
+            chunk = -(-count // splits)
+            for start in range(0, count, chunk):
                 tasks.append((spec, tuple(seeds[start : start + chunk])))
         groups = self.map(execute_batch, tasks)
         return BatchResult(

@@ -1,25 +1,38 @@
-"""Discrete-time simulation of the vehicular caching system."""
+"""Discrete-time simulation of the vehicular caching system.
 
+The public surface is the unified façade :func:`~repro.sim.engine.simulate`
+plus the kind-specific result records; the per-kind simulator classes
+remain available for callers that want to hold a configured simulator.
+"""
+
+from repro.sim.cache_sim import CacheSimulator
+from repro.sim.engine import SIMULATION_KINDS, SIMULATION_MODES, simulate
+from repro.sim.joint_sim import JointSimulator
 from repro.sim.metrics import CacheMetrics, RewardTrace, ServiceMetrics
-from repro.sim.scenario import ScenarioConfig
-from repro.sim.simulator import (
+from repro.sim.results import (
     CacheSimulationResult,
-    CacheSimulator,
     JointSimulationResult,
-    JointSimulator,
     ServiceSimulationResult,
-    ServiceSimulator,
+    SimulationResult,
 )
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.service_sim import ServiceSimulator
+from repro.sim.system import SystemState
 
 __all__ = [
     "CacheMetrics",
     "RewardTrace",
     "ServiceMetrics",
     "ScenarioConfig",
+    "SIMULATION_KINDS",
+    "SIMULATION_MODES",
+    "SimulationResult",
     "CacheSimulationResult",
     "CacheSimulator",
     "JointSimulationResult",
     "JointSimulator",
     "ServiceSimulationResult",
     "ServiceSimulator",
+    "SystemState",
+    "simulate",
 ]

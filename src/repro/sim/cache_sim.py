@@ -1,0 +1,302 @@
+"""Stage-1 simulator: MBS cache management over the RSU caches.
+
+Split out of the monolithic ``repro.sim.simulator`` behind the
+:func:`repro.sim.engine.simulate` façade; the class surface and every
+trajectory are unchanged (pinned by the golden-trajectory and
+batch-equivalence suites).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.caching_mdp import BatchedCacheDecider
+from repro.core.policies import CachingPolicy
+from repro.core.reward import RewardBreakdown, UtilityFunction
+from repro.net.channel import LinkBudget
+from repro.sim.metrics import CacheMetrics
+from repro.sim.results import CacheSimulationResult
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.system import SystemState, _expand_batch_policies
+from repro.utils.validation import check_positive_int
+
+class _BatchedCacheStage:
+    """Seed-axis tensor execution of the stage-1 (cache management) loop.
+
+    Stacks the per-seed ages, parameter, and cost matrices into
+    ``(num_seeds, num_rsus, contents_per_rsu)`` tensors and replays the
+    vectorised per-run loop along the leading seed axis: the element-wise
+    updates are the identical float operations, and the per-seed reward
+    reductions run over the same contiguous buffers, so every seed's
+    trajectory is bit-identical to its own per-run execution (pinned by
+    tests/sim/test_batch_equivalence.py).
+
+    Policies decide through :class:`~repro.core.caching_mdp.BatchedCacheDecider`
+    when every seed runs the factored MDP controller — one stacked gather +
+    argmax per slot — and fall back to per-seed ``decide`` calls (identical
+    results, per-run speed) for exact-mode or non-MDP policies.
+    """
+
+    def __init__(self, states: List[SystemState], policies: List) -> None:
+        self.states = states
+        self.policies = policies
+        self.ages = np.stack([state.ages_matrix() for state in states])
+        self.max_ages = np.stack([state.max_ages for state in states])
+        self.popularity = np.stack([state.popularity for state in states])
+        self.ceilings = np.stack([state.cache_ceilings for state in states])
+        self.weight = states[0].config.aoi_weight
+        self.time_varying = states[0].update_cost_model.time_varying
+        self._decider = (
+            BatchedCacheDecider(policies)
+            if BatchedCacheDecider.supports(policies)
+            else None
+        )
+        self._batched = self._decider is not None
+        self._costs: Optional[np.ndarray] = None
+
+    def slot_costs(self, time_slot: int) -> np.ndarray:
+        """Stacked per-seed update costs for *time_slot* (cached when static)."""
+        if self._costs is None or self.time_varying:
+            self._costs = np.stack(
+                [state.update_costs_vector(time_slot) for state in self.states]
+            )
+        return self._costs
+
+    def decide(self, time_slot: int, costs: np.ndarray) -> np.ndarray:
+        """Stacked update decisions of every seed's policy for this slot."""
+        if self._batched and (time_slot == 0 or self.time_varying):
+            # Static parameters only need ensuring once: later slots would
+            # hit the policy's exact-equality fast path and change nothing.
+            self._batched = self._decider.prepare(
+                self.max_ages, self.popularity, costs
+            )
+        if self._batched:
+            return self._decider.decide(self.ages)
+        per_seed = []
+        for s, state in enumerate(self.states):
+            observation = state.observation_vector(time_slot, self.ages[s])
+            actions = self.policies[s].decide(observation)
+            per_seed.append(CachingPolicy.validate_actions(actions, observation))
+        return np.stack(per_seed)
+
+    def step(self, time_slot: int, metrics: List[CacheMetrics]) -> None:
+        """Run one slot: decide, account the Eq. (1) reward, apply updates."""
+        costs = self.slot_costs(time_slot)
+        actions = self.decide(time_slot, costs)
+        num_seeds = len(self.states)
+        # Batched twin of UtilityFunction.evaluate: identical element-wise
+        # expressions, reduced per seed over the same contiguous layout.
+        post_ages = np.where(actions > 0, 1.0, self.ages)
+        utilities = (self.max_ages / np.maximum(post_ages, 1.0)) * self.popularity
+        aoi_totals = utilities.reshape(num_seeds, -1).sum(axis=1)
+        cost_totals = (actions.astype(float) * costs).reshape(num_seeds, -1).sum(axis=1)
+        self.ages = np.where(actions > 0, 1.0, self.ages)
+        for s in range(num_seeds):
+            metrics[s].record_slot(
+                time_slot,
+                self.ages[s],
+                actions[s],
+                RewardBreakdown(
+                    aoi_utility=float(aoi_totals[s]),
+                    cost=float(cost_totals[s]),
+                    weight=self.weight,
+                ),
+            )
+
+    def advance(self, time_slot: int) -> None:
+        """Age every cached copy by one slot and regenerate the MBS copies."""
+        self.ages = np.minimum(self.ages + 1.0, self.ceilings)
+        for state in self.states:
+            state.mbs_store.tick(time_slot + 1)
+
+
+class CacheSimulator:
+    """Stage-1 simulator: MBS cache management over the RSU caches.
+
+    Parameters
+    ----------
+    config:
+        The scenario to simulate.
+    policy:
+        The caching policy the MBS uses (the paper's
+        :class:`~repro.core.caching_mdp.MDPCachingPolicy` or any baseline).
+    reference:
+        When ``True``, run the original scalar per-(RSU, content) loop; the
+        default runs the vectorised loop, which produces bit-for-bit
+        identical trajectories (see tests/sim/test_vectorized_equivalence.py)
+        at a fraction of the per-slot cost.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: CachingPolicy,
+        *,
+        reference: bool = False,
+    ) -> None:
+        self._config = config
+        self._policy = policy
+        self._reference = bool(reference)
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario being simulated."""
+        return self._config
+
+    @property
+    def policy(self) -> CachingPolicy:
+        """The caching policy under evaluation."""
+        return self._policy
+
+    @property
+    def reference(self) -> bool:
+        """Whether the scalar reference loop is used instead of the vectorised one."""
+        return self._reference
+
+    def run(self, *, num_slots: Optional[int] = None) -> CacheSimulationResult:
+        """Run the simulation and return the recorded result."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        state = SystemState(self._config)
+        metrics = CacheMetrics(
+            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
+        )
+        self._policy.reset()
+        if self._reference:
+            self._run_reference(state, metrics, num_slots)
+        else:
+            self._run_vectorized(state, metrics, num_slots)
+        return CacheSimulationResult(
+            config=self._config,
+            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+            metrics=metrics,
+            catalog=state.catalog,
+            topology=state.topology,
+        )
+
+    def run_batch(
+        self,
+        seeds: Sequence[int],
+        *,
+        policies: Optional[Sequence[CachingPolicy]] = None,
+        num_slots: Optional[int] = None,
+    ) -> List[CacheSimulationResult]:
+        """Run one simulation per seed through a single seed-batched loop.
+
+        Equivalent — bit for bit — to calling :meth:`run` once per seed on
+        ``config.with_overrides(seed=seed)``, but the hot loop carries all
+        seeds through ``(num_seeds, num_rsus, contents_per_rsu)`` tensors, so
+        one vectorised slot replaces ``len(seeds)`` separate ones.
+
+        Parameters
+        ----------
+        seeds:
+            Master scenario seeds, one per run.
+        policies:
+            Optional per-seed policy instances (e.g. factory-built); omitted,
+            each run gets a deep copy of the simulator's policy, exactly as
+            the per-run path would.
+        num_slots:
+            Optional horizon override shared by every run.
+        """
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        seeds = [int(seed) for seed in seeds]
+        policies = _expand_batch_policies(seeds, policies, self._policy)
+        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
+        if self._reference:
+            # The scalar loop has no tensor twin; replay it per seed.
+            return [
+                CacheSimulator(config, policy, reference=True).run(
+                    num_slots=num_slots
+                )
+                for config, policy in zip(configs, policies)
+            ]
+        states = [SystemState(config) for config in configs]
+        metrics = [
+            CacheMetrics(
+                config.num_rsus, config.contents_per_rsu, state.max_ages
+            )
+            for config, state in zip(configs, states)
+        ]
+        for policy in policies:
+            policy.reset()
+        stage = _BatchedCacheStage(states, policies)
+        for t in range(num_slots):
+            stage.step(t, metrics)
+            stage.advance(t)
+        return [
+            CacheSimulationResult(
+                config=config,
+                policy_name=getattr(policy, "name", type(policy).__name__),
+                metrics=metric,
+                catalog=state.catalog,
+                topology=state.topology,
+            )
+            for config, policy, metric, state in zip(
+                configs, policies, metrics, states
+            )
+        ]
+
+    def _run_reference(
+        self, state: SystemState, metrics: CacheMetrics, num_slots: int
+    ) -> None:
+        """The original scalar loop: one Python iteration per (RSU, slot)."""
+        mbs_budget = LinkBudget()
+
+        for t in range(num_slots):
+            observation = state.observation(t)
+            actions = self._policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            # Apply the chosen updates to the caches.
+            for k, rsu in enumerate(state.topology.rsus):
+                for slot, content_id in enumerate(rsu.covered_regions):
+                    if actions[k, slot]:
+                        state.caches[k].apply_update(content_id)
+                        mbs_budget.charge(costs[k, slot])
+            metrics.record_slot(t, state.ages_matrix(), actions, breakdown)
+            # Advance time: cached copies age by one slot, the MBS regenerates.
+            for cache in state.caches:
+                cache.tick(1)
+            state.mbs_store.tick(t + 1)
+
+    def _run_vectorized(
+        self, state: SystemState, metrics: CacheMetrics, num_slots: int
+    ) -> None:
+        """Array-based hot loop over the (num_rsus, contents_per_rsu) matrices.
+
+        Reproduces the reference loop slot for slot: the ages live in one
+        matrix instead of per-RSU :class:`~repro.net.cache.RSUCache` objects,
+        applying the chosen updates is a ``where`` and advancing time is a
+        clipped add.  Initial ages still come from the caches built by
+        :class:`SystemState` so the RNG stream consumption is unchanged.
+        """
+        mbs_budget = LinkBudget()
+        ages = state.ages_matrix()
+
+        for t in range(num_slots):
+            observation = state.observation_vector(t, ages)
+            actions = self._policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            # Apply the chosen updates: a refreshed copy restarts at age 1.
+            updated = actions > 0
+            ages = np.where(updated, 1.0, ages)
+            mbs_budget.charge_many(costs[updated])
+            metrics.record_slot(t, ages, actions, breakdown)
+            # Advance time: cached copies age by one slot, the MBS regenerates.
+            ages = np.minimum(ages + 1.0, state.cache_ceilings)
+            state.mbs_store.tick(t + 1)

@@ -1,0 +1,302 @@
+"""The unified simulation façade: one ``simulate()`` call for every kind.
+
+Historically each simulation kind exposed its own entry points —
+``CacheSimulator.run`` / ``run_batch``, ``ServiceSimulator.run`` /
+``run_batch``, ``JointSimulator.run`` / ``run_batch`` — six near-duplicate
+surfaces.  :func:`simulate` subsumes all of them behind one dispatcher::
+
+    from repro import ScenarioConfig, simulate
+
+    # Stage 1 (kind inferred from the policy's role):
+    result = simulate(ScenarioConfig.fig1a(), "mdp", num_slots=200)
+
+    # Stage 2, explicit parameters:
+    result = simulate(ScenarioConfig.fig1b(), "lyapunov:tradeoff_v=50")
+
+    # Both stages coupled, multi-seed, one seed-batched tensor loop:
+    results = simulate(
+        ScenarioConfig.fig1b(), ("mdp", "lyapunov"), seeds=8, mode="batch"
+    )
+
+Policies may be registered names / ``"name:k=v,..."`` strings /
+:class:`~repro.policies.PolicySpec` objects (built per run through the
+registry) or ready policy instances (used exactly as the old per-kind
+classes used them, so results are bit-identical to the historical entry
+points).  ``mode`` selects the execution path:
+
+* ``"auto"`` — vectorised loop for a single run, seed-batched tensor loop
+  when *seeds* is given (the fastest correct path; the default).
+* ``"vectorized"`` — the per-run vectorised loop (per seed when *seeds* is
+  given).
+* ``"reference"`` — the original scalar loop (golden trajectories).
+* ``"batch"`` — the seed-batched tensor loop; requires *seeds*.
+
+All modes produce bit-identical trajectories for the same ``(scenario,
+policy, seed)`` — pinned by the cross-mode equivalence suites.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.policies import CachingPolicy, ServicePolicy
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.policies.registry import PolicySpec
+from repro.sim.cache_sim import CacheSimulator
+from repro.sim.joint_sim import JointSimulator
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.service_sim import ServiceSimulator
+from repro.utils.rng import spawn_run_seeds
+
+__all__ = ["SIMULATION_KINDS", "SIMULATION_MODES", "simulate"]
+
+SIMULATION_KINDS = ("cache", "service", "joint")
+SIMULATION_MODES = ("auto", "reference", "vectorized", "batch")
+
+#: Accepted policy references: a ready instance, a registered name /
+#: ``"name:k=v,..."`` string, or a validated spec.
+PolicyLike = Union[CachingPolicy, ServicePolicy, PolicySpec, str]
+
+
+def _role_of(policy: PolicyLike) -> str:
+    """The role a policy reference plays (``"caching"`` or ``"service"``)."""
+    if isinstance(policy, CachingPolicy):
+        return "caching"
+    if isinstance(policy, ServicePolicy):
+        return "service"
+    return PolicySpec.coerce(policy).role
+
+
+def _split_policies(
+    policies: Union[PolicyLike, Sequence[PolicyLike], Dict[str, PolicyLike]],
+) -> Tuple[Optional[PolicyLike], Optional[PolicyLike]]:
+    """Normalise the *policies* argument into ``(caching, service)`` slots."""
+    if isinstance(policies, dict):
+        unknown = sorted(set(policies) - {"caching", "service"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown policy role(s) {', '.join(map(repr, unknown))}; "
+                "expected 'caching' and/or 'service'"
+            )
+        caching = policies.get("caching")
+        service = policies.get("service")
+    elif isinstance(policies, (list, tuple)):
+        if len(policies) != 2:
+            raise ConfigurationError(
+                "a policy sequence must be (caching_policy, service_policy); "
+                f"got {len(policies)} entries"
+            )
+        caching, service = policies
+    else:
+        caching = service = None
+        if _role_of(policies) == "caching":
+            caching = policies
+        else:
+            service = policies
+    if caching is None and service is None:
+        raise ConfigurationError("at least one policy is required")
+    if caching is not None and _role_of(caching) != "caching":
+        raise ConfigurationError(
+            "the caching slot needs a caching policy; got a "
+            f"{_role_of(caching)} policy"
+        )
+    if service is not None and _role_of(service) != "service":
+        raise ConfigurationError(
+            "the service slot needs a service policy; got a "
+            f"{_role_of(service)} policy"
+        )
+    return caching, service
+
+
+def _materialize(policy: PolicyLike, scenario: ScenarioConfig) -> Any:
+    """Turn a policy reference into an instance for one run on *scenario*.
+
+    Specs and names build a fresh policy through the registry; instances
+    pass through untouched (the historical per-kind class semantics).
+    """
+    if isinstance(policy, (str, PolicySpec)):
+        return PolicySpec.coerce(policy).build(scenario)
+    return policy
+
+
+def _replicate(
+    policy: PolicyLike, scenarios: Sequence[ScenarioConfig]
+) -> List[Any]:
+    """Per-seed policy instances for a batch, one per scenario replicate.
+
+    Spec references build per-seed (each sees its own seeded scenario,
+    exactly like :func:`repro.runtime.runner.execute_batch`); instances are
+    deep-copied so every replicate starts from the same pristine state,
+    exactly like ``run_batch(policies=None)``.
+    """
+    if isinstance(policy, (str, PolicySpec)):
+        spec = PolicySpec.coerce(policy)
+        return [spec.build(scenario) for scenario in scenarios]
+    return [copy.deepcopy(policy) for _ in scenarios]
+
+
+def _normalize_seeds(
+    seeds: Union[int, Sequence[int]], scenario: ScenarioConfig
+) -> List[int]:
+    """Expand the *seeds* argument into an explicit list of master seeds."""
+    if isinstance(seeds, bool):
+        raise ValidationError(f"seeds must be an int or a sequence, got {seeds!r}")
+    if isinstance(seeds, int):
+        base = scenario.seed if scenario.seed is not None else 0
+        return [int(s) for s in spawn_run_seeds(int(base), seeds)]
+    return [int(s) for s in seeds]
+
+
+def simulate(
+    scenario: ScenarioConfig,
+    policies: Union[PolicyLike, Sequence[PolicyLike], Dict[str, PolicyLike]],
+    *,
+    kind: Optional[str] = None,
+    mode: str = "auto",
+    seeds: Union[None, int, Sequence[int]] = None,
+    num_slots: Optional[int] = None,
+    service_batch: Optional[int] = None,
+) -> Union[SimulationResult, List[SimulationResult]]:
+    """Run one scenario under one or two policies and return the result(s).
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to simulate.
+    policies:
+        What to evaluate: a single policy (kind inferred from its role), a
+        ``(caching, service)`` pair or ``{"caching": ..., "service": ...}``
+        dict for the coupled two-stage simulation.  Each entry may be a
+        policy instance, a registered name, a ``"name:k=v,..."`` string, or
+        a :class:`~repro.policies.PolicySpec`.
+    kind:
+        Optional explicit simulation kind (``"cache"``, ``"service"``,
+        ``"joint"``); checked against the supplied policies.  Normally
+        inferred.
+    mode:
+        Execution path: ``"auto"`` (default), ``"reference"``,
+        ``"vectorized"``, or ``"batch"`` (see the module docstring).  All
+        modes are bit-identical for the same ``(scenario, policy, seed)``.
+    seeds:
+        ``None`` for one run on the scenario's own seed; an int ``N`` for
+        ``N`` replicates on seeds derived from the scenario seed (the same
+        derivation the experiment runner uses); or an explicit sequence of
+        master seeds.  When given, a list of results is returned, one per
+        seed, in order.
+    num_slots:
+        Optional horizon override.
+    service_batch:
+        Optional per-slot service batch limit (service/joint kinds only).
+
+    Returns
+    -------
+    A single kind-specific :class:`~repro.sim.results.SimulationResult`
+    when *seeds* is ``None``, else a list of them.
+    """
+    if mode not in SIMULATION_MODES:
+        raise ConfigurationError(
+            f"mode must be one of {SIMULATION_MODES}, got {mode!r}"
+        )
+    caching, service = _split_policies(policies)
+    inferred = (
+        "joint"
+        if caching is not None and service is not None
+        else ("cache" if caching is not None else "service")
+    )
+    if kind is not None:
+        if kind not in SIMULATION_KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {SIMULATION_KINDS}, got {kind!r}"
+            )
+        if kind != inferred:
+            raise ConfigurationError(
+                f"kind={kind!r} does not match the supplied policies "
+                f"(which imply {inferred!r}); pass both a caching and a "
+                "service policy for 'joint'"
+            )
+    if service_batch is not None and inferred == "cache":
+        raise ConfigurationError("service_batch does not apply to cache runs")
+    reference = mode == "reference"
+
+    def build_simulator(scn: ScenarioConfig):
+        if inferred == "cache":
+            return CacheSimulator(
+                scn, _materialize(caching, scn), reference=reference
+            )
+        if inferred == "service":
+            return ServiceSimulator(
+                scn,
+                _materialize(service, scn),
+                service_batch=service_batch,
+                reference=reference,
+            )
+        return JointSimulator(
+            scn,
+            _materialize(caching, scn),
+            _materialize(service, scn),
+            service_batch=service_batch,
+            reference=reference,
+        )
+
+    if seeds is None:
+        if mode == "batch":
+            raise ConfigurationError("mode='batch' needs seeds")
+        return build_simulator(scenario).run(num_slots=num_slots)
+
+    # Per-seed policy instances are shared by every mode: spec references
+    # build per seeded scenario, instances deep-copy per seed — so each
+    # replicate starts pristine and all modes stay bit-identical.
+    seed_list = _normalize_seeds(seeds, scenario)
+    scenarios = [scenario.with_overrides(seed=seed) for seed in seed_list]
+    caching_policies = (
+        _replicate(caching, scenarios) if caching is not None else None
+    )
+    service_policies = (
+        _replicate(service, scenarios) if service is not None else None
+    )
+    if mode in ("auto", "batch"):
+        if inferred == "cache":
+            return CacheSimulator(scenario, None, reference=False).run_batch(
+                seed_list, policies=caching_policies, num_slots=num_slots
+            )
+        if inferred == "service":
+            return ServiceSimulator(
+                scenario, None, service_batch=service_batch, reference=False
+            ).run_batch(
+                seed_list, policies=service_policies, num_slots=num_slots
+            )
+        return JointSimulator(
+            scenario, None, None, service_batch=service_batch, reference=False
+        ).run_batch(
+            seed_list,
+            caching_policies=caching_policies,
+            service_policies=service_policies,
+            num_slots=num_slots,
+        )
+    # reference / vectorized: one per-run loop per seed, identical to the
+    # historical per-seed entry points.
+    results: List[SimulationResult] = []
+    for index, seeded in enumerate(scenarios):
+        if inferred == "cache":
+            simulator = CacheSimulator(
+                seeded, caching_policies[index], reference=reference
+            )
+        elif inferred == "service":
+            simulator = ServiceSimulator(
+                seeded,
+                service_policies[index],
+                service_batch=service_batch,
+                reference=reference,
+            )
+        else:
+            simulator = JointSimulator(
+                seeded,
+                caching_policies[index],
+                service_policies[index],
+                service_batch=service_batch,
+                reference=reference,
+            )
+        results.append(simulator.run(num_slots=num_slots))
+    return results

@@ -1,0 +1,319 @@
+"""Full two-stage simulator coupling cache management and content service.
+
+Split out of the monolithic ``repro.sim.simulator`` behind the
+:func:`repro.sim.engine.simulate` façade; the class surface and every
+trajectory are unchanged (pinned by the golden-trajectory and
+batch-equivalence suites).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies import CachingPolicy, ServiceObservation, ServicePolicy
+from repro.core.reward import UtilityFunction
+from repro.net.queueing import RequestQueue
+from repro.sim.cache_sim import _BatchedCacheStage
+from repro.sim.metrics import CacheMetrics, ServiceMetrics
+from repro.sim.results import JointSimulationResult
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.service_sim import _VectorQueues, _vector_service_slot
+from repro.sim.system import SystemState, _expand_batch_policies
+from repro.utils.validation import check_positive_int
+
+class JointSimulator:
+    """Full two-stage simulator coupling cache management and content service.
+
+    Per slot the MBS first applies the caching policy (refreshing cached
+    copies and accruing the Eq. (1) reward), then every RSU applies the
+    service policy to its request queue with the AoI-validity guard reading
+    the *current* cache ages — so a stale cache blocks service until the MBS
+    refreshes it, which is exactly the interplay the paper's two-stage design
+    argues for.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        caching_policy: CachingPolicy,
+        service_policy: ServicePolicy,
+        *,
+        service_batch: Optional[int] = None,
+        reference: bool = False,
+    ) -> None:
+        if service_batch is not None:
+            check_positive_int(service_batch, "service_batch")
+        self._config = config
+        self._caching_policy = caching_policy
+        self._service_policy = service_policy
+        self._service_batch = service_batch
+        self._reference = bool(reference)
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario being simulated."""
+        return self._config
+
+    @property
+    def reference(self) -> bool:
+        """Whether the scalar reference loop is used instead of the vectorised one."""
+        return self._reference
+
+    def run(self, *, num_slots: Optional[int] = None) -> JointSimulationResult:
+        """Run the coupled simulation and return both stages' metrics."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        state = SystemState(self._config)
+        cache_metrics = CacheMetrics(
+            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
+        )
+        service_metrics = ServiceMetrics(self._config.num_rsus)
+        self._caching_policy.reset()
+        self._service_policy.reset()
+        if self._reference:
+            self._run_reference(state, cache_metrics, service_metrics, num_slots)
+        else:
+            self._run_vectorized(state, cache_metrics, service_metrics, num_slots)
+        return JointSimulationResult(
+            config=self._config,
+            caching_policy_name=getattr(
+                self._caching_policy, "name", type(self._caching_policy).__name__
+            ),
+            service_policy_name=getattr(
+                self._service_policy, "name", type(self._service_policy).__name__
+            ),
+            cache_metrics=cache_metrics,
+            service_metrics=service_metrics,
+        )
+
+    def run_batch(
+        self,
+        seeds: Sequence[int],
+        *,
+        caching_policies: Optional[Sequence[CachingPolicy]] = None,
+        service_policies: Optional[Sequence[ServicePolicy]] = None,
+        num_slots: Optional[int] = None,
+    ) -> List[JointSimulationResult]:
+        """Run one coupled simulation per seed through a seed-batched loop.
+
+        Stage 1 (cache management) runs on the stacked
+        ``(num_seeds, num_rsus, contents_per_rsu)`` ages tensor exactly like
+        :meth:`CacheSimulator.run_batch`; stage 2 reads each seed's live
+        post-update slice of that tensor, preserving the AoI-guard coupling.
+        Bit-identical to per-seed :meth:`run` calls.
+        """
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        seeds = [int(seed) for seed in seeds]
+        caching_policies = _expand_batch_policies(
+            seeds, caching_policies, self._caching_policy
+        )
+        service_policies = _expand_batch_policies(
+            seeds, service_policies, self._service_policy
+        )
+        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
+        if self._reference:
+            return [
+                JointSimulator(
+                    config,
+                    caching_policy,
+                    service_policy,
+                    service_batch=self._service_batch,
+                    reference=True,
+                ).run(num_slots=num_slots)
+                for config, caching_policy, service_policy in zip(
+                    configs, caching_policies, service_policies
+                )
+            ]
+        states = [SystemState(config) for config in configs]
+        cache_metrics = [
+            CacheMetrics(
+                config.num_rsus, config.contents_per_rsu, state.max_ages
+            )
+            for config, state in zip(configs, states)
+        ]
+        service_metrics = [ServiceMetrics(config.num_rsus) for config in configs]
+        for policy in caching_policies:
+            policy.reset()
+        for policy in service_policies:
+            policy.reset()
+        stage = _BatchedCacheStage(states, caching_policies)
+        queues = [
+            _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+            for _ in states
+        ]
+        horizons = [state.workload.generate_horizon(num_slots) for state in states]
+        for t in range(num_slots):
+            # ---- Stage 1: cache management (seed-batched) ----------------
+            stage.step(t, cache_metrics)
+            # ---- Stage 2: content service, AoI guard on live ages --------
+            for s, state in enumerate(states):
+                for rsu_id, content_ids in horizons[s].slot_batches(t):
+                    queues[s].enqueue(rsu_id, t, content_ids)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                _vector_service_slot(
+                    state, queues[s], service_policies[s], self._service_batch,
+                    service_metrics[s], t, cost, stage.ages[s],
+                )
+            # ---- Advance time --------------------------------------------
+            stage.advance(t)
+        return [
+            JointSimulationResult(
+                config=config,
+                caching_policy_name=getattr(
+                    caching_policy, "name", type(caching_policy).__name__
+                ),
+                service_policy_name=getattr(
+                    service_policy, "name", type(service_policy).__name__
+                ),
+                cache_metrics=cache_metric,
+                service_metrics=service_metric,
+            )
+            for config, caching_policy, service_policy, cache_metric, service_metric
+            in zip(
+                configs, caching_policies, service_policies,
+                cache_metrics, service_metrics,
+            )
+        ]
+
+    def _run_reference(
+        self,
+        state: SystemState,
+        cache_metrics: CacheMetrics,
+        service_metrics: ServiceMetrics,
+        num_slots: int,
+    ) -> None:
+        """The original scalar two-stage loop."""
+        queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
+
+        for t in range(num_slots):
+            # ---- Stage 1: cache management -------------------------------
+            observation = state.observation(t)
+            actions = self._caching_policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            for k, rsu in enumerate(state.topology.rsus):
+                for slot, content_id in enumerate(rsu.covered_regions):
+                    if actions[k, slot]:
+                        state.caches[k].apply_update(content_id)
+            cache_metrics.record_slot(t, state.ages_matrix(), actions, breakdown)
+
+            # ---- Stage 2: content service ---------------------------------
+            requests = state.request_generator.generate_slot(
+                t, deadline_slots=self._config.deadline_slots
+            )
+            for request in requests:
+                queues[request.rsu_id].enqueue(request)
+            backlogs, latencies, spent_costs, decisions, served_counts = (
+                [], [], [], [], []
+            )
+            for k, queue in enumerate(queues):
+                queue.expire(t)
+                latency = float(queue.total_waiting(t))
+                backlog = float(queue.backlog)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                head = queue.head()
+                head_age = head_max = slack = None
+                if head is not None:
+                    cache = state.caches[k]
+                    if cache.holds(head.content_id):
+                        head_age = cache.age_of(head.content_id)
+                        head_max = state.catalog[head.content_id].max_age
+                    if head.deadline is not None:
+                        slack = float(head.deadline - t)
+                service_observation = ServiceObservation(
+                    time_slot=t,
+                    rsu_id=k,
+                    queue_backlog=latency,
+                    service_cost=cost,
+                    departure=latency,
+                    head_content_age=head_age,
+                    head_content_max_age=head_max,
+                    head_deadline_slack=slack,
+                )
+                serve = self._service_policy.decide(service_observation)
+                serve = serve and not queue.is_empty
+                served = []
+                spent = 0.0
+                if serve:
+                    batch = (
+                        queue.backlog
+                        if self._service_batch is None
+                        else min(self._service_batch, queue.backlog)
+                    )
+                    served = queue.serve(t, batch)
+                    spent = cost * len(served)
+                backlogs.append(backlog)
+                latencies.append(latency)
+                spent_costs.append(spent)
+                decisions.append(bool(serve))
+                served_counts.append(len(served))
+            service_metrics.record_slot(
+                backlogs, latencies, spent_costs, decisions, served_counts
+            )
+
+            # ---- Advance time ---------------------------------------------
+            for cache in state.caches:
+                cache.tick(1)
+            state.mbs_store.tick(t + 1)
+
+    def _run_vectorized(
+        self,
+        state: SystemState,
+        cache_metrics: CacheMetrics,
+        service_metrics: ServiceMetrics,
+        num_slots: int,
+    ) -> None:
+        """Vectorised two-stage loop sharing one live ages matrix.
+
+        Stage 1 updates the ages matrix exactly like the vectorised
+        :class:`CacheSimulator`; stage 2's AoI-validity guard then reads the
+        post-update (pre-tick) ages, preserving the reference coupling.
+        """
+        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+        ages = state.ages_matrix()
+        distance = 0.5 * state.topology.region_length
+        horizon = state.workload.generate_horizon(num_slots)
+
+        for t in range(num_slots):
+            # ---- Stage 1: cache management -------------------------------
+            observation = state.observation_vector(t, ages)
+            actions = self._caching_policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            breakdown = UtilityFunction(
+                state.max_ages, costs, weight=self._config.aoi_weight
+            ).evaluate(observation.ages, actions, state.popularity)
+            ages = np.where(actions > 0, 1.0, ages)
+            cache_metrics.record_slot(t, ages, actions, breakdown)
+
+            # ---- Stage 2: content service ---------------------------------
+            # The AoI guard reads the live post-update (pre-tick) ages.
+            for rsu_id, content_ids in horizon.slot_batches(t):
+                queues.enqueue(rsu_id, t, content_ids)
+            cost = state.service_cost_model.cost(
+                distance=distance, size=1.0, time_slot=t
+            )
+            _vector_service_slot(
+                state, queues, self._service_policy, self._service_batch,
+                service_metrics, t, cost, ages,
+            )
+
+            # ---- Advance time ---------------------------------------------
+            ages = np.minimum(ages + 1.0, state.cache_ceilings)
+            state.mbs_store.tick(t + 1)

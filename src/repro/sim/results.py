@@ -1,0 +1,142 @@
+"""Result records shared by every simulation kind.
+
+All three kind-specific results derive from :class:`SimulationResult`,
+which fixes the common metric surface: ``summary()`` (flat name → value
+metrics), ``rows()`` (machine-readable export rows with a stable leading
+column schema ``kind, seed, workload, ...metrics``), and ``to_dict()``
+(JSON-serializable).  The kind-specific subclasses keep their historical
+fields and convenience properties, so code written against the pre-façade
+classes keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List
+
+import numpy as np
+
+from repro.net.content import ContentCatalog
+from repro.net.topology import RoadTopology
+from repro.sim.metrics import CacheMetrics, ServiceMetrics
+from repro.sim.scenario import ScenarioConfig
+
+
+@dataclass
+class SimulationResult:
+    """Base record of one simulation run (any kind).
+
+    Attributes
+    ----------
+    config:
+        The scenario that was simulated (its ``seed`` identifies the run).
+    """
+
+    config: ScenarioConfig
+
+    #: Which simulator produced this result: ``"cache"``, ``"service"``,
+    #: or ``"joint"``.
+    kind: ClassVar[str] = ""
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat ``{metric: value}`` headline metrics of the run."""
+        raise NotImplementedError
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Export rows with the stable column prefix ``kind, seed, workload``.
+
+        One row per run (a single-run result yields one row); metric columns
+        follow the prefix in :meth:`summary` order.
+        """
+        head: Dict[str, Any] = {
+            "kind": type(self).kind,
+            "seed": self.config.seed,
+            "workload": self.config.workload.label(),
+        }
+        head.update(self.summary())
+        return [head]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view: kind, seed, workload spec, and metrics."""
+        return {
+            "kind": type(self).kind,
+            "seed": self.config.seed,
+            "workload": self.config.workload.to_dict(),
+            "summary": dict(self.summary()),
+        }
+
+
+@dataclass
+class CacheSimulationResult(SimulationResult):
+    """Everything recorded by one stage-1 (cache management) run."""
+
+    policy_name: str
+    metrics: CacheMetrics
+    catalog: ContentCatalog
+    topology: RoadTopology
+
+    kind: ClassVar[str] = "cache"
+
+    @property
+    def cumulative_reward(self) -> np.ndarray:
+        """Running total of the Eq. (1) utility (the rising curve of Fig. 1a)."""
+        return self.metrics.reward.cumulative_reward
+
+    @property
+    def total_reward(self) -> float:
+        """Total utility accumulated over the run."""
+        return self.metrics.reward.total_reward
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics of the run."""
+        summary = self.metrics.summary()
+        summary["policy"] = self.policy_name
+        return summary
+
+
+@dataclass
+class ServiceSimulationResult(SimulationResult):
+    """Everything recorded by one stage-2 (content service) run."""
+
+    policy_name: str
+    metrics: ServiceMetrics
+
+    kind: ClassVar[str] = "service"
+
+    @property
+    def latency_history(self) -> np.ndarray:
+        """Total accumulated waiting time per slot (the Fig. 1b curve)."""
+        return self.metrics.latency_history()
+
+    @property
+    def time_average_cost(self) -> float:
+        """Time-average service cost (the Eq. 4 objective)."""
+        return self.metrics.time_average_cost
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics of the run."""
+        summary = self.metrics.summary()
+        summary["policy"] = self.policy_name
+        return summary
+
+
+@dataclass
+class JointSimulationResult(SimulationResult):
+    """Everything recorded by one coupled two-stage run."""
+
+    caching_policy_name: str
+    service_policy_name: str
+    cache_metrics: CacheMetrics
+    service_metrics: ServiceMetrics
+
+    kind: ClassVar[str] = "joint"
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics of both stages."""
+        summary = {f"cache_{k}": v for k, v in self.cache_metrics.summary().items()}
+        summary.update(
+            {f"service_{k}": v for k, v in self.service_metrics.summary().items()}
+        )
+        summary["caching_policy"] = self.caching_policy_name
+        summary["service_policy"] = self.service_policy_name
+        return summary

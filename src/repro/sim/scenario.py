@@ -14,8 +14,8 @@ benchmark harness consume.  Factory methods reproduce the paper's two setups:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -243,6 +243,47 @@ class ScenarioConfig:
     def with_overrides(self, **overrides) -> "ScenarioConfig":
         """Return a copy of this config with the given fields replaced."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization (lossless JSON round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form of every field; inverse of :meth:`from_dict`.
+
+        The workload spec is embedded as its own ``{"name", "params"}``
+        dict; everything else is a plain scalar, so
+        ``ScenarioConfig.from_dict(json.loads(json.dumps(c.to_dict())))``
+        reproduces an equal config.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["workload"] = self.workload.to_dict()
+        if data["seed"] is not None:
+            data["seed"] = int(data["seed"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output (re-validated).
+
+        Missing fields take their defaults (so hand-written spec files may
+        stay concise); unknown keys are a configuration error.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"scenario must be a dict of fields, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario field(s) {', '.join(unknown)}; known: "
+                f"{', '.join(sorted(known))}"
+            )
+        params = dict(data)
+        workload = params.get("workload")
+        if isinstance(workload, dict):
+            params["workload"] = WorkloadSpec.from_dict(workload)
+        return cls(**params)
 
     # ------------------------------------------------------------------
     # Component builders

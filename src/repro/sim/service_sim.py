@@ -1,0 +1,390 @@
+"""Stage-2 simulator: per-RSU service decisions over the request queues.
+
+Split out of the monolithic ``repro.sim.simulator`` behind the
+:func:`repro.sim.engine.simulate` façade; the class surface and every
+trajectory are unchanged (pinned by the golden-trajectory and
+batch-equivalence suites).  :class:`_VectorQueues` and
+:func:`_vector_service_slot` are shared with the joint simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policies import ServiceObservation, ServicePolicy
+from repro.net.queueing import RequestQueue
+from repro.sim.metrics import ServiceMetrics
+from repro.sim.results import ServiceSimulationResult
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.system import SystemState, _expand_batch_policies
+from repro.utils.validation import check_positive_int
+
+class _VectorQueues:
+    """Flat-array FIFO queues powering the vectorised service loops.
+
+    Each RSU's pending requests are two parallel Python lists (issue slots
+    and content ids) with a head pointer, plus O(1) aggregates (pending
+    count and sum of issue slots) so the per-slot latency
+    ``sum_i (t - issue_i)`` is ``t * pending - issue_sum`` — an integer
+    identity with :meth:`~repro.net.queueing.RequestQueue.total_waiting`.
+    Deadlines are monotone in issue time, so expiry only ever removes a
+    prefix.  No per-request objects are allocated.
+    """
+
+    def __init__(self, num_rsus: int, deadline_slots: Optional[int]) -> None:
+        self._deadline_slots = deadline_slots
+        self._issues: List[List[int]] = [[] for _ in range(num_rsus)]
+        self._contents: List[List[int]] = [[] for _ in range(num_rsus)]
+        self._head = [0] * num_rsus
+        self.pending = [0] * num_rsus
+        self._issue_sum = [0] * num_rsus
+
+    def enqueue(self, rsu: int, time_slot: int, content_ids: np.ndarray) -> None:
+        count = int(content_ids.size)
+        self._issues[rsu].extend([time_slot] * count)
+        self._contents[rsu].extend(int(h) for h in content_ids)
+        self.pending[rsu] += count
+        self._issue_sum[rsu] += time_slot * count
+
+    def expire(self, rsu: int, time_slot: int) -> None:
+        if self._deadline_slots is None:
+            return
+        cutoff = time_slot - self._deadline_slots
+        issues, head = self._issues[rsu], self._head[rsu]
+        while self.pending[rsu] and issues[head] < cutoff:
+            self._issue_sum[rsu] -= issues[head]
+            self.pending[rsu] -= 1
+            head += 1
+        self._head[rsu] = head
+        self._compact(rsu)
+
+    def total_waiting(self, rsu: int, time_slot: int) -> int:
+        return time_slot * self.pending[rsu] - self._issue_sum[rsu]
+
+    def head(self, rsu: int) -> Optional[Tuple[int, int]]:
+        """Return ``(content_id, issue_slot)`` of the oldest pending request."""
+        if not self.pending[rsu]:
+            return None
+        head = self._head[rsu]
+        return self._contents[rsu][head], self._issues[rsu][head]
+
+    def head_deadline_slack(self, rsu: int, time_slot: int) -> Optional[float]:
+        if self._deadline_slots is None:
+            return None
+        entry = self.head(rsu)
+        if entry is None:
+            return None
+        return float(entry[1] + self._deadline_slots - time_slot)
+
+    def serve(self, rsu: int, count: int) -> int:
+        """Serve the *count* oldest pending requests; return how many departed."""
+        count = min(count, self.pending[rsu])
+        if count <= 0:
+            return 0
+        head = self._head[rsu]
+        self._issue_sum[rsu] -= sum(self._issues[rsu][head : head + count])
+        self.pending[rsu] -= count
+        self._head[rsu] = head + count
+        self._compact(rsu)
+        return count
+
+    def _compact(self, rsu: int) -> None:
+        head = self._head[rsu]
+        if head > 1024 and head * 2 > len(self._issues[rsu]):
+            self._issues[rsu] = self._issues[rsu][head:]
+            self._contents[rsu] = self._contents[rsu][head:]
+            self._head[rsu] = 0
+
+
+def _vector_service_slot(
+    state: SystemState,
+    queues: _VectorQueues,
+    policy: ServicePolicy,
+    service_batch: Optional[int],
+    metrics: ServiceMetrics,
+    time_slot: int,
+    cost: float,
+    ages: np.ndarray,
+) -> None:
+    """One slot of the vectorised stage-2 loop across all RSUs.
+
+    Shared by :class:`ServiceSimulator` (frozen *ages*) and
+    :class:`JointSimulator` (the live stage-1 ages matrix): expire, account
+    latency/backlog, build the per-RSU observation with the AoI-guard head
+    lookup, apply the policy decision, and record the slot.
+    """
+    backlogs, latencies, costs, decisions, served_counts = ([], [], [], [], [])
+    for k in range(state.config.num_rsus):
+        queues.expire(k, time_slot)
+        latency = float(queues.total_waiting(k, time_slot))
+        backlog = float(queues.pending[k])
+        head = queues.head(k)
+        head_age = head_max = None
+        if head is not None:
+            slot = state.content_slot[head[0]]
+            # Plain floats, not np.float64: ServiceObservation's freshness
+            # property must return the bool singletons the AoI guard
+            # compares against by identity.
+            head_age = float(ages[k, slot])
+            head_max = float(state.max_ages[k, slot])
+        observation = ServiceObservation(
+            time_slot=time_slot,
+            rsu_id=k,
+            queue_backlog=latency,
+            service_cost=cost,
+            departure=latency,
+            head_content_age=head_age,
+            head_content_max_age=head_max,
+            head_deadline_slack=queues.head_deadline_slack(k, time_slot),
+        )
+        serve = policy.decide(observation) and queues.pending[k] > 0
+        served = 0
+        spent = 0.0
+        if serve:
+            batch = (
+                queues.pending[k]
+                if service_batch is None
+                else min(service_batch, queues.pending[k])
+            )
+            served = queues.serve(k, batch)
+            spent = cost * served
+        backlogs.append(backlog)
+        latencies.append(latency)
+        costs.append(spent)
+        decisions.append(bool(serve))
+        served_counts.append(served)
+    metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
+
+
+class ServiceSimulator:
+    """Stage-2 simulator: per-RSU service decisions over the request queues.
+
+    Each RSU runs its own instance of the service policy (a fresh copy is not
+    required because policies are either stateless or record only global
+    statistics); the queue backlog follows the latency interpretation of
+    Fig. 1b — the accumulated waiting time of the pending requests.
+
+    Parameters
+    ----------
+    config:
+        The scenario to simulate.
+    policy:
+        The service policy each RSU applies (the paper's
+        :class:`~repro.core.lyapunov.LyapunovServiceController` or a baseline).
+    caches:
+        Optional pre-built RSU caches whose ages feed the AoI-validity guard;
+        when omitted, fresh caches with static ages are used (ages then play
+        no role because they never violate).
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: ServicePolicy,
+        *,
+        service_batch: Optional[int] = None,
+        reference: bool = False,
+    ) -> None:
+        if service_batch is not None:
+            check_positive_int(service_batch, "service_batch")
+        self._config = config
+        self._policy = policy
+        self._service_batch = service_batch
+        self._reference = bool(reference)
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario being simulated."""
+        return self._config
+
+    @property
+    def policy(self) -> ServicePolicy:
+        """The service policy under evaluation."""
+        return self._policy
+
+    @property
+    def reference(self) -> bool:
+        """Whether the scalar reference loop is used instead of the vectorised one."""
+        return self._reference
+
+    def run(self, *, num_slots: Optional[int] = None) -> ServiceSimulationResult:
+        """Run the simulation and return the recorded result."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        state = SystemState(self._config)
+        metrics = ServiceMetrics(self._config.num_rsus)
+        self._policy.reset()
+        if self._reference:
+            self._run_reference(state, metrics, num_slots)
+        else:
+            self._run_vectorized(state, metrics, num_slots)
+        return ServiceSimulationResult(
+            config=self._config,
+            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+            metrics=metrics,
+        )
+
+    def run_batch(
+        self,
+        seeds: Sequence[int],
+        *,
+        policies: Optional[Sequence[ServicePolicy]] = None,
+        num_slots: Optional[int] = None,
+    ) -> List[ServiceSimulationResult]:
+        """Run one simulation per seed, interleaved slot by slot.
+
+        Bit-identical to per-seed :meth:`run` calls.  The service stage's
+        per-slot work is per-RSU queue bookkeeping and policy calls (already
+        scalar), so unlike :meth:`CacheSimulator.run_batch` there is no
+        tensor axis to fold the seeds into; batching here exists so the
+        runtime can dispatch whole seed groups uniformly across run kinds.
+        """
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        seeds = [int(seed) for seed in seeds]
+        policies = _expand_batch_policies(seeds, policies, self._policy)
+        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
+        if self._reference:
+            return [
+                ServiceSimulator(
+                    config,
+                    policy,
+                    service_batch=self._service_batch,
+                    reference=True,
+                ).run(num_slots=num_slots)
+                for config, policy in zip(configs, policies)
+            ]
+        states = [SystemState(config) for config in configs]
+        metrics = [ServiceMetrics(config.num_rsus) for config in configs]
+        for policy in policies:
+            policy.reset()
+        queues = [
+            _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+            for _ in states
+        ]
+        static_ages = [state.ages_matrix() for state in states]
+        # Precompute every seed's arrival tensor up front: the hot loop then
+        # replays packed arrays instead of calling into the workload models.
+        horizons = [state.workload.generate_horizon(num_slots) for state in states]
+        for t in range(num_slots):
+            for s, state in enumerate(states):
+                for rsu_id, content_ids in horizons[s].slot_batches(t):
+                    queues[s].enqueue(rsu_id, t, content_ids)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                _vector_service_slot(
+                    state, queues[s], policies[s], self._service_batch,
+                    metrics[s], t, cost, static_ages[s],
+                )
+                state.mbs_store.tick(t + 1)
+        return [
+            ServiceSimulationResult(
+                config=config,
+                policy_name=getattr(policy, "name", type(policy).__name__),
+                metrics=metric,
+            )
+            for config, policy, metric in zip(configs, policies, metrics)
+        ]
+
+    def _run_reference(
+        self, state: SystemState, metrics: ServiceMetrics, num_slots: int
+    ) -> None:
+        """The original per-request object loop."""
+        queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
+
+        for t in range(num_slots):
+            requests = state.request_generator.generate_slot(
+                t, deadline_slots=self._config.deadline_slots
+            )
+            for request in requests:
+                queues[request.rsu_id].enqueue(request)
+
+            backlogs, latencies, costs, decisions, served_counts = (
+                [], [], [], [], []
+            )
+            for k, queue in enumerate(queues):
+                queue.expire(t)
+                latency = float(queue.total_waiting(t))
+                backlog = float(queue.backlog)
+                distance = 0.5 * state.topology.region_length
+                cost = state.service_cost_model.cost(
+                    distance=distance, size=1.0, time_slot=t
+                )
+                head = queue.head()
+                head_age = head_max = slack = None
+                if head is not None:
+                    cache = state.caches[k]
+                    if cache.holds(head.content_id):
+                        head_age = cache.age_of(head.content_id)
+                        head_max = state.catalog[head.content_id].max_age
+                    if head.deadline is not None:
+                        slack = float(head.deadline - t)
+                observation = ServiceObservation(
+                    time_slot=t,
+                    rsu_id=k,
+                    queue_backlog=latency,
+                    service_cost=cost,
+                    departure=latency,
+                    head_content_age=head_age,
+                    head_content_max_age=head_max,
+                    head_deadline_slack=slack,
+                )
+                serve = self._policy.decide(observation) and not queue.is_empty
+                served = []
+                spent = 0.0
+                if serve:
+                    batch = (
+                        queue.backlog
+                        if self._service_batch is None
+                        else min(self._service_batch, queue.backlog)
+                    )
+                    served = queue.serve(t, batch)
+                    spent = cost * len(served)
+                backlogs.append(backlog)
+                latencies.append(latency)
+                costs.append(spent)
+                decisions.append(bool(serve))
+                served_counts.append(len(served))
+            metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
+            # The stage-2-only simulator assumes cache management (stage 1)
+            # keeps cached copies valid, so cache ages are not advanced here;
+            # the coupled behaviour is exercised by JointSimulator.
+            state.mbs_store.tick(t + 1)
+
+    def _run_vectorized(
+        self, state: SystemState, metrics: ServiceMetrics, num_slots: int
+    ) -> None:
+        """Flat-array service loop: same trajectories, no request objects.
+
+        The whole arrival tensor is precomputed through
+        :meth:`~repro.net.requests.RequestGenerator.generate_horizon`, which
+        performs the identical RNG draws as the reference loop's per-slot
+        calls; the per-slot service cost is evaluated once (every RSU sees
+        the same distance), and queue accounting runs on
+        :class:`_VectorQueues` aggregates.  Cache ages are static here, so
+        the AoI guard reads a frozen ages matrix.
+        """
+        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
+        static_ages = state.ages_matrix()
+        distance = 0.5 * state.topology.region_length
+        horizon = state.workload.generate_horizon(num_slots)
+
+        for t in range(num_slots):
+            for rsu_id, content_ids in horizon.slot_batches(t):
+                queues.enqueue(rsu_id, t, content_ids)
+            cost = state.service_cost_model.cost(
+                distance=distance, size=1.0, time_slot=t
+            )
+            _vector_service_slot(
+                state, queues, self._policy, self._service_batch, metrics,
+                t, cost, static_ages,
+            )
+            state.mbs_store.tick(t + 1)

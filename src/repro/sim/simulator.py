@@ -1,1222 +1,50 @@
-"""Discrete-time simulators for the two stages of the paper's scheme.
+"""Deprecated aggregation module — use :func:`repro.sim.engine.simulate`.
 
-Three simulators share the scenario configuration:
+The monolithic simulator module was split into per-kind modules behind the
+unified façade:
 
-* :class:`CacheSimulator` — stage 1 only: the MBS runs a caching policy over
-  the RSU caches and the Eq. (1) reward is accounted per slot.  This is the
-  experiment behind Fig. 1a.
-* :class:`ServiceSimulator` — stage 2 only: UV requests arrive at the RSU
-  queues and a service policy decides when to transmit.  This is the
-  experiment behind Fig. 1b.
-* :class:`JointSimulator` — both stages coupled: the service stage's
-  AoI-validity guard reads the cache ages maintained by the caching stage,
-  exercising the full two-stage scheme of the paper's conclusion.
+* :mod:`repro.sim.cache_sim` — :class:`CacheSimulator` (stage 1).
+* :mod:`repro.sim.service_sim` — :class:`ServiceSimulator` (stage 2).
+* :mod:`repro.sim.joint_sim` — :class:`JointSimulator` (both stages).
+* :mod:`repro.sim.results` — the result records.
+* :mod:`repro.sim.engine` — :func:`~repro.sim.engine.simulate`, the
+  preferred public entry point.
 
-All simulators are deterministic given the scenario seed; randomness is
-derived through independent child streams so that, for example, changing the
-service policy does not perturb the request workload.
+Every historical name remains importable from here and refers to the *same*
+objects, so ``CacheSimulator(config, policy).run()`` stays bit-identical to
+``simulate(config, policy)`` (asserted by tests/sim/test_engine.py).
+New code should import from :mod:`repro.sim` (or call ``repro.simulate``)
+instead; this module is kept for backward compatibility and may be removed
+in a future major version.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from repro.core.caching_mdp import BatchedCacheDecider
-from repro.core.policies import (
-    CacheObservation,
-    CachingPolicy,
-    ServiceObservation,
-    ServicePolicy,
+from repro.sim.cache_sim import CacheSimulator, _BatchedCacheStage
+from repro.sim.joint_sim import JointSimulator
+from repro.sim.results import (
+    CacheSimulationResult,
+    JointSimulationResult,
+    ServiceSimulationResult,
+    SimulationResult,
 )
-from repro.core.reward import RewardBreakdown, UtilityFunction
-from repro.exceptions import SimulationError, ValidationError
-from repro.net.cache import MBSContentStore, RSUCache
-from repro.net.channel import CostModel, LinkBudget
-from repro.net.content import ContentCatalog
-from repro.net.queueing import RequestQueue
-from repro.net.topology import RoadTopology
-from repro.sim.metrics import CacheMetrics, ServiceMetrics
-from repro.sim.scenario import ScenarioConfig
-from repro.utils.validation import check_positive_int
-
-
-@dataclass
-class CacheSimulationResult:
-    """Everything recorded by one :class:`CacheSimulator` run."""
-
-    config: ScenarioConfig
-    policy_name: str
-    metrics: CacheMetrics
-    catalog: ContentCatalog
-    topology: RoadTopology
-
-    @property
-    def cumulative_reward(self) -> np.ndarray:
-        """Running total of the Eq. (1) utility (the rising curve of Fig. 1a)."""
-        return self.metrics.reward.cumulative_reward
-
-    @property
-    def total_reward(self) -> float:
-        """Total utility accumulated over the run."""
-        return self.metrics.reward.total_reward
-
-    def summary(self) -> Dict[str, float]:
-        """Headline metrics of the run."""
-        summary = self.metrics.summary()
-        summary["policy"] = self.policy_name
-        return summary
-
-
-@dataclass
-class ServiceSimulationResult:
-    """Everything recorded by one :class:`ServiceSimulator` run."""
-
-    config: ScenarioConfig
-    policy_name: str
-    metrics: ServiceMetrics
-
-    @property
-    def latency_history(self) -> np.ndarray:
-        """Total accumulated waiting time per slot (the Fig. 1b curve)."""
-        return self.metrics.latency_history()
-
-    @property
-    def time_average_cost(self) -> float:
-        """Time-average service cost (the Eq. 4 objective)."""
-        return self.metrics.time_average_cost
-
-    def summary(self) -> Dict[str, float]:
-        """Headline metrics of the run."""
-        summary = self.metrics.summary()
-        summary["policy"] = self.policy_name
-        return summary
-
-
-@dataclass
-class JointSimulationResult:
-    """Everything recorded by one :class:`JointSimulator` run."""
-
-    config: ScenarioConfig
-    caching_policy_name: str
-    service_policy_name: str
-    cache_metrics: CacheMetrics
-    service_metrics: ServiceMetrics
-
-    def summary(self) -> Dict[str, float]:
-        """Headline metrics of both stages."""
-        summary = {f"cache_{k}": v for k, v in self.cache_metrics.summary().items()}
-        summary.update(
-            {f"service_{k}": v for k, v in self.service_metrics.summary().items()}
-        )
-        summary["caching_policy"] = self.caching_policy_name
-        summary["service_policy"] = self.service_policy_name
-        return summary
-
-
-class _SystemState:
-    """Shared construction of topology, catalog, caches, and parameters."""
-
-    def __init__(self, config: ScenarioConfig) -> None:
-        self.config = config
-        streams = config.spawn_rngs(6)
-        (
-            self.catalog_rng,
-            self.init_rng,
-            self.workload_rng,
-            self.update_cost_rng,
-            self.service_cost_rng,
-            self.policy_rng,
-        ) = streams
-        self.topology = config.build_topology()
-        self.catalog = config.build_catalog(self.catalog_rng)
-        self.update_cost_model = config.build_update_cost_model(self.update_cost_rng)
-        self.service_cost_model = config.build_service_cost_model(self.service_cost_rng)
-        self.workload = config.build_workload(
-            self.topology, self.catalog, rng=self.workload_rng
-        )
-        # Historical alias: the workload model is a RequestGenerator subclass.
-        self.request_generator = self.workload
-        self.mbs_store = MBSContentStore(self.catalog)
-        self.caches: List[RSUCache] = []
-        for rsu in self.topology.rsus:
-            cache = RSUCache(rsu.rsu_id, rsu.covered_regions, self.catalog)
-            if config.random_initial_ages:
-                cache.randomize_ages(self.init_rng)
-            self.caches.append(cache)
-        # Static per-(RSU, content-slot) parameter matrices.
-        num_rsus = config.num_rsus
-        per_rsu = config.contents_per_rsu
-        self.max_ages = np.zeros((num_rsus, per_rsu))
-        self.popularity = np.zeros((num_rsus, per_rsu))
-        for k, rsu in enumerate(self.topology.rsus):
-            population = self.request_generator.content_population(rsu.rsu_id)
-            for slot, content_id in enumerate(rsu.covered_regions):
-                self.max_ages[k, slot] = self.catalog[content_id].max_age
-                self.popularity[k, slot] = population[content_id]
-        self.utility = UtilityFunction(
-            self.max_ages,
-            np.zeros_like(self.max_ages),  # costs are supplied per slot
-            weight=config.aoi_weight,
-        )
-        # Static index/parameter arrays used by the vectorised hot loops.
-        self.content_ids = np.asarray(
-            [rsu.covered_regions for rsu in self.topology.rsus], dtype=int
-        )
-        catalog_sizes = np.asarray(
-            [self.catalog[h].size for h in range(self.catalog.num_contents)],
-            dtype=float,
-        )
-        self.content_sizes = catalog_sizes[self.content_ids]
-        self.mbs_distances = np.asarray(
-            [self.topology.mbs_distance(k) for k in range(num_rsus)], dtype=float
-        )[:, np.newaxis]
-        self.cache_ceilings = np.asarray(
-            [cache.age_ceiling for cache in self.caches], dtype=float
-        )[:, np.newaxis]
-        # Each content is cached by exactly one RSU; map it to its cache
-        # slot within that RSU.
-        self.content_slot = np.zeros(self.catalog.num_contents, dtype=int)
-        for k in range(num_rsus):
-            for slot in range(per_rsu):
-                self.content_slot[self.content_ids[k, slot]] = slot
-        self._static_update_costs: Optional[np.ndarray] = None
-
-    def ages_matrix(self) -> np.ndarray:
-        """Current cache ages as a ``(num_rsus, contents_per_rsu)`` matrix."""
-        return np.stack([cache.ages for cache in self.caches])
-
-    def update_costs_matrix(self, time_slot: int) -> np.ndarray:
-        """Per-(RSU, content) MBS->RSU transfer costs for *time_slot*."""
-        num_rsus = self.config.num_rsus
-        per_rsu = self.config.contents_per_rsu
-        costs = np.zeros((num_rsus, per_rsu))
-        for k in range(num_rsus):
-            distance = self.topology.mbs_distance(k)
-            for slot, content_id in enumerate(self.topology.rsus[k].covered_regions):
-                size = self.catalog[content_id].size
-                costs[k, slot] = self.update_cost_model.cost(
-                    distance=distance, size=size, time_slot=time_slot
-                )
-        return costs
-
-    def observation(self, time_slot: int) -> CacheObservation:
-        """Build the MDP observation for *time_slot*."""
-        mbs_ages = np.zeros_like(self.max_ages)
-        for k, rsu in enumerate(self.topology.rsus):
-            for slot, content_id in enumerate(rsu.covered_regions):
-                mbs_ages[k, slot] = self.mbs_store.age_of(content_id)
-        return CacheObservation(
-            time_slot=time_slot,
-            ages=self.ages_matrix(),
-            max_ages=self.max_ages.copy(),
-            popularity=self.popularity.copy(),
-            update_costs=self.update_costs_matrix(time_slot),
-            mbs_ages=mbs_ages,
-        )
-
-    def update_costs_vector(self, time_slot: int) -> np.ndarray:
-        """Vectorised twin of :meth:`update_costs_matrix` (identical values).
-
-        Distances and sizes are static, so time-invariant cost models are
-        evaluated once and the matrix is reused (copied, so callers may keep
-        or mutate it).
-        """
-        if self.update_cost_model.time_varying:
-            return self.update_cost_model.cost_array(
-                distances=self.mbs_distances,
-                sizes=self.content_sizes,
-                time_slot=time_slot,
-            )
-        if self._static_update_costs is None:
-            self._static_update_costs = self.update_cost_model.cost_array(
-                distances=self.mbs_distances,
-                sizes=self.content_sizes,
-                time_slot=time_slot,
-            )
-        return self._static_update_costs.copy()
-
-    def observation_vector(self, time_slot: int, ages: np.ndarray) -> CacheObservation:
-        """Vectorised twin of :meth:`observation` for a given *ages* matrix.
-
-        Builds the identical :class:`CacheObservation` (bit for bit) with
-        array gathers instead of per-(RSU, content) Python loops.
-        """
-        return CacheObservation(
-            time_slot=time_slot,
-            ages=ages.copy(),
-            max_ages=self.max_ages.copy(),
-            popularity=self.popularity.copy(),
-            update_costs=self.update_costs_vector(time_slot),
-            mbs_ages=self.mbs_store.ages[self.content_ids],
-        )
-
-
-def _expand_batch_policies(seeds: Sequence[int], policies, base_policy) -> List:
-    """Normalise a ``run_batch`` seed/policy pairing.
-
-    ``policies=None`` deep-copies the simulator's own policy per seed — the
-    exact semantics of executing the per-run path once per seed, where each
-    run starts from a pristine copy of the policy instance.
-    """
-    if not len(seeds):
-        raise ValidationError("seeds must be non-empty")
-    for seed in seeds:
-        if seed < 0:
-            raise ValidationError(f"seeds must be >= 0, got {seed}")
-    if policies is None:
-        return [copy.deepcopy(base_policy) for _ in seeds]
-    policies = list(policies)
-    if len(policies) != len(seeds):
-        raise ValidationError(
-            f"got {len(policies)} policies for {len(seeds)} seeds"
-        )
-    return policies
-
-
-class _BatchedCacheStage:
-    """Seed-axis tensor execution of the stage-1 (cache management) loop.
-
-    Stacks the per-seed ages, parameter, and cost matrices into
-    ``(num_seeds, num_rsus, contents_per_rsu)`` tensors and replays the
-    vectorised per-run loop along the leading seed axis: the element-wise
-    updates are the identical float operations, and the per-seed reward
-    reductions run over the same contiguous buffers, so every seed's
-    trajectory is bit-identical to its own per-run execution (pinned by
-    tests/sim/test_batch_equivalence.py).
-
-    Policies decide through :class:`~repro.core.caching_mdp.BatchedCacheDecider`
-    when every seed runs the factored MDP controller — one stacked gather +
-    argmax per slot — and fall back to per-seed ``decide`` calls (identical
-    results, per-run speed) for exact-mode or non-MDP policies.
-    """
-
-    def __init__(self, states: List[_SystemState], policies: List) -> None:
-        self.states = states
-        self.policies = policies
-        self.ages = np.stack([state.ages_matrix() for state in states])
-        self.max_ages = np.stack([state.max_ages for state in states])
-        self.popularity = np.stack([state.popularity for state in states])
-        self.ceilings = np.stack([state.cache_ceilings for state in states])
-        self.weight = states[0].config.aoi_weight
-        self.time_varying = states[0].update_cost_model.time_varying
-        self._decider = (
-            BatchedCacheDecider(policies)
-            if BatchedCacheDecider.supports(policies)
-            else None
-        )
-        self._batched = self._decider is not None
-        self._costs: Optional[np.ndarray] = None
-
-    def slot_costs(self, time_slot: int) -> np.ndarray:
-        """Stacked per-seed update costs for *time_slot* (cached when static)."""
-        if self._costs is None or self.time_varying:
-            self._costs = np.stack(
-                [state.update_costs_vector(time_slot) for state in self.states]
-            )
-        return self._costs
-
-    def decide(self, time_slot: int, costs: np.ndarray) -> np.ndarray:
-        """Stacked update decisions of every seed's policy for this slot."""
-        if self._batched and (time_slot == 0 or self.time_varying):
-            # Static parameters only need ensuring once: later slots would
-            # hit the policy's exact-equality fast path and change nothing.
-            self._batched = self._decider.prepare(
-                self.max_ages, self.popularity, costs
-            )
-        if self._batched:
-            return self._decider.decide(self.ages)
-        per_seed = []
-        for s, state in enumerate(self.states):
-            observation = state.observation_vector(time_slot, self.ages[s])
-            actions = self.policies[s].decide(observation)
-            per_seed.append(CachingPolicy.validate_actions(actions, observation))
-        return np.stack(per_seed)
-
-    def step(self, time_slot: int, metrics: List[CacheMetrics]) -> None:
-        """Run one slot: decide, account the Eq. (1) reward, apply updates."""
-        costs = self.slot_costs(time_slot)
-        actions = self.decide(time_slot, costs)
-        num_seeds = len(self.states)
-        # Batched twin of UtilityFunction.evaluate: identical element-wise
-        # expressions, reduced per seed over the same contiguous layout.
-        post_ages = np.where(actions > 0, 1.0, self.ages)
-        utilities = (self.max_ages / np.maximum(post_ages, 1.0)) * self.popularity
-        aoi_totals = utilities.reshape(num_seeds, -1).sum(axis=1)
-        cost_totals = (actions.astype(float) * costs).reshape(num_seeds, -1).sum(axis=1)
-        self.ages = np.where(actions > 0, 1.0, self.ages)
-        for s in range(num_seeds):
-            metrics[s].record_slot(
-                time_slot,
-                self.ages[s],
-                actions[s],
-                RewardBreakdown(
-                    aoi_utility=float(aoi_totals[s]),
-                    cost=float(cost_totals[s]),
-                    weight=self.weight,
-                ),
-            )
-
-    def advance(self, time_slot: int) -> None:
-        """Age every cached copy by one slot and regenerate the MBS copies."""
-        self.ages = np.minimum(self.ages + 1.0, self.ceilings)
-        for state in self.states:
-            state.mbs_store.tick(time_slot + 1)
-
-
-class CacheSimulator:
-    """Stage-1 simulator: MBS cache management over the RSU caches.
-
-    Parameters
-    ----------
-    config:
-        The scenario to simulate.
-    policy:
-        The caching policy the MBS uses (the paper's
-        :class:`~repro.core.caching_mdp.MDPCachingPolicy` or any baseline).
-    reference:
-        When ``True``, run the original scalar per-(RSU, content) loop; the
-        default runs the vectorised loop, which produces bit-for-bit
-        identical trajectories (see tests/sim/test_vectorized_equivalence.py)
-        at a fraction of the per-slot cost.
-    """
-
-    def __init__(
-        self,
-        config: ScenarioConfig,
-        policy: CachingPolicy,
-        *,
-        reference: bool = False,
-    ) -> None:
-        self._config = config
-        self._policy = policy
-        self._reference = bool(reference)
-
-    @property
-    def config(self) -> ScenarioConfig:
-        """The scenario being simulated."""
-        return self._config
-
-    @property
-    def policy(self) -> CachingPolicy:
-        """The caching policy under evaluation."""
-        return self._policy
-
-    @property
-    def reference(self) -> bool:
-        """Whether the scalar reference loop is used instead of the vectorised one."""
-        return self._reference
-
-    def run(self, *, num_slots: Optional[int] = None) -> CacheSimulationResult:
-        """Run the simulation and return the recorded result."""
-        num_slots = check_positive_int(
-            num_slots if num_slots is not None else self._config.num_slots,
-            "num_slots",
-        )
-        state = _SystemState(self._config)
-        metrics = CacheMetrics(
-            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
-        )
-        self._policy.reset()
-        if self._reference:
-            self._run_reference(state, metrics, num_slots)
-        else:
-            self._run_vectorized(state, metrics, num_slots)
-        return CacheSimulationResult(
-            config=self._config,
-            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
-            metrics=metrics,
-            catalog=state.catalog,
-            topology=state.topology,
-        )
-
-    def run_batch(
-        self,
-        seeds: Sequence[int],
-        *,
-        policies: Optional[Sequence[CachingPolicy]] = None,
-        num_slots: Optional[int] = None,
-    ) -> List[CacheSimulationResult]:
-        """Run one simulation per seed through a single seed-batched loop.
-
-        Equivalent — bit for bit — to calling :meth:`run` once per seed on
-        ``config.with_overrides(seed=seed)``, but the hot loop carries all
-        seeds through ``(num_seeds, num_rsus, contents_per_rsu)`` tensors, so
-        one vectorised slot replaces ``len(seeds)`` separate ones.
-
-        Parameters
-        ----------
-        seeds:
-            Master scenario seeds, one per run.
-        policies:
-            Optional per-seed policy instances (e.g. factory-built); omitted,
-            each run gets a deep copy of the simulator's policy, exactly as
-            the per-run path would.
-        num_slots:
-            Optional horizon override shared by every run.
-        """
-        num_slots = check_positive_int(
-            num_slots if num_slots is not None else self._config.num_slots,
-            "num_slots",
-        )
-        seeds = [int(seed) for seed in seeds]
-        policies = _expand_batch_policies(seeds, policies, self._policy)
-        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
-        if self._reference:
-            # The scalar loop has no tensor twin; replay it per seed.
-            return [
-                CacheSimulator(config, policy, reference=True).run(
-                    num_slots=num_slots
-                )
-                for config, policy in zip(configs, policies)
-            ]
-        states = [_SystemState(config) for config in configs]
-        metrics = [
-            CacheMetrics(
-                config.num_rsus, config.contents_per_rsu, state.max_ages
-            )
-            for config, state in zip(configs, states)
-        ]
-        for policy in policies:
-            policy.reset()
-        stage = _BatchedCacheStage(states, policies)
-        for t in range(num_slots):
-            stage.step(t, metrics)
-            stage.advance(t)
-        return [
-            CacheSimulationResult(
-                config=config,
-                policy_name=getattr(policy, "name", type(policy).__name__),
-                metrics=metric,
-                catalog=state.catalog,
-                topology=state.topology,
-            )
-            for config, policy, metric, state in zip(
-                configs, policies, metrics, states
-            )
-        ]
-
-    def _run_reference(
-        self, state: _SystemState, metrics: CacheMetrics, num_slots: int
-    ) -> None:
-        """The original scalar loop: one Python iteration per (RSU, slot)."""
-        mbs_budget = LinkBudget()
-
-        for t in range(num_slots):
-            observation = state.observation(t)
-            actions = self._policy.decide(observation)
-            actions = CachingPolicy.validate_actions(actions, observation)
-            costs = observation.update_costs
-            breakdown = UtilityFunction(
-                state.max_ages, costs, weight=self._config.aoi_weight
-            ).evaluate(observation.ages, actions, state.popularity)
-            # Apply the chosen updates to the caches.
-            for k, rsu in enumerate(state.topology.rsus):
-                for slot, content_id in enumerate(rsu.covered_regions):
-                    if actions[k, slot]:
-                        state.caches[k].apply_update(content_id)
-                        mbs_budget.charge(costs[k, slot])
-            metrics.record_slot(t, state.ages_matrix(), actions, breakdown)
-            # Advance time: cached copies age by one slot, the MBS regenerates.
-            for cache in state.caches:
-                cache.tick(1)
-            state.mbs_store.tick(t + 1)
-
-    def _run_vectorized(
-        self, state: _SystemState, metrics: CacheMetrics, num_slots: int
-    ) -> None:
-        """Array-based hot loop over the (num_rsus, contents_per_rsu) matrices.
-
-        Reproduces the reference loop slot for slot: the ages live in one
-        matrix instead of per-RSU :class:`~repro.net.cache.RSUCache` objects,
-        applying the chosen updates is a ``where`` and advancing time is a
-        clipped add.  Initial ages still come from the caches built by
-        :class:`_SystemState` so the RNG stream consumption is unchanged.
-        """
-        mbs_budget = LinkBudget()
-        ages = state.ages_matrix()
-
-        for t in range(num_slots):
-            observation = state.observation_vector(t, ages)
-            actions = self._policy.decide(observation)
-            actions = CachingPolicy.validate_actions(actions, observation)
-            costs = observation.update_costs
-            breakdown = UtilityFunction(
-                state.max_ages, costs, weight=self._config.aoi_weight
-            ).evaluate(observation.ages, actions, state.popularity)
-            # Apply the chosen updates: a refreshed copy restarts at age 1.
-            updated = actions > 0
-            ages = np.where(updated, 1.0, ages)
-            mbs_budget.charge_many(costs[updated])
-            metrics.record_slot(t, ages, actions, breakdown)
-            # Advance time: cached copies age by one slot, the MBS regenerates.
-            ages = np.minimum(ages + 1.0, state.cache_ceilings)
-            state.mbs_store.tick(t + 1)
-
-
-class _VectorQueues:
-    """Flat-array FIFO queues powering the vectorised service loops.
-
-    Each RSU's pending requests are two parallel Python lists (issue slots
-    and content ids) with a head pointer, plus O(1) aggregates (pending
-    count and sum of issue slots) so the per-slot latency
-    ``sum_i (t - issue_i)`` is ``t * pending - issue_sum`` — an integer
-    identity with :meth:`~repro.net.queueing.RequestQueue.total_waiting`.
-    Deadlines are monotone in issue time, so expiry only ever removes a
-    prefix.  No per-request objects are allocated.
-    """
-
-    def __init__(self, num_rsus: int, deadline_slots: Optional[int]) -> None:
-        self._deadline_slots = deadline_slots
-        self._issues: List[List[int]] = [[] for _ in range(num_rsus)]
-        self._contents: List[List[int]] = [[] for _ in range(num_rsus)]
-        self._head = [0] * num_rsus
-        self.pending = [0] * num_rsus
-        self._issue_sum = [0] * num_rsus
-
-    def enqueue(self, rsu: int, time_slot: int, content_ids: np.ndarray) -> None:
-        count = int(content_ids.size)
-        self._issues[rsu].extend([time_slot] * count)
-        self._contents[rsu].extend(int(h) for h in content_ids)
-        self.pending[rsu] += count
-        self._issue_sum[rsu] += time_slot * count
-
-    def expire(self, rsu: int, time_slot: int) -> None:
-        if self._deadline_slots is None:
-            return
-        cutoff = time_slot - self._deadline_slots
-        issues, head = self._issues[rsu], self._head[rsu]
-        while self.pending[rsu] and issues[head] < cutoff:
-            self._issue_sum[rsu] -= issues[head]
-            self.pending[rsu] -= 1
-            head += 1
-        self._head[rsu] = head
-        self._compact(rsu)
-
-    def total_waiting(self, rsu: int, time_slot: int) -> int:
-        return time_slot * self.pending[rsu] - self._issue_sum[rsu]
-
-    def head(self, rsu: int) -> Optional[Tuple[int, int]]:
-        """Return ``(content_id, issue_slot)`` of the oldest pending request."""
-        if not self.pending[rsu]:
-            return None
-        head = self._head[rsu]
-        return self._contents[rsu][head], self._issues[rsu][head]
-
-    def head_deadline_slack(self, rsu: int, time_slot: int) -> Optional[float]:
-        if self._deadline_slots is None:
-            return None
-        entry = self.head(rsu)
-        if entry is None:
-            return None
-        return float(entry[1] + self._deadline_slots - time_slot)
-
-    def serve(self, rsu: int, count: int) -> int:
-        """Serve the *count* oldest pending requests; return how many departed."""
-        count = min(count, self.pending[rsu])
-        if count <= 0:
-            return 0
-        head = self._head[rsu]
-        self._issue_sum[rsu] -= sum(self._issues[rsu][head : head + count])
-        self.pending[rsu] -= count
-        self._head[rsu] = head + count
-        self._compact(rsu)
-        return count
-
-    def _compact(self, rsu: int) -> None:
-        head = self._head[rsu]
-        if head > 1024 and head * 2 > len(self._issues[rsu]):
-            self._issues[rsu] = self._issues[rsu][head:]
-            self._contents[rsu] = self._contents[rsu][head:]
-            self._head[rsu] = 0
-
-
-def _vector_service_slot(
-    state: _SystemState,
-    queues: _VectorQueues,
-    policy: ServicePolicy,
-    service_batch: Optional[int],
-    metrics: ServiceMetrics,
-    time_slot: int,
-    cost: float,
-    ages: np.ndarray,
-) -> None:
-    """One slot of the vectorised stage-2 loop across all RSUs.
-
-    Shared by :class:`ServiceSimulator` (frozen *ages*) and
-    :class:`JointSimulator` (the live stage-1 ages matrix): expire, account
-    latency/backlog, build the per-RSU observation with the AoI-guard head
-    lookup, apply the policy decision, and record the slot.
-    """
-    backlogs, latencies, costs, decisions, served_counts = ([], [], [], [], [])
-    for k in range(state.config.num_rsus):
-        queues.expire(k, time_slot)
-        latency = float(queues.total_waiting(k, time_slot))
-        backlog = float(queues.pending[k])
-        head = queues.head(k)
-        head_age = head_max = None
-        if head is not None:
-            slot = state.content_slot[head[0]]
-            # Plain floats, not np.float64: ServiceObservation's freshness
-            # property must return the bool singletons the AoI guard
-            # compares against by identity.
-            head_age = float(ages[k, slot])
-            head_max = float(state.max_ages[k, slot])
-        observation = ServiceObservation(
-            time_slot=time_slot,
-            rsu_id=k,
-            queue_backlog=latency,
-            service_cost=cost,
-            departure=latency,
-            head_content_age=head_age,
-            head_content_max_age=head_max,
-            head_deadline_slack=queues.head_deadline_slack(k, time_slot),
-        )
-        serve = policy.decide(observation) and queues.pending[k] > 0
-        served = 0
-        spent = 0.0
-        if serve:
-            batch = (
-                queues.pending[k]
-                if service_batch is None
-                else min(service_batch, queues.pending[k])
-            )
-            served = queues.serve(k, batch)
-            spent = cost * served
-        backlogs.append(backlog)
-        latencies.append(latency)
-        costs.append(spent)
-        decisions.append(bool(serve))
-        served_counts.append(served)
-    metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
-
-
-class ServiceSimulator:
-    """Stage-2 simulator: per-RSU service decisions over the request queues.
-
-    Each RSU runs its own instance of the service policy (a fresh copy is not
-    required because policies are either stateless or record only global
-    statistics); the queue backlog follows the latency interpretation of
-    Fig. 1b — the accumulated waiting time of the pending requests.
-
-    Parameters
-    ----------
-    config:
-        The scenario to simulate.
-    policy:
-        The service policy each RSU applies (the paper's
-        :class:`~repro.core.lyapunov.LyapunovServiceController` or a baseline).
-    caches:
-        Optional pre-built RSU caches whose ages feed the AoI-validity guard;
-        when omitted, fresh caches with static ages are used (ages then play
-        no role because they never violate).
-    """
-
-    def __init__(
-        self,
-        config: ScenarioConfig,
-        policy: ServicePolicy,
-        *,
-        service_batch: Optional[int] = None,
-        reference: bool = False,
-    ) -> None:
-        if service_batch is not None:
-            check_positive_int(service_batch, "service_batch")
-        self._config = config
-        self._policy = policy
-        self._service_batch = service_batch
-        self._reference = bool(reference)
-
-    @property
-    def config(self) -> ScenarioConfig:
-        """The scenario being simulated."""
-        return self._config
-
-    @property
-    def policy(self) -> ServicePolicy:
-        """The service policy under evaluation."""
-        return self._policy
-
-    @property
-    def reference(self) -> bool:
-        """Whether the scalar reference loop is used instead of the vectorised one."""
-        return self._reference
-
-    def run(self, *, num_slots: Optional[int] = None) -> ServiceSimulationResult:
-        """Run the simulation and return the recorded result."""
-        num_slots = check_positive_int(
-            num_slots if num_slots is not None else self._config.num_slots,
-            "num_slots",
-        )
-        state = _SystemState(self._config)
-        metrics = ServiceMetrics(self._config.num_rsus)
-        self._policy.reset()
-        if self._reference:
-            self._run_reference(state, metrics, num_slots)
-        else:
-            self._run_vectorized(state, metrics, num_slots)
-        return ServiceSimulationResult(
-            config=self._config,
-            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
-            metrics=metrics,
-        )
-
-    def run_batch(
-        self,
-        seeds: Sequence[int],
-        *,
-        policies: Optional[Sequence[ServicePolicy]] = None,
-        num_slots: Optional[int] = None,
-    ) -> List[ServiceSimulationResult]:
-        """Run one simulation per seed, interleaved slot by slot.
-
-        Bit-identical to per-seed :meth:`run` calls.  The service stage's
-        per-slot work is per-RSU queue bookkeeping and policy calls (already
-        scalar), so unlike :meth:`CacheSimulator.run_batch` there is no
-        tensor axis to fold the seeds into; batching here exists so the
-        runtime can dispatch whole seed groups uniformly across run kinds.
-        """
-        num_slots = check_positive_int(
-            num_slots if num_slots is not None else self._config.num_slots,
-            "num_slots",
-        )
-        seeds = [int(seed) for seed in seeds]
-        policies = _expand_batch_policies(seeds, policies, self._policy)
-        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
-        if self._reference:
-            return [
-                ServiceSimulator(
-                    config,
-                    policy,
-                    service_batch=self._service_batch,
-                    reference=True,
-                ).run(num_slots=num_slots)
-                for config, policy in zip(configs, policies)
-            ]
-        states = [_SystemState(config) for config in configs]
-        metrics = [ServiceMetrics(config.num_rsus) for config in configs]
-        for policy in policies:
-            policy.reset()
-        queues = [
-            _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
-            for _ in states
-        ]
-        static_ages = [state.ages_matrix() for state in states]
-        # Precompute every seed's arrival tensor up front: the hot loop then
-        # replays packed arrays instead of calling into the workload models.
-        horizons = [state.workload.generate_horizon(num_slots) for state in states]
-        for t in range(num_slots):
-            for s, state in enumerate(states):
-                for rsu_id, content_ids in horizons[s].slot_batches(t):
-                    queues[s].enqueue(rsu_id, t, content_ids)
-                distance = 0.5 * state.topology.region_length
-                cost = state.service_cost_model.cost(
-                    distance=distance, size=1.0, time_slot=t
-                )
-                _vector_service_slot(
-                    state, queues[s], policies[s], self._service_batch,
-                    metrics[s], t, cost, static_ages[s],
-                )
-                state.mbs_store.tick(t + 1)
-        return [
-            ServiceSimulationResult(
-                config=config,
-                policy_name=getattr(policy, "name", type(policy).__name__),
-                metrics=metric,
-            )
-            for config, policy, metric in zip(configs, policies, metrics)
-        ]
-
-    def _run_reference(
-        self, state: _SystemState, metrics: ServiceMetrics, num_slots: int
-    ) -> None:
-        """The original per-request object loop."""
-        queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
-
-        for t in range(num_slots):
-            requests = state.request_generator.generate_slot(
-                t, deadline_slots=self._config.deadline_slots
-            )
-            for request in requests:
-                queues[request.rsu_id].enqueue(request)
-
-            backlogs, latencies, costs, decisions, served_counts = (
-                [], [], [], [], []
-            )
-            for k, queue in enumerate(queues):
-                queue.expire(t)
-                latency = float(queue.total_waiting(t))
-                backlog = float(queue.backlog)
-                distance = 0.5 * state.topology.region_length
-                cost = state.service_cost_model.cost(
-                    distance=distance, size=1.0, time_slot=t
-                )
-                head = queue.head()
-                head_age = head_max = slack = None
-                if head is not None:
-                    cache = state.caches[k]
-                    if cache.holds(head.content_id):
-                        head_age = cache.age_of(head.content_id)
-                        head_max = state.catalog[head.content_id].max_age
-                    if head.deadline is not None:
-                        slack = float(head.deadline - t)
-                observation = ServiceObservation(
-                    time_slot=t,
-                    rsu_id=k,
-                    queue_backlog=latency,
-                    service_cost=cost,
-                    departure=latency,
-                    head_content_age=head_age,
-                    head_content_max_age=head_max,
-                    head_deadline_slack=slack,
-                )
-                serve = self._policy.decide(observation) and not queue.is_empty
-                served = []
-                spent = 0.0
-                if serve:
-                    batch = (
-                        queue.backlog
-                        if self._service_batch is None
-                        else min(self._service_batch, queue.backlog)
-                    )
-                    served = queue.serve(t, batch)
-                    spent = cost * len(served)
-                backlogs.append(backlog)
-                latencies.append(latency)
-                costs.append(spent)
-                decisions.append(bool(serve))
-                served_counts.append(len(served))
-            metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
-            # The stage-2-only simulator assumes cache management (stage 1)
-            # keeps cached copies valid, so cache ages are not advanced here;
-            # the coupled behaviour is exercised by JointSimulator.
-            state.mbs_store.tick(t + 1)
-
-    def _run_vectorized(
-        self, state: _SystemState, metrics: ServiceMetrics, num_slots: int
-    ) -> None:
-        """Flat-array service loop: same trajectories, no request objects.
-
-        The whole arrival tensor is precomputed through
-        :meth:`~repro.net.requests.RequestGenerator.generate_horizon`, which
-        performs the identical RNG draws as the reference loop's per-slot
-        calls; the per-slot service cost is evaluated once (every RSU sees
-        the same distance), and queue accounting runs on
-        :class:`_VectorQueues` aggregates.  Cache ages are static here, so
-        the AoI guard reads a frozen ages matrix.
-        """
-        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
-        static_ages = state.ages_matrix()
-        distance = 0.5 * state.topology.region_length
-        horizon = state.workload.generate_horizon(num_slots)
-
-        for t in range(num_slots):
-            for rsu_id, content_ids in horizon.slot_batches(t):
-                queues.enqueue(rsu_id, t, content_ids)
-            cost = state.service_cost_model.cost(
-                distance=distance, size=1.0, time_slot=t
-            )
-            _vector_service_slot(
-                state, queues, self._policy, self._service_batch, metrics,
-                t, cost, static_ages,
-            )
-            state.mbs_store.tick(t + 1)
-
-
-class JointSimulator:
-    """Full two-stage simulator coupling cache management and content service.
-
-    Per slot the MBS first applies the caching policy (refreshing cached
-    copies and accruing the Eq. (1) reward), then every RSU applies the
-    service policy to its request queue with the AoI-validity guard reading
-    the *current* cache ages — so a stale cache blocks service until the MBS
-    refreshes it, which is exactly the interplay the paper's two-stage design
-    argues for.
-    """
-
-    def __init__(
-        self,
-        config: ScenarioConfig,
-        caching_policy: CachingPolicy,
-        service_policy: ServicePolicy,
-        *,
-        service_batch: Optional[int] = None,
-        reference: bool = False,
-    ) -> None:
-        if service_batch is not None:
-            check_positive_int(service_batch, "service_batch")
-        self._config = config
-        self._caching_policy = caching_policy
-        self._service_policy = service_policy
-        self._service_batch = service_batch
-        self._reference = bool(reference)
-
-    @property
-    def config(self) -> ScenarioConfig:
-        """The scenario being simulated."""
-        return self._config
-
-    @property
-    def reference(self) -> bool:
-        """Whether the scalar reference loop is used instead of the vectorised one."""
-        return self._reference
-
-    def run(self, *, num_slots: Optional[int] = None) -> JointSimulationResult:
-        """Run the coupled simulation and return both stages' metrics."""
-        num_slots = check_positive_int(
-            num_slots if num_slots is not None else self._config.num_slots,
-            "num_slots",
-        )
-        state = _SystemState(self._config)
-        cache_metrics = CacheMetrics(
-            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
-        )
-        service_metrics = ServiceMetrics(self._config.num_rsus)
-        self._caching_policy.reset()
-        self._service_policy.reset()
-        if self._reference:
-            self._run_reference(state, cache_metrics, service_metrics, num_slots)
-        else:
-            self._run_vectorized(state, cache_metrics, service_metrics, num_slots)
-        return JointSimulationResult(
-            config=self._config,
-            caching_policy_name=getattr(
-                self._caching_policy, "name", type(self._caching_policy).__name__
-            ),
-            service_policy_name=getattr(
-                self._service_policy, "name", type(self._service_policy).__name__
-            ),
-            cache_metrics=cache_metrics,
-            service_metrics=service_metrics,
-        )
-
-    def run_batch(
-        self,
-        seeds: Sequence[int],
-        *,
-        caching_policies: Optional[Sequence[CachingPolicy]] = None,
-        service_policies: Optional[Sequence[ServicePolicy]] = None,
-        num_slots: Optional[int] = None,
-    ) -> List[JointSimulationResult]:
-        """Run one coupled simulation per seed through a seed-batched loop.
-
-        Stage 1 (cache management) runs on the stacked
-        ``(num_seeds, num_rsus, contents_per_rsu)`` ages tensor exactly like
-        :meth:`CacheSimulator.run_batch`; stage 2 reads each seed's live
-        post-update slice of that tensor, preserving the AoI-guard coupling.
-        Bit-identical to per-seed :meth:`run` calls.
-        """
-        num_slots = check_positive_int(
-            num_slots if num_slots is not None else self._config.num_slots,
-            "num_slots",
-        )
-        seeds = [int(seed) for seed in seeds]
-        caching_policies = _expand_batch_policies(
-            seeds, caching_policies, self._caching_policy
-        )
-        service_policies = _expand_batch_policies(
-            seeds, service_policies, self._service_policy
-        )
-        configs = [self._config.with_overrides(seed=seed) for seed in seeds]
-        if self._reference:
-            return [
-                JointSimulator(
-                    config,
-                    caching_policy,
-                    service_policy,
-                    service_batch=self._service_batch,
-                    reference=True,
-                ).run(num_slots=num_slots)
-                for config, caching_policy, service_policy in zip(
-                    configs, caching_policies, service_policies
-                )
-            ]
-        states = [_SystemState(config) for config in configs]
-        cache_metrics = [
-            CacheMetrics(
-                config.num_rsus, config.contents_per_rsu, state.max_ages
-            )
-            for config, state in zip(configs, states)
-        ]
-        service_metrics = [ServiceMetrics(config.num_rsus) for config in configs]
-        for policy in caching_policies:
-            policy.reset()
-        for policy in service_policies:
-            policy.reset()
-        stage = _BatchedCacheStage(states, caching_policies)
-        queues = [
-            _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
-            for _ in states
-        ]
-        horizons = [state.workload.generate_horizon(num_slots) for state in states]
-        for t in range(num_slots):
-            # ---- Stage 1: cache management (seed-batched) ----------------
-            stage.step(t, cache_metrics)
-            # ---- Stage 2: content service, AoI guard on live ages --------
-            for s, state in enumerate(states):
-                for rsu_id, content_ids in horizons[s].slot_batches(t):
-                    queues[s].enqueue(rsu_id, t, content_ids)
-                distance = 0.5 * state.topology.region_length
-                cost = state.service_cost_model.cost(
-                    distance=distance, size=1.0, time_slot=t
-                )
-                _vector_service_slot(
-                    state, queues[s], service_policies[s], self._service_batch,
-                    service_metrics[s], t, cost, stage.ages[s],
-                )
-            # ---- Advance time --------------------------------------------
-            stage.advance(t)
-        return [
-            JointSimulationResult(
-                config=config,
-                caching_policy_name=getattr(
-                    caching_policy, "name", type(caching_policy).__name__
-                ),
-                service_policy_name=getattr(
-                    service_policy, "name", type(service_policy).__name__
-                ),
-                cache_metrics=cache_metric,
-                service_metrics=service_metric,
-            )
-            for config, caching_policy, service_policy, cache_metric, service_metric
-            in zip(
-                configs, caching_policies, service_policies,
-                cache_metrics, service_metrics,
-            )
-        ]
-
-    def _run_reference(
-        self,
-        state: _SystemState,
-        cache_metrics: CacheMetrics,
-        service_metrics: ServiceMetrics,
-        num_slots: int,
-    ) -> None:
-        """The original scalar two-stage loop."""
-        queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
-
-        for t in range(num_slots):
-            # ---- Stage 1: cache management -------------------------------
-            observation = state.observation(t)
-            actions = self._caching_policy.decide(observation)
-            actions = CachingPolicy.validate_actions(actions, observation)
-            costs = observation.update_costs
-            breakdown = UtilityFunction(
-                state.max_ages, costs, weight=self._config.aoi_weight
-            ).evaluate(observation.ages, actions, state.popularity)
-            for k, rsu in enumerate(state.topology.rsus):
-                for slot, content_id in enumerate(rsu.covered_regions):
-                    if actions[k, slot]:
-                        state.caches[k].apply_update(content_id)
-            cache_metrics.record_slot(t, state.ages_matrix(), actions, breakdown)
-
-            # ---- Stage 2: content service ---------------------------------
-            requests = state.request_generator.generate_slot(
-                t, deadline_slots=self._config.deadline_slots
-            )
-            for request in requests:
-                queues[request.rsu_id].enqueue(request)
-            backlogs, latencies, spent_costs, decisions, served_counts = (
-                [], [], [], [], []
-            )
-            for k, queue in enumerate(queues):
-                queue.expire(t)
-                latency = float(queue.total_waiting(t))
-                backlog = float(queue.backlog)
-                distance = 0.5 * state.topology.region_length
-                cost = state.service_cost_model.cost(
-                    distance=distance, size=1.0, time_slot=t
-                )
-                head = queue.head()
-                head_age = head_max = slack = None
-                if head is not None:
-                    cache = state.caches[k]
-                    if cache.holds(head.content_id):
-                        head_age = cache.age_of(head.content_id)
-                        head_max = state.catalog[head.content_id].max_age
-                    if head.deadline is not None:
-                        slack = float(head.deadline - t)
-                service_observation = ServiceObservation(
-                    time_slot=t,
-                    rsu_id=k,
-                    queue_backlog=latency,
-                    service_cost=cost,
-                    departure=latency,
-                    head_content_age=head_age,
-                    head_content_max_age=head_max,
-                    head_deadline_slack=slack,
-                )
-                serve = self._service_policy.decide(service_observation)
-                serve = serve and not queue.is_empty
-                served = []
-                spent = 0.0
-                if serve:
-                    batch = (
-                        queue.backlog
-                        if self._service_batch is None
-                        else min(self._service_batch, queue.backlog)
-                    )
-                    served = queue.serve(t, batch)
-                    spent = cost * len(served)
-                backlogs.append(backlog)
-                latencies.append(latency)
-                spent_costs.append(spent)
-                decisions.append(bool(serve))
-                served_counts.append(len(served))
-            service_metrics.record_slot(
-                backlogs, latencies, spent_costs, decisions, served_counts
-            )
-
-            # ---- Advance time ---------------------------------------------
-            for cache in state.caches:
-                cache.tick(1)
-            state.mbs_store.tick(t + 1)
-
-    def _run_vectorized(
-        self,
-        state: _SystemState,
-        cache_metrics: CacheMetrics,
-        service_metrics: ServiceMetrics,
-        num_slots: int,
-    ) -> None:
-        """Vectorised two-stage loop sharing one live ages matrix.
-
-        Stage 1 updates the ages matrix exactly like the vectorised
-        :class:`CacheSimulator`; stage 2's AoI-validity guard then reads the
-        post-update (pre-tick) ages, preserving the reference coupling.
-        """
-        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
-        ages = state.ages_matrix()
-        distance = 0.5 * state.topology.region_length
-        horizon = state.workload.generate_horizon(num_slots)
-
-        for t in range(num_slots):
-            # ---- Stage 1: cache management -------------------------------
-            observation = state.observation_vector(t, ages)
-            actions = self._caching_policy.decide(observation)
-            actions = CachingPolicy.validate_actions(actions, observation)
-            costs = observation.update_costs
-            breakdown = UtilityFunction(
-                state.max_ages, costs, weight=self._config.aoi_weight
-            ).evaluate(observation.ages, actions, state.popularity)
-            ages = np.where(actions > 0, 1.0, ages)
-            cache_metrics.record_slot(t, ages, actions, breakdown)
-
-            # ---- Stage 2: content service ---------------------------------
-            # The AoI guard reads the live post-update (pre-tick) ages.
-            for rsu_id, content_ids in horizon.slot_batches(t):
-                queues.enqueue(rsu_id, t, content_ids)
-            cost = state.service_cost_model.cost(
-                distance=distance, size=1.0, time_slot=t
-            )
-            _vector_service_slot(
-                state, queues, self._service_policy, self._service_batch,
-                service_metrics, t, cost, ages,
-            )
-
-            # ---- Advance time ---------------------------------------------
-            ages = np.minimum(ages + 1.0, state.cache_ceilings)
-            state.mbs_store.tick(t + 1)
+from repro.sim.service_sim import (
+    ServiceSimulator,
+    _vector_service_slot,
+    _VectorQueues,
+)
+from repro.sim.system import SystemState, _expand_batch_policies
+
+#: Historical private alias kept for callers that reached into the module.
+_SystemState = SystemState
+
+__all__ = [
+    "CacheSimulationResult",
+    "CacheSimulator",
+    "JointSimulationResult",
+    "JointSimulator",
+    "ServiceSimulationResult",
+    "ServiceSimulator",
+    "SimulationResult",
+    "SystemState",
+]

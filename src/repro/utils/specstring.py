@@ -1,0 +1,53 @@
+"""Shared parser for ``name[:k=v,...]`` specification strings.
+
+One grammar covers every CLI object reference — ``--workload
+drift:period=25,step=0.4`` and ``--policy mdp:mode=factored`` parse through
+the same function — so the two registries cannot drift apart in syntax or
+error wording.  Values are coerced ``int`` → ``float`` → ``bool`` → ``str``
+in that order, matching the historical ``--workload`` behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["coerce_scalar", "parse_spec_string"]
+
+
+def coerce_scalar(text: str) -> Any:
+    """Parse one parameter value: int, then float, then bool, then str."""
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered == "none":
+        return None
+    return text
+
+
+def parse_spec_string(text: str, *, what: str = "spec") -> Tuple[str, Dict[str, Any]]:
+    """Split ``name[:k=v,...]`` into ``(name, params)``.
+
+    *what* names the kind of object being parsed ("workload", "policy") so
+    error messages point at the offending flag.
+    """
+    text = text.strip()
+    if not text:
+        raise ConfigurationError(f"{what} spec must be non-empty")
+    name, _, tail = text.partition(":")
+    params: Dict[str, Any] = {}
+    if tail:
+        for item in tail.split(","):
+            key, separator, value = item.partition("=")
+            if not separator or not key.strip():
+                raise ConfigurationError(
+                    f"malformed {what} parameter {item!r}; expected k=v"
+                )
+            params[key.strip()] = coerce_scalar(value)
+    return name.strip(), params

@@ -23,6 +23,7 @@ from repro.net.content import ContentCatalog
 from repro.net.requests import ArrivalProcess
 from repro.net.topology import RoadTopology
 from repro.utils.rng import RandomSource
+from repro.utils.specstring import parse_spec_string
 from repro.workloads.base import WorkloadModel
 
 __all__ = [
@@ -70,19 +71,6 @@ def get_workload_class(name: str) -> Type[WorkloadModel]:
         ) from None
 
 
-def _coerce_value(text: str) -> Any:
-    """Parse one CLI parameter value: int, then float, then bool, then str."""
-    for converter in (int, float):
-        try:
-            return converter(text)
-        except ValueError:
-            continue
-    lowered = text.strip().lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    return text
-
-
 @dataclass(frozen=True)
 class WorkloadSpec:
     """A validated reference to one workload model plus its parameters.
@@ -109,21 +97,13 @@ class WorkloadSpec:
 
     @classmethod
     def parse(cls, text: str) -> "WorkloadSpec":
-        """Parse the CLI syntax ``name[:k=v,...]`` into a validated spec."""
-        text = text.strip()
-        if not text:
-            raise ConfigurationError("workload spec must be non-empty")
-        name, _, tail = text.partition(":")
-        params: Dict[str, Any] = {}
-        if tail:
-            for item in tail.split(","):
-                key, separator, value = item.partition("=")
-                if not separator or not key.strip():
-                    raise ConfigurationError(
-                        f"malformed workload parameter {item!r}; expected k=v"
-                    )
-                params[key.strip()] = _coerce_value(value)
-        return cls.create(name.strip(), **params)
+        """Parse the CLI syntax ``name[:k=v,...]`` into a validated spec.
+
+        The grammar is shared with every other spec-string flag (see
+        :func:`repro.utils.specstring.parse_spec_string`).
+        """
+        name, params = parse_spec_string(text, what="workload")
+        return cls.create(name, **params)
 
     @classmethod
     def coerce(
@@ -145,6 +125,19 @@ class WorkloadSpec:
     def params_dict(self) -> Dict[str, Any]:
         """The parameters as a plain dictionary (defaults included)."""
         return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {"name": self.name, "params": self.params_dict}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output (re-validated)."""
+        if not isinstance(data, dict) or "name" not in data:
+            raise ConfigurationError(
+                f"workload spec dict needs a 'name' key, got {data!r}"
+            )
+        return cls.create(str(data["name"]), **dict(data.get("params") or {}))
 
     @property
     def is_default(self) -> bool:

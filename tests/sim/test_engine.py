@@ -1,0 +1,214 @@
+"""Tests for repro.sim.engine (the unified ``simulate`` façade).
+
+Covers kind inference, mode dispatch, and — the deprecation-shim contract —
+bit-identical results between the old per-kind entry points and the façade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.caching_mdp import MDPCachingPolicy
+from repro.core.lyapunov import LyapunovServiceController
+from repro.exceptions import ConfigurationError
+from repro.policies import PolicySpec
+from repro.sim import (
+    CacheSimulationResult,
+    JointSimulationResult,
+    ServiceSimulationResult,
+    SimulationResult,
+    simulate,
+)
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import CacheSimulator, JointSimulator, ServiceSimulator
+
+
+@pytest.fixture
+def config():
+    return ScenarioConfig.small(seed=11, num_slots=40)
+
+
+class TestKindInference:
+    def test_caching_policy_runs_cache_kind(self, config):
+        result = simulate(config, "mdp")
+        assert isinstance(result, CacheSimulationResult)
+        assert type(result).kind == "cache"
+
+    def test_service_policy_runs_service_kind(self, config):
+        result = simulate(config, "lyapunov")
+        assert isinstance(result, ServiceSimulationResult)
+
+    def test_pair_runs_joint_kind(self, config):
+        result = simulate(config, ("mdp", "lyapunov"))
+        assert isinstance(result, JointSimulationResult)
+
+    def test_dict_roles(self, config):
+        result = simulate(config, {"caching": "mdp", "service": "lyapunov"})
+        assert isinstance(result, JointSimulationResult)
+
+    def test_policy_instances_accepted(self, config):
+        policy = MDPCachingPolicy(config.build_mdp_config())
+        result = simulate(config, policy)
+        assert isinstance(result, CacheSimulationResult)
+
+    def test_explicit_kind_mismatch_rejected(self, config):
+        with pytest.raises(ConfigurationError, match="kind"):
+            simulate(config, "mdp", kind="service")
+
+    def test_wrong_role_in_slot_rejected(self, config):
+        with pytest.raises(ConfigurationError, match="caching"):
+            simulate(config, ("lyapunov", "mdp"))
+
+    def test_unknown_role_key_rejected(self, config):
+        with pytest.raises(ConfigurationError, match="role"):
+            simulate(config, {"cache": "mdp"})
+
+    def test_bad_mode_rejected(self, config):
+        with pytest.raises(ConfigurationError, match="mode"):
+            simulate(config, "mdp", mode="turbo")
+
+    def test_batch_mode_needs_seeds(self, config):
+        with pytest.raises(ConfigurationError, match="seeds"):
+            simulate(config, "mdp", mode="batch")
+
+    def test_service_batch_rejected_for_cache(self, config):
+        with pytest.raises(ConfigurationError, match="service_batch"):
+            simulate(config, "mdp", service_batch=2)
+
+
+class TestShimEquivalence:
+    """Old entry points stay bit-identical to the façade."""
+
+    def test_cache_simulator_run_matches_simulate(self, config):
+        old = CacheSimulator(
+            config, MDPCachingPolicy(config.build_mdp_config())
+        ).run()
+        new = simulate(config, "mdp")
+        assert old.summary() == new.summary()
+        assert np.array_equal(old.cumulative_reward, new.cumulative_reward)
+        assert np.array_equal(
+            old.metrics.age_matrix_history(), new.metrics.age_matrix_history()
+        )
+
+    def test_cache_reference_matches_simulate_reference(self, config):
+        old = CacheSimulator(
+            config, MDPCachingPolicy(config.build_mdp_config()), reference=True
+        ).run()
+        new = simulate(config, "mdp", mode="reference")
+        assert old.summary() == new.summary()
+        assert np.array_equal(old.cumulative_reward, new.cumulative_reward)
+
+    def test_service_simulator_run_matches_simulate(self, config):
+        old = ServiceSimulator(
+            config, LyapunovServiceController(config.tradeoff_v)
+        ).run()
+        new = simulate(config, "lyapunov")
+        assert old.summary() == new.summary()
+        assert np.array_equal(old.latency_history, new.latency_history)
+
+    def test_joint_simulator_run_matches_simulate(self, config):
+        old = JointSimulator(
+            config,
+            MDPCachingPolicy(config.build_mdp_config()),
+            LyapunovServiceController(config.tradeoff_v),
+        ).run()
+        new = simulate(config, ("mdp", "lyapunov"))
+        assert old.summary() == new.summary()
+
+    def test_run_batch_matches_simulate_batch(self, config):
+        seeds = [2, 5, 9]
+        old = CacheSimulator(
+            config, MDPCachingPolicy(config.build_mdp_config())
+        ).run_batch(seeds)
+        new = simulate(config, "mdp", seeds=seeds, mode="batch")
+        assert len(old) == len(new) == 3
+        for mine, theirs in zip(old, new):
+            assert mine.summary() == theirs.summary()
+            assert np.array_equal(
+                mine.cumulative_reward, theirs.cumulative_reward
+            )
+
+
+class TestModesAgree:
+    def test_all_modes_bit_identical(self, config):
+        seeds = [3, 8]
+        batch = simulate(config, "mdp", seeds=seeds, mode="batch")
+        vectorized = simulate(config, "mdp", seeds=seeds, mode="vectorized")
+        reference = simulate(config, "mdp", seeds=seeds, mode="reference")
+        auto = simulate(config, "mdp", seeds=seeds)
+        for group in (vectorized, reference, auto):
+            for mine, theirs in zip(batch, group):
+                assert mine.summary() == theirs.summary()
+                assert np.array_equal(
+                    mine.cumulative_reward, theirs.cumulative_reward
+                )
+
+    def test_joint_modes_agree(self, config):
+        seeds = [1, 4]
+        batch = simulate(config, ("mdp", "lyapunov"), seeds=seeds, mode="batch")
+        reference = simulate(
+            config, ("mdp", "lyapunov"), seeds=seeds, mode="reference"
+        )
+        for mine, theirs in zip(batch, reference):
+            assert mine.summary() == theirs.summary()
+
+    def test_stochastic_instance_is_replicated_per_seed(self, config):
+        # Each seed must start from a pristine copy of a supplied policy
+        # instance in every mode; sharing one instance would advance its
+        # RNG across seeds and break the cross-mode contract.
+        from repro.baselines.caching import RandomUpdatePolicy
+
+        seeds = [3, 11]
+        batch = simulate(
+            config, RandomUpdatePolicy(0.5, rng=7), seeds=seeds, mode="batch"
+        )
+        vectorized = simulate(
+            config, RandomUpdatePolicy(0.5, rng=7), seeds=seeds,
+            mode="vectorized",
+        )
+        reference = simulate(
+            config, RandomUpdatePolicy(0.5, rng=7), seeds=seeds,
+            mode="reference",
+        )
+        for group in (vectorized, reference):
+            for mine, theirs in zip(batch, group):
+                assert mine.summary() == theirs.summary()
+
+    def test_int_seeds_match_runner_derivation(self, config):
+        from repro.utils.rng import spawn_run_seeds
+
+        implicit = simulate(config, "mdp", seeds=3)
+        explicit = simulate(
+            config, "mdp", seeds=spawn_run_seeds(config.seed, 3)
+        )
+        for mine, theirs in zip(implicit, explicit):
+            assert mine.summary() == theirs.summary()
+            assert mine.config.seed == theirs.config.seed
+
+
+class TestResultSurface:
+    def test_rows_have_stable_prefix(self, config):
+        result = simulate(config, "mdp")
+        (row,) = result.rows()
+        assert list(row)[:3] == ["kind", "seed", "workload"]
+        assert row["kind"] == "cache"
+        assert row["workload"] == "stationary"
+
+    def test_to_dict_is_json_serializable(self, config):
+        import json
+
+        result = simulate(config, ("mdp", "lyapunov"))
+        text = json.dumps(result.to_dict())
+        data = json.loads(text)
+        assert data["kind"] == "joint"
+        assert data["workload"]["name"] == "stationary"
+        assert data["summary"]["caching_policy"] == "mdp"
+
+    def test_results_share_the_base_class(self, config):
+        for policies in ("mdp", "lyapunov", ("mdp", "lyapunov")):
+            assert isinstance(simulate(config, policies), SimulationResult)
+
+    def test_spec_built_policies_with_params(self, config):
+        result = simulate(config, PolicySpec.parse("threshold:threshold=0.5"))
+        assert result.summary()["policy"] == "threshold"

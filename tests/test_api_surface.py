@@ -1,0 +1,145 @@
+"""API-surface snapshot: accidental public-surface breaks fail fast.
+
+Pins the exact contents of ``repro.__all__`` and both registry catalogs
+(workloads and policies).  Intentional surface changes must update these
+snapshots — that is the point: removing or renaming a public name is a
+reviewed decision, never a side effect.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.policies import list_policies
+from repro.workloads import workload_names
+
+# The public import surface, grouped as in repro/__init__.py.
+EXPECTED_ALL = {
+    # baselines
+    "AlwaysServePolicy",
+    "AlwaysUpdatePolicy",
+    "BacklogThresholdPolicy",
+    "CostGreedyPolicy",
+    "FixedProbabilityPolicy",
+    "MyopicUpdatePolicy",
+    "NeverServePolicy",
+    "NeverUpdatePolicy",
+    "PeriodicUpdatePolicy",
+    "RandomUpdatePolicy",
+    "ThresholdUpdatePolicy",
+    "standard_caching_baselines",
+    "standard_service_baselines",
+    # core
+    "AoICounter",
+    "AoIProcess",
+    "AoIVector",
+    "CacheObservation",
+    "CachingMDPConfig",
+    "CachingPolicy",
+    "ContentUpdateMDP",
+    "LyapunovServiceController",
+    "MDPCachingPolicy",
+    "QLearningSolver",
+    "RSUCachingMDP",
+    "ServiceObservation",
+    "ServicePolicy",
+    "TabularMDP",
+    "UtilityFunction",
+    "policy_iteration",
+    "run_backlog_simulation",
+    "value_iteration",
+    # exceptions
+    "CacheError",
+    "ConfigurationError",
+    "ModelError",
+    "QueueError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "ValidationError",
+    # net
+    "ContentCatalog",
+    "RequestGenerator",
+    "RoadTopology",
+    "RSUCache",
+    "VehicleFleet",
+    # policies
+    "PolicySpec",
+    "available_policies",
+    "create_policy",
+    "list_policies",
+    "register_policy",
+    # runtime
+    "BatchResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "RunRecord",
+    "RunSpec",
+    "expand_seeds",
+    "expand_workloads",
+    "load_specs",
+    "save_specs",
+    # sim
+    "CacheSimulationResult",
+    "CacheSimulator",
+    "JointSimulationResult",
+    "JointSimulator",
+    "ScenarioConfig",
+    "ServiceSimulationResult",
+    "ServiceSimulator",
+    "SimulationResult",
+    "simulate",
+    # workloads
+    "WorkloadModel",
+    "WorkloadSpec",
+    "available_workloads",
+    "create_workload",
+    "export_trace",
+    "workload_names",
+    # meta
+    "__version__",
+}
+
+EXPECTED_WORKLOADS = ["drift", "flash-crowd", "shot-noise", "stationary", "trace"]
+
+EXPECTED_CACHING_POLICIES = [
+    "always", "mdp", "myopic", "never", "periodic", "random", "threshold",
+]
+
+EXPECTED_SERVICE_POLICIES = [
+    "always-serve", "backlog-threshold", "cost-greedy", "fixed-probability",
+    "lyapunov", "never-serve",
+]
+
+
+class TestApiSurface:
+    def test_all_snapshot(self):
+        actual = set(repro.__all__)
+        missing = EXPECTED_ALL - actual
+        extra = actual - EXPECTED_ALL
+        assert not missing, f"public names removed from repro.__all__: {sorted(missing)}"
+        assert not extra, (
+            f"new public names in repro.__all__ (update the snapshot): "
+            f"{sorted(extra)}"
+        )
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_workload_catalog_snapshot(self):
+        assert workload_names() == EXPECTED_WORKLOADS
+
+    def test_policy_catalog_snapshot(self):
+        assert list_policies("caching") == EXPECTED_CACHING_POLICIES
+        assert list_policies("service") == EXPECTED_SERVICE_POLICIES
+
+    def test_simulation_modes_snapshot(self):
+        from repro.runtime.spec import EXPERIMENT_MODES
+        from repro.sim import SIMULATION_KINDS, SIMULATION_MODES
+
+        assert SIMULATION_KINDS == ("cache", "service", "joint")
+        assert SIMULATION_MODES == ("auto", "reference", "vectorized", "batch")
+        assert EXPERIMENT_MODES == SIMULATION_MODES

@@ -17,8 +17,11 @@ class TestParser:
     def test_run_command_defaults(self):
         arguments = build_parser().parse_args(["run", "E1"])
         assert arguments.experiments == ["E1"]
-        assert arguments.slots == 300
-        assert arguments.seed == 0
+        # None at parse time so --spec runs can reject the inapplicable
+        # flags; the experiment path applies the 300/0/1 defaults itself.
+        assert arguments.slots is None
+        assert arguments.seed is None
+        assert arguments.seeds is None
 
     def test_run_command_overrides(self):
         arguments = build_parser().parse_args(
@@ -199,3 +202,143 @@ class TestWorkloadsCommand:
             assert name in text
         assert "burst_prob" in text
         assert "period" in text
+
+
+class TestPoliciesCommand:
+    def test_lists_both_roles_and_parameters(self):
+        out = io.StringIO()
+        exit_code = main(["policies"], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        assert "Caching (stage 1):" in text
+        assert "Service (stage 2):" in text
+        for name in ("mdp", "lyapunov", "threshold", "cost-greedy"):
+            assert name in text
+        assert "tradeoff_v" in text
+        assert "exact_state_limit" in text
+
+
+class TestSpecRuns:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        from repro.runtime import ExperimentSpec, save_specs
+        from repro.sim.scenario import ScenarioConfig
+
+        path = str(tmp_path / "experiments.json")
+        save_specs(
+            [
+                ExperimentSpec(
+                    kind="cache",
+                    scenario=ScenarioConfig.small(seed=1, num_slots=30),
+                    policy="mdp",
+                    num_seeds=2,
+                    label="tiny",
+                )
+            ],
+            path,
+        )
+        return path
+
+    def test_spec_flag_parses(self, spec_path):
+        arguments = build_parser().parse_args(["run", "--spec", spec_path])
+        assert arguments.spec == spec_path
+        assert arguments.experiments == []
+
+    def test_run_spec_file_end_to_end(self, spec_path):
+        out = io.StringIO()
+        exit_code = main(["run", "--spec", spec_path], out=out)
+        assert exit_code == 0
+        text = out.getvalue()
+        assert "Ran 2 run(s)" in text
+        assert "tiny" in text
+
+    def test_run_spec_writes_out_json(self, spec_path, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "results.json")
+        out = io.StringIO()
+        exit_code = main(
+            ["run", "--spec", spec_path, "--out", out_path], out=out
+        )
+        assert exit_code == 0
+        document = json.load(open(out_path))
+        assert len(document["rows"]) == 2
+        assert document["aggregate"][0]["label"] == "tiny"
+
+    def test_policy_override_changes_the_policy(self, spec_path):
+        out = io.StringIO()
+        exit_code = main(
+            ["run", "--spec", spec_path, "--policy", "threshold:threshold=0.6"],
+            out=out,
+        )
+        assert exit_code == 0
+        assert "threshold" in out.getvalue()
+
+    def test_workload_override_applies_to_spec_scenarios(self, spec_path):
+        out = io.StringIO()
+        exit_code = main(
+            ["run", "--spec", spec_path, "--workload", "drift:period=10"],
+            out=out,
+        )
+        assert exit_code == 0
+
+    def test_wrong_role_policy_override_fails(self, spec_path):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="service policy"):
+            main(["run", "--spec", spec_path, "--policy", "lyapunov"],
+                 out=io.StringIO())
+
+    def test_explicit_seeds_one_overrides_spec_counts(self, spec_path):
+        out = io.StringIO()
+        exit_code = main(["run", "--spec", spec_path, "--seeds", "1"], out=out)
+        assert exit_code == 0
+        assert "Ran 1 run(s)" in out.getvalue()
+
+    def test_slots_rejected_with_spec(self, spec_path):
+        out = io.StringIO()
+        assert main(["run", "--spec", spec_path, "--slots", "50"], out=out) == 2
+        assert "--slots" in out.getvalue()
+
+    def test_mixed_kind_specs_render_one_table_per_kind(self):
+        import os
+
+        example = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "examples",
+            "spec.json",
+        )
+        out = io.StringIO()
+        assert main(["run", "--spec", example], out=out) == 0
+        text = out.getvalue()
+        assert "[cache]" in text and "[joint]" in text
+        # The joint row renders its own columns instead of blank cells.
+        assert "service_time_average_cost" in text
+
+    def test_run_without_ids_or_spec_errors(self):
+        out = io.StringIO()
+        assert main(["run"], out=out) == 2
+        assert "error" in out.getvalue()
+
+    def test_ids_and_spec_together_error(self, spec_path):
+        out = io.StringIO()
+        assert main(["run", "E1", "--spec", spec_path], out=out) == 2
+        assert "error" in out.getvalue()
+
+    def test_policy_without_spec_errors(self):
+        out = io.StringIO()
+        assert main(["run", "E1", "--policy", "mdp"], out=out) == 2
+        assert "--spec" in out.getvalue()
+
+    def test_example_spec_file_runs(self):
+        import os
+
+        example = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "examples",
+            "spec.json",
+        )
+        out = io.StringIO()
+        exit_code = main(["run", "--spec", example], out=out)
+        assert exit_code == 0
+        assert "tiny-joint" in out.getvalue()
