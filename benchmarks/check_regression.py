@@ -1,15 +1,15 @@
 #!/usr/bin/env python
 """Compare a BENCH_*.json results file against the committed baseline.
 
-CI runs the benchmark smoke, which emits ``BENCH_PR3.json`` (see
+CI runs the benchmark smoke, which emits ``BENCH_PR5.json`` (see
 ``benchmarks/conftest.py``), then calls this script to fail the job when a
-headline metric at the largest grid point regressed by more than the
+headline metric at its gated grid point regressed by more than the
 tolerance (25% by default).  Only *ratio* metrics (speedups) are compared —
 absolute wall-clock times vary too much across runner hardware to gate on.
 
 Usage::
 
-    python benchmarks/check_regression.py BENCH_PR3.json \
+    python benchmarks/check_regression.py BENCH_PR5.json \
         benchmarks/baseline_bench.json --tolerance 0.25
 """
 
@@ -30,11 +30,16 @@ def _find(results, suite: str, grid: str) -> Optional[Dict]:
 
 def check(measured: Dict, baseline: Dict, tolerance: float, out=sys.stdout) -> int:
     """Return 0 when every baselined metric is within tolerance, 1 otherwise."""
-    grid = baseline["grid"]
     quick = bool(measured.get("quick"))
     failures = 0
     for check_spec in baseline["checks"]:
         suite, metric = check_spec["suite"], check_spec["metric"]
+        # Checks default to the baseline's top-level grid point; a check may
+        # pin its own (e.g. the large_grid suite runs at 128x50, and its
+        # quick smoke shrinks to a CI-sized grid via quick_grid).
+        grid = check_spec.get("grid", baseline["grid"])
+        if quick:
+            grid = check_spec.get("quick_grid", grid)
         # Quick-mode (CI smoke) ratios run short horizons on loaded shared
         # runners, so the baseline carries a separate, looser quick_value;
         # the full-precision value gates only full-horizon runs.
@@ -67,7 +72,7 @@ def check(measured: Dict, baseline: Dict, tolerance: float, out=sys.stdout) -> i
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("measured", help="benchmark results JSON (BENCH_PR3.json)")
+    parser.add_argument("measured", help="benchmark results JSON (BENCH_PR5.json)")
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument(
         "--tolerance",

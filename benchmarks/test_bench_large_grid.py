@@ -1,0 +1,371 @@
+"""Benchmark — production-size grids: throughput, memory, and dispatch.
+
+The PR-5 gate for memory-bounded streaming metrics, slot-blocked hot
+loops, and zero-copy worker dispatch, measured at a grid point far beyond
+the paper's (128 RSUs x 50 contents, 2000 slots, 8 seeds):
+
+* ``large_grid`` — an 8-seed seed-batched cache run with
+  ``metrics="summary"`` and blocked emission must beat the faithfully
+  replayed pre-PR loop (per-slot validated ``record_slot`` calls with
+  boxed reward breakdowns and full metric histories) by >= 2x, with both
+  paths asserted summary-identical first and each arm timed in a cold
+  subprocess.
+* ``large_grid_memory`` — the tracemalloc peak of a ``metrics="summary"``
+  run must stay flat (+-10%) when the horizon grows 10x; the full-mode
+  peak is recorded alongside for contrast.
+* ``large_grid_dispatch`` — shared-memory horizon shipment produces
+  bit-identical records and its setup cost is reported.
+
+``REPRO_BENCH_QUICK=1`` shrinks the grid to a CI-sized smoke
+(32x20, short horizons) that checks execution, not ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.baselines.caching import PeriodicUpdatePolicy
+from repro.core.reward import RewardBreakdown
+from repro.policies import PolicySpec
+from repro.runtime.runner import ExperimentRunner, RunSpec
+from repro.runtime.shm import shared_memory_available
+from repro.sim.cache_sim import _BatchedCacheStage
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import CacheSimulator
+from repro.sim.system import SystemState
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+if QUICK:
+    NUM_RSUS, CONTENTS = 32, 20
+    SLOTS, SEEDS = 150, 4
+    MEM_SLOTS = (100, 1000)
+else:
+    NUM_RSUS, CONTENTS = 128, 50
+    SLOTS, SEEDS = 2000, 8
+    MEM_SLOTS = (2000, 20000)
+
+GRID = f"{NUM_RSUS}x{CONTENTS}"
+
+
+def _scenario(num_slots: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        num_rsus=NUM_RSUS,
+        contents_per_rsu=CONTENTS,
+        num_slots=num_slots,
+        seed=0,
+    )
+
+
+def periodic_policy_factory(scenario):
+    """Cheap deterministic caching policy, picklable for pool dispatch."""
+    return PeriodicUpdatePolicy(period=5)
+
+
+def _run_batch(metrics: str, block_size):
+    scenario = _scenario(SLOTS)
+    simulator = CacheSimulator(
+        scenario,
+        PeriodicUpdatePolicy(period=5),
+        metrics=metrics,
+        block_size=block_size,
+    )
+    return simulator.run_batch(list(range(SEEDS)))
+
+
+class _LegacyCacheMetrics:
+    """The pre-PR-5 list-backed cache collector, kept verbatim for the gate.
+
+    Replicates the original ``CacheMetrics``: per-slot Python-list appends
+    of copied matrices and boxed reward floats, and ``summary()``
+    re-stacking the full history for every property (``total_updates``,
+    ``mean_age``, and ``violation_fraction`` each re-materialised the
+    O(slots x grid) tensor on access).
+    """
+
+    def __init__(self, num_rsus, contents_per_rsu, max_ages):
+        self._num_rsus = int(num_rsus)
+        self._contents_per_rsu = int(contents_per_rsu)
+        self._max_ages = np.asarray(max_ages, dtype=float).copy()
+        self._age_history = []
+        self._action_history = []
+        self._slot_times = []
+        self._aoi = []
+        self._costs = []
+        self._totals = []
+
+    def record_slot(self, time_slot, ages, actions, breakdown):
+        ages = np.asarray(ages, dtype=float)
+        actions = np.asarray(actions, dtype=int)
+        expected = (self._num_rsus, self._contents_per_rsu)
+        if ages.shape != expected or actions.shape != expected:
+            raise ValueError(f"bad shape {ages.shape}/{actions.shape}")
+        self._age_history.append(ages.copy())
+        self._action_history.append(actions.copy())
+        self._slot_times.append(int(time_slot))
+        self._aoi.append(float(breakdown.aoi_utility))
+        self._costs.append(float(breakdown.cost))
+        self._totals.append(float(breakdown.total))
+
+    def summary(self):
+        ages = np.stack(self._age_history)
+        return {
+            "num_slots": float(len(self._age_history)),
+            "total_reward": float(np.sum(self._totals)),
+            "mean_reward": float(np.mean(self._totals)),
+            "total_cost": float(np.sum(self._costs)),
+            "total_aoi_utility": float(np.sum(self._aoi)),
+            "total_updates": float(int(np.stack(self._action_history).sum())),
+            "mean_age": float(np.stack(self._age_history).mean()),
+            "violation_fraction": float(
+                np.mean(ages > self._max_ages[np.newaxis, :, :])
+            ),
+        }
+
+
+def _run_pre_pr_batch():
+    """Faithful replay of the pre-PR-5 seed-batched loop.
+
+    Reconstructs what ``run_batch`` executed before this PR: the same
+    decide, fresh ``np.where``/temporary tensors every slot (the ages
+    tensor was rebuilt twice per slot), one validated per-seed
+    ``record_slot`` call per slot with a boxed :class:`RewardBreakdown`,
+    and the original list-backed collector whose summary re-stacks the full
+    history (:class:`_LegacyCacheMetrics`).  Kept in the benchmark so the
+    gated speedup always measures against the real pre-PR per-slot
+    bookkeeping, and asserted summary-equal to the current path before
+    timings are trusted.
+    """
+    scenario = _scenario(SLOTS)
+    configs = [scenario.with_overrides(seed=seed) for seed in range(SEEDS)]
+    states = [SystemState(config) for config in configs]
+    metrics = [
+        _LegacyCacheMetrics(NUM_RSUS, CONTENTS, state.max_ages)
+        for state in states
+    ]
+    policies = [PeriodicUpdatePolicy(period=5) for _ in configs]
+    for policy in policies:
+        policy.reset()
+    stage = _BatchedCacheStage(states, policies)
+    for t in range(SLOTS):
+        costs = stage.slot_costs(t)
+        actions = stage.decide(t, costs)
+        post_ages = np.where(actions > 0, 1.0, stage.ages)
+        utilities = (stage.max_ages / np.maximum(post_ages, 1.0)) * stage.popularity
+        aoi_totals = utilities.reshape(SEEDS, -1).sum(axis=1)
+        cost_totals = (
+            (actions.astype(float) * costs).reshape(SEEDS, -1).sum(axis=1)
+        )
+        stage.ages = np.where(actions > 0, 1.0, stage.ages)
+        for s in range(SEEDS):
+            metrics[s].record_slot(
+                t,
+                stage.ages[s],
+                actions[s],
+                RewardBreakdown(
+                    aoi_utility=float(aoi_totals[s]),
+                    cost=float(cost_totals[s]),
+                    weight=stage.weight,
+                ),
+            )
+        stage.ages = np.minimum(stage.ages + 1.0, stage.ceilings)
+        for state in states:
+            state.mbs_store.tick(t + 1)
+    # The pre-PR runner summarised every result, which is where the
+    # list-backed collector paid its history re-stacking.
+    return [metric.summary() for metric in metrics]
+
+
+def _cold_run_seconds(arm: str) -> float:
+    """Time one arm in a fresh interpreter; returns its reported seconds."""
+    env = dict(os.environ)
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), arm],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return float(json.loads(process.stdout.strip().splitlines()[-1])["seconds"])
+
+
+def test_summary_blocked_throughput_vs_pre_pr_path(capsys, bench_record):
+    """summary+blocked metrics must beat the pre-PR full+per-slot path >= 2x.
+
+    The pre-PR arm replays the old loop faithfully (see
+    :func:`_run_pre_pr_batch`): per-slot per-seed validated ``record_slot``
+    calls, boxed reward breakdowns, fresh O(grid) temporaries every slot,
+    and the O(horizon x grid) metric histories.  Summaries are asserted
+    identical before the timings are trusted.
+    """
+    old_summaries = _run_pre_pr_batch()
+    new_results = _run_batch("summary", None)
+    for old, new in zip(old_summaries, new_results):
+        news = new.metrics.summary()
+        assert old.keys() == news.keys()
+        for key in old:
+            # The legacy collector reduced with flat pairwise sums; the
+            # canonical chunked fold agrees to the last few ulps.
+            assert old[key] == pytest.approx(news[key], rel=1e-12, abs=1e-9), key
+    del old_summaries, new_results
+
+    # Each timing runs in a fresh subprocess: the pre-PR arm's O(horizon x
+    # grid) histories are sensitive to allocator warm-up (a long-lived
+    # pytest process recycles arenas and hides the page-fault cost a real
+    # experiment run pays), so cold processes measure what users see.
+    # Interleaving the arms keeps machine-load drift off a single arm.
+    old_seconds = new_seconds = float("inf")
+    for _ in range(2):
+        old_seconds = min(old_seconds, _cold_run_seconds("old"))
+        new_seconds = min(new_seconds, _cold_run_seconds("new"))
+    speedup = old_seconds / max(new_seconds, 1e-9)
+    slots_per_second = SEEDS * SLOTS / max(new_seconds, 1e-9)
+    bench_record(
+        "large_grid",
+        GRID,
+        num_slots=SLOTS,
+        num_seeds=SEEDS,
+        wall_seconds=new_seconds,
+        full_perslot_seconds=old_seconds,
+        speedup_vs_full_perslot=speedup,
+        run_slots_per_second=slots_per_second,
+    )
+    with capsys.disabled():
+        print(
+            f"\n[large-grid] {GRID} x {SLOTS} slots x {SEEDS} seeds: "
+            f"full+per-slot {old_seconds:.2f}s, summary+blocked "
+            f"{new_seconds:.2f}s -> {speedup:.1f}x "
+            f"({slots_per_second:,.0f} run-slots/s)"
+        )
+    # Quick mode smokes the paths on loaded CI runners; the >= 2x target is
+    # enforced by the full-size run.
+    if not QUICK:
+        assert speedup >= 2.0
+
+
+def test_summary_memory_flat_in_horizon(capsys, bench_record):
+    """Peak memory with metrics="summary" must be flat (+-10%) over 10x slots."""
+
+    def peak_bytes(num_slots: int, metrics: str) -> int:
+        tracemalloc.start()
+        try:
+            CacheSimulator(
+                _scenario(num_slots),
+                PeriodicUpdatePolicy(period=5),
+                metrics=metrics,
+            ).run()
+            return tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    small, large = MEM_SLOTS
+    peak_small = peak_bytes(small, "summary")
+    peak_large = peak_bytes(large, "summary")
+    peak_full_small = peak_bytes(small, "full")
+    flatness = peak_small / max(peak_large, 1)
+    bench_record(
+        "large_grid_memory",
+        GRID,
+        horizon_small=small,
+        horizon_large=large,
+        peak_summary_small_mb=peak_small / 1e6,
+        peak_summary_large_mb=peak_large / 1e6,
+        peak_full_small_mb=peak_full_small / 1e6,
+        memory_flatness=flatness,
+    )
+    with capsys.disabled():
+        print(
+            f"\n[large-grid memory] {GRID}: summary peak "
+            f"{peak_small / 1e6:.1f}MB @ {small} slots -> "
+            f"{peak_large / 1e6:.1f}MB @ {large} slots "
+            f"(flatness {flatness:.2f}); full mode {peak_full_small / 1e6:.1f}MB "
+            f"@ {small} slots"
+        )
+    # The summary collector keeps ~32 bytes/slot, so a 10x horizon must not
+    # move the peak by more than 10%; full mode at the small horizon already
+    # dwarfs both (it materialises the O(slots x grid) history).
+    if not QUICK:
+        assert flatness >= 0.9
+        assert peak_full_small > 2 * peak_large
+
+
+def test_zero_copy_dispatch_overhead(capsys, bench_record):
+    """Shared-memory dispatch is bit-identical and its setup cost visible."""
+    if not shared_memory_available():  # pragma: no cover - exotic platforms
+        return
+    scenario = ScenarioConfig.fig1b(seed=0).with_overrides(
+        num_rsus=NUM_RSUS // 4, num_slots=min(SLOTS, 400)
+    )
+    specs = [
+        RunSpec(
+            kind="service",
+            scenario=scenario,
+            policy=PolicySpec.coerce("lyapunov"),
+            label="lyapunov",
+        ),
+        RunSpec(
+            kind="service",
+            scenario=scenario,
+            policy=PolicySpec.coerce("always-serve"),
+            label="always-serve",
+        ),
+    ]
+    runner = ExperimentRunner(workers=2, shared_memory=True)
+    start = time.perf_counter()
+    shipped = runner.run_grid(specs, num_seeds=4)
+    shm_wall = time.perf_counter() - start
+    stats = runner.last_dispatch_stats
+    start = time.perf_counter()
+    plain = ExperimentRunner(workers=2, shared_memory=False).run_grid(
+        specs, num_seeds=4
+    )
+    plain_wall = time.perf_counter() - start
+    assert shipped.matches(plain)
+    assert stats["shared_memory"]
+    bench_record(
+        "large_grid_dispatch",
+        GRID,
+        wall_seconds_shm=shm_wall,
+        wall_seconds_plain=plain_wall,
+        shm_blocks=stats["shm_blocks"],
+        shm_bytes=stats["shm_bytes"],
+        shm_setup_seconds=stats["shm_setup_seconds"],
+        horizon_precompute_seconds=stats["horizon_precompute_seconds"],
+        horizons_computed=stats["horizons_computed"],
+        horizons_reused=stats["horizons_reused"],
+    )
+    with capsys.disabled():
+        print(
+            f"\n[large-grid dispatch] {stats['shm_blocks']} blocks, "
+            f"{stats['shm_bytes'] / 1e6:.2f}MB shared, setup "
+            f"{stats['shm_setup_seconds'] * 1e3:.1f}ms, precompute "
+            f"{stats['horizon_precompute_seconds'] * 1e3:.1f}ms "
+            f"(computed {stats['horizons_computed']}, reused "
+            f"{stats['horizons_reused']}); wall shm {shm_wall:.2f}s vs "
+            f"plain {plain_wall:.2f}s"
+        )
+    # The whole point of the memo: the second policy reuses every horizon.
+    assert stats["horizons_reused"] >= stats["horizons_computed"]
+
+
+if __name__ == "__main__":  # subprocess timing entry for _cold_run_seconds
+    _arm = sys.argv[1]
+    _start = time.perf_counter()
+    if _arm == "old":
+        _run_pre_pr_batch()
+    else:
+        for _result in _run_batch("summary", None):
+            _result.summary()
+    print(json.dumps({"arm": _arm, "seconds": time.perf_counter() - _start}))

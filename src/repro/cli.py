@@ -19,6 +19,7 @@ Examples::
     python -m repro.cli run E1 --profile                # cProfile hotspots
     python -m repro.cli run --spec experiments.json --out results.json
     python -m repro.cli run --spec experiments.json --policy mdp:mode=factored
+    python -m repro.cli run --spec experiments.json --metrics summary
     python -m repro.cli figures --slots 500 --workload flash-crowd
     python -m repro.cli workloads
     python -m repro.cli policies
@@ -162,11 +163,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run_parser.add_argument(
+        "--metrics",
+        choices=["full", "summary"],
+        default=None,
+        help=(
+            "with --spec: metric collection mode applied to every "
+            "experiment in the file; 'summary' keeps only the per-slot "
+            "aggregates (byte-identical summary/rows output, memory flat "
+            "in the grid size on long horizons)"
+        ),
+    )
+
+    run_parser.add_argument(
         "--profile",
         action="store_true",
         help=(
             "wrap the run in cProfile and print the top-20 cumulative-time "
-            "hotspots after the reports"
+            "hotspots after the reports; with --spec, also report per-worker "
+            "time and shared-memory dispatch overhead"
         ),
     )
 
@@ -222,6 +236,12 @@ def _command_run(arguments, out) -> int:
         out.write(
             "error: --policy applies to --spec runs (registered experiments "
             "define their own policies)\n"
+        )
+        return 2
+    if arguments.metrics is not None:
+        out.write(
+            "error: --metrics applies to --spec runs (registered experiments "
+            "read their full metric histories)\n"
         )
         return 2
     if arguments.out is not None:
@@ -319,6 +339,8 @@ def _run_spec_file(arguments, out) -> int:
         _override_spec(spec, workload, policy)
         for spec in load_specs(arguments.spec)
     ]
+    if arguments.metrics is not None:
+        specs = [spec.with_overrides(metrics=arguments.metrics) for spec in specs]
     runner = ExperimentRunner(arguments.workers)
     batch = runner.run_grid(specs, num_seeds=arguments.seeds)
     out.write(f"Ran {len(batch)} run(s) across {len(specs)} experiment(s)\n")
@@ -336,7 +358,33 @@ def _run_spec_file(arguments, out) -> int:
     if arguments.out is not None:
         batch.to_json(arguments.out)
         out.write(f"\nWrote per-seed rows and aggregate to {arguments.out}\n")
+    if arguments.profile and runner.last_dispatch_stats is not None:
+        _write_dispatch_report(runner.last_dispatch_stats, out)
     return 0
+
+
+def _write_dispatch_report(stats, out) -> None:
+    """Render the runner's dispatch statistics (``run --spec --profile``)."""
+    out.write("\nDispatch report\n")
+    out.write("---------------\n")
+    out.write(
+        f"tasks: {stats['tasks']}  workers: {stats['workers']}  "
+        f"wall: {stats['wall_seconds']:.3f}s  "
+        f"task time total: {stats['task_seconds_total']:.3f}s\n"
+    )
+    out.write(
+        f"shared memory: {'on' if stats['shared_memory'] else 'off'}  "
+        f"blocks: {stats['shm_blocks']}  bytes: {stats['shm_bytes']}  "
+        f"setup: {stats['shm_setup_seconds']:.3f}s  "
+        f"horizon precompute: {stats['horizon_precompute_seconds']:.3f}s "
+        f"(computed {stats['horizons_computed']}, "
+        f"reused {stats['horizons_reused']})\n"
+    )
+    for pid, entry in sorted(stats["per_worker"].items()):
+        out.write(
+            f"  worker pid {pid}: {entry['tasks']} task(s), "
+            f"{entry['seconds']:.3f}s\n"
+        )
 
 
 def _command_figures(arguments, out) -> int:

@@ -119,7 +119,10 @@ class CachingPolicy(abc.ABC):
                 f"actions shape {actions.shape} does not match observation shape "
                 f"{expected_shape}"
             )
-        if not np.all((actions == 0) | (actions == 1)):
+        # Integer actions are binary iff min >= 0 and max <= 1; the range
+        # reductions allocate no boolean temporaries, which matters in the
+        # per-slot hot loops at production grid sizes.
+        if actions.size and (actions.min() < 0 or actions.max() > 1):
             raise ValidationError("actions must be binary (0 or 1)")
         per_rsu = actions.sum(axis=1)
         if np.any(per_rsu > 1):

@@ -49,12 +49,17 @@ class ContentDescriptor:
     label: str = ""
 
     def __post_init__(self) -> None:
+        # Inline checks: catalogs build one descriptor per content, so at
+        # production grid sizes (thousands of contents per scenario seed)
+        # the generic checker call chain is measurable scenario-setup cost.
         if self.content_id < 0:
             raise ValidationError(f"content_id must be >= 0, got {self.content_id}")
         if self.region < 0:
             raise ValidationError(f"region must be >= 0, got {self.region}")
-        check_positive(self.max_age, "max_age")
-        check_positive(self.size, "size")
+        if type(self.max_age) is not float or not 0 < self.max_age < float("inf"):
+            check_positive(self.max_age, "max_age")
+        if type(self.size) is not float or not 0 < self.size < float("inf"):
+            check_positive(self.size, "size")
 
 
 class ContentCatalog:

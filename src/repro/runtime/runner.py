@@ -23,6 +23,8 @@ from __future__ import annotations
 import copy
 import json
 import os
+import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
@@ -30,6 +32,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.runtime.shm import HorizonShipment, attach_horizons, shared_memory_available
+from repro.sim.metrics import METRICS_MODES
 from repro.sim.scenario import ScenarioConfig
 from repro.utils.rng import spawn_run_seeds
 from repro.utils.validation import check_positive_int
@@ -71,6 +75,11 @@ class RunSpec:
         Optional per-slot service batch limit of the service simulators.
     reference:
         Run the scalar reference loop instead of the vectorised one.
+    metrics:
+        Metric collection mode, ``"full"`` (default) or ``"summary"`` —
+        ``summary()`` / ``rows()`` output is byte-identical, ``"summary"``
+        keeps run memory flat in the grid size (see
+        :mod:`repro.sim.metrics`).
     """
 
     kind: str
@@ -82,6 +91,7 @@ class RunSpec:
     service_policy: Any = None
     service_batch: Optional[int] = None
     reference: bool = False
+    metrics: str = "full"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -92,6 +102,10 @@ class RunSpec:
             raise ValidationError(f"seed must be >= 0, got {self.seed}")
         if self.kind == "joint" and self.service_policy is None:
             raise ValidationError("joint runs need a service_policy")
+        if self.metrics not in METRICS_MODES:
+            raise ValidationError(
+                f"metrics must be one of {METRICS_MODES}, got {self.metrics!r}"
+            )
 
 
 @dataclass
@@ -307,6 +321,42 @@ def _materialize(policy: Any, scenario: ScenarioConfig) -> Any:
     return copy.deepcopy(policy)
 
 
+#: Per-process memo of registry-built policy prototypes, keyed by
+#: (policy spec, seeded scenario).  Pool workers live across tasks, so
+#: repeated specs (benchmark repeats, regression re-runs, chunked seed
+#: groups) skip the registry build — and because a prototype is built once
+#: per distinct (policy, scenario), MDP solves keep hitting the in-process
+#: layer of :mod:`repro.core.solve_cache`.
+_POLICY_PROTO_MEMO: "OrderedDict[tuple, Any]" = OrderedDict()
+_POLICY_PROTO_MEMO_LIMIT = 32
+
+
+def _materialize_memoized(policy: Any, scenario: ScenarioConfig) -> Any:
+    """Like :func:`_materialize`, memoising registry-spec builds per worker.
+
+    Only :class:`~repro.policies.PolicySpec` references on seeded scenarios
+    are memoised — their builds are pure functions of ``(spec, scenario)``
+    (stochastic builders derive their RNG from the scenario seed), so a
+    deep copy of the pristine prototype is indistinguishable from a fresh
+    build.  Everything else falls through to :func:`_materialize`.
+    """
+    from repro.policies.registry import PolicySpec
+
+    if not isinstance(policy, PolicySpec) or scenario.seed is None:
+        return _materialize(policy, scenario)
+    key = (
+        json.dumps(policy.to_dict(), sort_keys=True),
+        json.dumps(scenario.to_dict(), sort_keys=True),
+    )
+    if key not in _POLICY_PROTO_MEMO:
+        _POLICY_PROTO_MEMO[key] = policy.build(scenario)
+        while len(_POLICY_PROTO_MEMO) > _POLICY_PROTO_MEMO_LIMIT:
+            _POLICY_PROTO_MEMO.popitem(last=False)
+    else:
+        _POLICY_PROTO_MEMO.move_to_end(key)
+    return copy.deepcopy(_POLICY_PROTO_MEMO[key])
+
+
 def execute_spec(spec: RunSpec) -> RunRecord:
     """Execute one :class:`RunSpec` and record its outcome.
 
@@ -324,7 +374,10 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     scenario = spec.scenario.with_overrides(seed=spec.seed)
     if spec.kind == "cache":
         result = CacheSimulator(
-            scenario, _materialize(spec.policy, scenario), reference=spec.reference
+            scenario,
+            _materialize(spec.policy, scenario),
+            reference=spec.reference,
+            metrics=spec.metrics,
         ).run(num_slots=spec.num_slots)
         trace = result.cumulative_reward
     elif spec.kind == "service":
@@ -333,6 +386,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
             _materialize(spec.policy, scenario),
             service_batch=spec.service_batch,
             reference=spec.reference,
+            metrics=spec.metrics,
         ).run(num_slots=spec.num_slots)
         trace = result.latency_history
     else:
@@ -342,6 +396,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
             _materialize(spec.service_policy, scenario),
             service_batch=spec.service_batch,
             reference=spec.reference,
+            metrics=spec.metrics,
         ).run(num_slots=spec.num_slots)
         trace = None
     return RunRecord(
@@ -354,52 +409,79 @@ def execute_spec(spec: RunSpec) -> RunRecord:
 
 
 def execute_batch(task: "tuple") -> List[RunRecord]:
-    """Execute one ``(RunSpec, seeds)`` group through the seed-batched path.
+    """Execute one seed-batched task group and record its outcomes.
+
+    A task is ``(RunSpec, seeds)`` or ``(RunSpec, seeds, shm_handle)``; the
+    optional third element is a shared-memory handle produced by
+    :class:`~repro.runtime.shm.HorizonShipment`, holding the group's
+    precomputed arrival tensors — attached here as zero-copy views instead
+    of regenerating (or pickling) them per task.
 
     The simulators' ``run_batch`` carries every seed of the group through one
     tensorised hot loop (see :meth:`repro.sim.simulator.CacheSimulator.run_batch`),
     producing records bit-identical to running :func:`execute_spec` once per
     seed.  Module-level and picklable so a process pool can run whole groups.
     """
-    spec, seeds = task
+    spec, seeds = task[0], task[1]
+    handle = task[2] if len(task) > 2 else None
     from repro.sim.simulator import (
         CacheSimulator,
         JointSimulator,
         ServiceSimulator,
     )
 
-    scenarios = [spec.scenario.with_overrides(seed=seed) for seed in seeds]
-    policies = [_materialize(spec.policy, scenario) for scenario in scenarios]
-    if spec.kind == "cache":
-        results = CacheSimulator(
-            spec.scenario, spec.policy, reference=spec.reference
-        ).run_batch(seeds, policies=policies, num_slots=spec.num_slots)
-        traces = [result.cumulative_reward for result in results]
-    elif spec.kind == "service":
-        results = ServiceSimulator(
-            spec.scenario,
-            spec.policy,
-            service_batch=spec.service_batch,
-            reference=spec.reference,
-        ).run_batch(seeds, policies=policies, num_slots=spec.num_slots)
-        traces = [result.latency_history for result in results]
-    else:
-        service_policies = [
-            _materialize(spec.service_policy, scenario) for scenario in scenarios
+    attached = attach_horizons(handle) if handle is not None else None
+    horizons = attached.horizons if attached is not None else None
+    try:
+        scenarios = [spec.scenario.with_overrides(seed=seed) for seed in seeds]
+        policies = [
+            _materialize_memoized(spec.policy, scenario) for scenario in scenarios
         ]
-        results = JointSimulator(
-            spec.scenario,
-            spec.policy,
-            spec.service_policy,
-            service_batch=spec.service_batch,
-            reference=spec.reference,
-        ).run_batch(
-            seeds,
-            caching_policies=policies,
-            service_policies=service_policies,
-            num_slots=spec.num_slots,
-        )
-        traces = [None] * len(results)
+        if spec.kind == "cache":
+            results = CacheSimulator(
+                spec.scenario,
+                spec.policy,
+                reference=spec.reference,
+                metrics=spec.metrics,
+            ).run_batch(seeds, policies=policies, num_slots=spec.num_slots)
+            traces = [result.cumulative_reward for result in results]
+        elif spec.kind == "service":
+            results = ServiceSimulator(
+                spec.scenario,
+                spec.policy,
+                service_batch=spec.service_batch,
+                reference=spec.reference,
+                metrics=spec.metrics,
+            ).run_batch(
+                seeds,
+                policies=policies,
+                num_slots=spec.num_slots,
+                horizons=horizons,
+            )
+            traces = [result.latency_history for result in results]
+        else:
+            service_policies = [
+                _materialize_memoized(spec.service_policy, scenario)
+                for scenario in scenarios
+            ]
+            results = JointSimulator(
+                spec.scenario,
+                spec.policy,
+                spec.service_policy,
+                service_batch=spec.service_batch,
+                reference=spec.reference,
+                metrics=spec.metrics,
+            ).run_batch(
+                seeds,
+                caching_policies=policies,
+                service_policies=service_policies,
+                num_slots=spec.num_slots,
+                horizons=horizons,
+            )
+            traces = [None] * len(results)
+    finally:
+        if attached is not None:
+            attached.close()
     return [
         RunRecord(
             label=spec.label,
@@ -410,6 +492,18 @@ def execute_batch(task: "tuple") -> List[RunRecord]:
         )
         for seed, result, trace in zip(seeds, results, traces)
     ]
+
+
+def _execute_batch_timed(task: "tuple") -> "tuple":
+    """Run :func:`execute_batch` and report ``(records, seconds, pid)``.
+
+    The wall time and worker pid feed the runner's dispatch report (shown
+    by ``repro.cli run --profile``), making per-worker load and dispatch
+    overhead visible.
+    """
+    start = time.perf_counter()
+    records = execute_batch(task)
+    return records, time.perf_counter() - start, os.getpid()
 
 
 def _mark_worker() -> None:
@@ -427,12 +521,35 @@ class ExperimentRunner:
         the runner always degrades to serial so nested parallel sweeps do
         not spawn pools of pools.  Any worker count yields the identical
         :class:`BatchResult` — the pool only changes wall-clock time.
+    shared_memory:
+        Ship precomputed arrival-horizon tensors to pool workers through
+        :mod:`multiprocessing.shared_memory` instead of letting every task
+        regenerate them (``None`` = auto: on whenever the platform supports
+        it and a pool is actually used).  Horizons are memoised per
+        ``(scenario, seed)`` in the parent, so grids that evaluate many
+        policies on the same workload generate it exactly once.  Results
+        are bit-identical either way.
+
+    Attributes
+    ----------
+    last_dispatch_stats:
+        Machine-readable report of the most recent :meth:`run_grid`
+        dispatch — task/worker counts, shared-memory setup cost, horizon
+        precompute time, and per-worker wall seconds.  ``repro.cli run
+        --profile`` prints it.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        shared_memory: Optional[bool] = None,
+    ) -> None:
         if workers is not None:
             check_positive_int(workers, "workers")
         self._workers = workers
+        self._shared_memory = shared_memory
+        self.last_dispatch_stats: Optional[Dict[str, Any]] = None
 
     @property
     def workers(self) -> Optional[int]:
@@ -538,6 +655,9 @@ class ExperimentRunner:
         """
         if not specs:
             raise ValidationError("specs must be non-empty")
+        # Reset up front so a reused runner never reports a previous grid's
+        # dispatch; the per-run fallback below fills in a minimal report.
+        self.last_dispatch_stats = None
         pairs = self._seed_pairs(specs, num_seeds)
         if not seed_batching or all(count == 1 for _, count in pairs):
             expanded = [
@@ -545,7 +665,23 @@ class ExperimentRunner:
                 for spec, count in pairs
                 for seed in spawn_run_seeds(spec.seed, count)
             ]
-            return BatchResult(records=self.map(execute_spec, expanded))
+            started = time.perf_counter()
+            records = self.map(execute_spec, expanded)
+            self.last_dispatch_stats = {
+                "tasks": len(expanded),
+                "workers": self.effective_workers(len(expanded)),
+                "shared_memory": False,
+                "wall_seconds": time.perf_counter() - started,
+                "task_seconds_total": 0.0,
+                "per_worker": {},
+                "shm_blocks": 0,
+                "shm_bytes": 0,
+                "shm_setup_seconds": 0.0,
+                "horizon_precompute_seconds": 0.0,
+                "horizons_computed": 0,
+                "horizons_reused": 0,
+            }
+            return BatchResult(records=records)
         # Fill the pool: one task per group would leave workers idle when
         # the grid has fewer groups than workers, so split each group's
         # seeds into ceil(workers / groups) chunks.  Records are ordered by
@@ -558,7 +694,54 @@ class ExperimentRunner:
             chunk = -(-count // splits)
             for start in range(0, count, chunk):
                 tasks.append((spec, tuple(seeds[start : start + chunk])))
-        groups = self.map(execute_batch, tasks)
+        shipment = None
+        use_shm = (
+            self._shared_memory
+            if self._shared_memory is not None
+            else shared_memory_available()
+        )
+        started = time.perf_counter()
+        try:
+            # Block creation sits inside the same try/finally as the map:
+            # a packing failure mid-grid (e.g. /dev/shm exhausted) must
+            # still release every segment already created.
+            if use_shm and workers > 1 and shared_memory_available():
+                shipment = HorizonShipment()
+                tasks = [
+                    (spec, seeds, shipment.handle_for(spec, seeds))
+                    for spec, seeds in tasks
+                ]
+            outcomes = self.map(_execute_batch_timed, tasks)
+        finally:
+            if shipment is not None:
+                shipment.close()
+        wall_seconds = time.perf_counter() - started
+        per_worker: Dict[int, Dict[str, float]] = {}
+        for _, seconds, pid in outcomes:
+            entry = per_worker.setdefault(pid, {"tasks": 0, "seconds": 0.0})
+            entry["tasks"] += 1
+            entry["seconds"] += seconds
+        stats: Dict[str, Any] = {
+            "tasks": len(tasks),
+            "workers": workers,
+            "shared_memory": shipment is not None,
+            "wall_seconds": wall_seconds,
+            "task_seconds_total": sum(seconds for _, seconds, _ in outcomes),
+            "per_worker": per_worker,
+        }
+        stats.update(
+            shipment.stats()
+            if shipment is not None
+            else {
+                "shm_blocks": 0,
+                "shm_bytes": 0,
+                "shm_setup_seconds": 0.0,
+                "horizon_precompute_seconds": 0.0,
+                "horizons_computed": 0,
+                "horizons_reused": 0,
+            }
+        )
+        self.last_dispatch_stats = stats
         return BatchResult(
-            records=[record for group in groups for record in group]
+            records=[record for group, _, _ in outcomes for record in group]
         )

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.exceptions import ConfigurationError, ValidationError
 from repro.policies.registry import PolicySpec
 from repro.runtime.runner import RunSpec
+from repro.sim.metrics import METRICS_MODES
 from repro.sim.scenario import ScenarioConfig
 from repro.utils.validation import check_positive_int
 
@@ -78,6 +79,10 @@ class ExperimentSpec:
         Optional horizon override.
     service_batch:
         Optional per-slot service batch limit.
+    metrics:
+        Metric collection mode, ``"full"`` (default) or ``"summary"`` —
+        ``summary()`` / ``rows()`` output is byte-identical, ``"summary"``
+        keeps run memory flat in the grid size on long horizons.
     """
 
     kind: str
@@ -90,6 +95,7 @@ class ExperimentSpec:
     label: str = ""
     num_slots: Optional[int] = None
     service_batch: Optional[int] = None
+    metrics: str = "full"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -127,6 +133,10 @@ class ExperimentSpec:
             check_positive_int(self.num_slots, "num_slots")
         if self.service_batch is not None:
             check_positive_int(self.service_batch, "service_batch")
+        if self.metrics not in METRICS_MODES:
+            raise ValidationError(
+                f"metrics must be one of {METRICS_MODES}, got {self.metrics!r}"
+            )
         if not self.label:
             object.__setattr__(self, "label", self.auto_label())
 
@@ -164,6 +174,7 @@ class ExperimentSpec:
             service_policy=self.service_policy,
             service_batch=self.service_batch,
             reference=self.mode == "reference",
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------
@@ -184,6 +195,7 @@ class ExperimentSpec:
             "label": self.label,
             "num_slots": self.num_slots,
             "service_batch": self.service_batch,
+            "metrics": self.metrics,
         }
 
     @classmethod

@@ -6,7 +6,12 @@ remain available for callers that want to hold a configured simulator.
 """
 
 from repro.sim.cache_sim import CacheSimulator
-from repro.sim.engine import SIMULATION_KINDS, SIMULATION_MODES, simulate
+from repro.sim.engine import (
+    METRICS_MODES,
+    SIMULATION_KINDS,
+    SIMULATION_MODES,
+    simulate,
+)
 from repro.sim.joint_sim import JointSimulator
 from repro.sim.metrics import CacheMetrics, RewardTrace, ServiceMetrics
 from repro.sim.results import (
@@ -24,6 +29,7 @@ __all__ = [
     "RewardTrace",
     "ServiceMetrics",
     "ScenarioConfig",
+    "METRICS_MODES",
     "SIMULATION_KINDS",
     "SIMULATION_MODES",
     "SimulationResult",

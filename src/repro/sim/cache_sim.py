@@ -4,6 +4,14 @@ Split out of the monolithic ``repro.sim.simulator`` behind the
 :func:`repro.sim.engine.simulate` façade; the class surface and every
 trajectory are unchanged (pinned by the golden-trajectory and
 batch-equivalence suites).
+
+The vectorised and seed-batched hot loops emit metrics in blocks of
+``block_size`` slots (slot-blocked recording): per-slot work is the policy
+decision plus the element-wise reward math, while the metric bookkeeping —
+history writes, reward-trace appends, aggregate reductions — lands in one
+``record_block`` call per block.  Blocked emission is byte-identical to
+per-slot recording; the scalar ``reference=True`` loop still records slot
+by slot.
 """
 
 from __future__ import annotations
@@ -16,11 +24,115 @@ from repro.core.caching_mdp import BatchedCacheDecider
 from repro.core.policies import CachingPolicy
 from repro.core.reward import RewardBreakdown, UtilityFunction
 from repro.net.channel import LinkBudget
-from repro.sim.metrics import CacheMetrics
+from repro.sim.metrics import (
+    DEFAULT_BLOCK_SLOTS,
+    CacheMetrics,
+    check_metrics_mode,
+)
 from repro.sim.results import CacheSimulationResult
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.system import SystemState, _expand_batch_policies
 from repro.utils.validation import check_positive_int
+
+class _CacheBlockRecorder:
+    """Stages per-slot cache metrics and flushes K-slot blocks.
+
+    Full-mode collectors receive the staged age/action matrices through
+    :meth:`CacheMetrics.record_block`; summary-mode collectors receive only
+    per-slot scalar aggregates (:meth:`CacheMetrics.record_block_aggregates`)
+    so no matrix ever needs staging.  Either way the recorded metrics are
+    byte-identical to per-slot :meth:`CacheMetrics.record_slot` calls.
+    """
+
+    def __init__(self, metrics: CacheMetrics, shape, block_size: int) -> None:
+        self._metrics = metrics
+        self._full = metrics.mode == "full"
+        block = max(1, int(block_size))
+        self._aoi = np.zeros(block)
+        self._costs = np.zeros(block)
+        self._totals = np.zeros(block)
+        self._fill = 0
+        self._start = 0
+        if self._full:
+            self._ages = np.zeros((block, *shape))
+            self._actions = np.zeros((block, *shape), dtype=int)
+            self._age_sums = None
+            self._updates = None
+            self._violations = None
+        else:
+            self._ages = self._actions = None
+            self._age_sums = np.zeros(block)
+            self._updates = np.zeros(block, dtype=np.int64)
+            self._violations = np.zeros(block, dtype=np.int64)
+            self._max_ages = metrics._max_ages
+
+    def add(self, time_slot, ages, actions, aoi, cost, total) -> None:
+        """Stage one slot (post-update ages, actions, reward components)."""
+        fill = self._fill
+        if fill == 0:
+            self._start = time_slot
+        self._aoi[fill] = aoi
+        self._costs[fill] = cost
+        self._totals[fill] = total
+        if self._full:
+            self._ages[fill] = ages
+            self._actions[fill] = actions
+        else:
+            # Identical reductions to what record_slot would compute.
+            self._age_sums[fill] = float(np.sum(ages))
+            self._updates[fill] = int(actions.sum())
+            self._violations[fill] = int(np.count_nonzero(ages > self._max_ages))
+        self._fill = fill + 1
+        if self._fill == self._aoi.shape[0]:
+            self.flush()
+
+    def add_aggregates(
+        self, time_slot, aoi, cost, total, age_sum, updates, violations
+    ) -> None:
+        """Stage one slot from pre-reduced aggregates (summary mode only)."""
+        fill = self._fill
+        if fill == 0:
+            self._start = time_slot
+        self._aoi[fill] = aoi
+        self._costs[fill] = cost
+        self._totals[fill] = total
+        self._age_sums[fill] = age_sum
+        self._updates[fill] = updates
+        self._violations[fill] = violations
+        self._fill = fill + 1
+        if self._fill == self._aoi.shape[0]:
+            self.flush()
+
+    @property
+    def wants_matrices(self) -> bool:
+        """Whether :meth:`add` (with matrices) must be used over aggregates."""
+        return self._full
+
+    def flush(self) -> None:
+        """Emit the staged slots to the collector."""
+        fill = self._fill
+        if not fill:
+            return
+        if self._full:
+            self._metrics.record_block(
+                self._start,
+                self._ages[:fill],
+                self._actions[:fill],
+                self._aoi[:fill],
+                self._costs[:fill],
+                self._totals[:fill],
+            )
+        else:
+            self._metrics.record_block_aggregates(
+                self._aoi[:fill],
+                self._costs[:fill],
+                self._totals[:fill],
+                self._age_sums[:fill],
+                int(self._updates[:fill].sum()),
+                int(self._violations[:fill].sum()),
+            )
+        self._fill = 0
+
 
 class _BatchedCacheStage:
     """Seed-axis tensor execution of the stage-1 (cache management) loop.
@@ -55,6 +167,11 @@ class _BatchedCacheStage:
         )
         self._batched = self._decider is not None
         self._costs: Optional[np.ndarray] = None
+        # Persistent element-wise scratch tensors: the per-slot math reuses
+        # them instead of allocating fresh (S, R, C) temporaries every slot.
+        self._post = np.empty_like(self.ages)
+        self._scratch = np.empty_like(self.ages)
+        self._cost_scratch = np.empty_like(self.ages)
 
     def slot_costs(self, time_slot: int) -> np.ndarray:
         """Stacked per-seed update costs for *time_slot* (cached when static)."""
@@ -76,38 +193,77 @@ class _BatchedCacheStage:
             return self._decider.decide(self.ages)
         per_seed = []
         for s, state in enumerate(self.states):
-            observation = state.observation_vector(time_slot, self.ages[s])
+            # The static parameter matrices are never mutated, so aliasing
+            # them is safe even for policies that retain observations; the
+            # ages tensor *is* recycled in place across slots, so each
+            # seed's slice is copied out.
+            observation = state.observation_vector(
+                time_slot, self.ages[s].copy(), copy=False
+            )
             actions = self.policies[s].decide(observation)
             per_seed.append(CachingPolicy.validate_actions(actions, observation))
         return np.stack(per_seed)
 
-    def step(self, time_slot: int, metrics: List[CacheMetrics]) -> None:
+    def step(self, time_slot: int, recorders: List[_CacheBlockRecorder]) -> None:
         """Run one slot: decide, account the Eq. (1) reward, apply updates."""
         costs = self.slot_costs(time_slot)
         actions = self.decide(time_slot, costs)
         num_seeds = len(self.states)
         # Batched twin of UtilityFunction.evaluate: identical element-wise
-        # expressions, reduced per seed over the same contiguous layout.
-        post_ages = np.where(actions > 0, 1.0, self.ages)
-        utilities = (self.max_ages / np.maximum(post_ages, 1.0)) * self.popularity
-        aoi_totals = utilities.reshape(num_seeds, -1).sum(axis=1)
-        cost_totals = (actions.astype(float) * costs).reshape(num_seeds, -1).sum(axis=1)
-        self.ages = np.where(actions > 0, 1.0, self.ages)
-        for s in range(num_seeds):
-            metrics[s].record_slot(
-                time_slot,
-                self.ages[s],
-                actions[s],
-                RewardBreakdown(
-                    aoi_utility=float(aoi_totals[s]),
-                    cost=float(cost_totals[s]),
-                    weight=self.weight,
-                ),
-            )
+        # expressions (bit for bit), reduced per seed over the same
+        # contiguous layout — written into the persistent scratch tensors
+        # so the per-slot loop allocates nothing of O(grid) size.
+        post_ages = self._post
+        np.copyto(post_ages, self.ages)
+        post_ages[actions > 0] = 1.0
+        scratch = self._scratch
+        np.maximum(post_ages, 1.0, out=scratch)
+        np.divide(self.max_ages, scratch, out=scratch)
+        np.multiply(scratch, self.popularity, out=scratch)
+        aoi_totals = scratch.reshape(num_seeds, -1).sum(axis=1)
+        np.multiply(actions, costs, out=self._cost_scratch)
+        cost_totals = self._cost_scratch.reshape(num_seeds, -1).sum(axis=1)
+        totals = self.weight * aoi_totals - cost_totals
+        # Swap buffers: the outgoing ages tensor becomes next slot's scratch.
+        self._post = self.ages
+        self.ages = post_ages
+        if recorders and not recorders[0].wants_matrices:
+            # Summary-mode fast path: reduce every seed's slot in one pass
+            # over the stacked tensors (identical per-row reductions to the
+            # per-seed record_slot calls) and stage scalars only.
+            age_sums = post_ages.reshape(num_seeds, -1).sum(axis=1)
+            updates = actions.reshape(num_seeds, -1).sum(axis=1)
+            violations = (post_ages > self.max_ages).reshape(num_seeds, -1).sum(axis=1)
+            for s, recorder in enumerate(recorders):
+                recorder.add_aggregates(
+                    time_slot,
+                    aoi_totals[s],
+                    cost_totals[s],
+                    totals[s],
+                    age_sums[s],
+                    int(updates[s]),
+                    int(violations[s]),
+                )
+        else:
+            for s, recorder in enumerate(recorders):
+                recorder.add(
+                    time_slot,
+                    post_ages[s],
+                    actions[s],
+                    aoi_totals[s],
+                    cost_totals[s],
+                    totals[s],
+                )
 
     def advance(self, time_slot: int) -> None:
-        """Age every cached copy by one slot and regenerate the MBS copies."""
-        self.ages = np.minimum(self.ages + 1.0, self.ceilings)
+        """Age every cached copy by one slot and regenerate the MBS copies.
+
+        In place: every same-slot consumer (recorders, the joint service
+        stage's AoI guard) has already read — or copied — the post-update
+        ages by the time the loop advances.
+        """
+        np.add(self.ages, 1.0, out=self.ages)
+        np.minimum(self.ages, self.ceilings, out=self.ages)
         for state in self.states:
             state.mbs_store.tick(time_slot + 1)
 
@@ -127,6 +283,14 @@ class CacheSimulator:
         default runs the vectorised loop, which produces bit-for-bit
         identical trajectories (see tests/sim/test_vectorized_equivalence.py)
         at a fraction of the per-slot cost.
+    metrics:
+        Metric collection mode, ``"full"`` (default) or ``"summary"`` —
+        see :mod:`repro.sim.metrics`.  ``summary()`` / ``rows()`` output is
+        byte-identical; ``"summary"`` keeps memory flat in the grid size.
+    block_size:
+        Slots staged per metrics flush in the vectorised loops (default
+        :data:`~repro.sim.metrics.DEFAULT_BLOCK_SLOTS`); byte-identical for
+        any value.
     """
 
     def __init__(
@@ -135,10 +299,16 @@ class CacheSimulator:
         policy: CachingPolicy,
         *,
         reference: bool = False,
+        metrics: str = "full",
+        block_size: Optional[int] = None,
     ) -> None:
+        if block_size is not None:
+            check_positive_int(block_size, "block_size")
         self._config = config
         self._policy = policy
         self._reference = bool(reference)
+        self._metrics_mode = check_metrics_mode(metrics)
+        self._block_size = block_size
 
     @property
     def config(self) -> ScenarioConfig:
@@ -155,6 +325,24 @@ class CacheSimulator:
         """Whether the scalar reference loop is used instead of the vectorised one."""
         return self._reference
 
+    @property
+    def metrics_mode(self) -> str:
+        """The metric collection mode, ``"full"`` or ``"summary"``."""
+        return self._metrics_mode
+
+    def _block(self, num_slots: int) -> int:
+        block = self._block_size if self._block_size else DEFAULT_BLOCK_SLOTS
+        return max(1, min(int(block), int(num_slots)))
+
+    def _make_metrics(self, state: SystemState, num_slots: int) -> CacheMetrics:
+        return CacheMetrics(
+            self._config.num_rsus,
+            self._config.contents_per_rsu,
+            state.max_ages,
+            mode=self._metrics_mode,
+            expected_slots=num_slots,
+        )
+
     def run(self, *, num_slots: Optional[int] = None) -> CacheSimulationResult:
         """Run the simulation and return the recorded result."""
         num_slots = check_positive_int(
@@ -162,9 +350,7 @@ class CacheSimulator:
             "num_slots",
         )
         state = SystemState(self._config)
-        metrics = CacheMetrics(
-            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
-        )
+        metrics = self._make_metrics(state, num_slots)
         self._policy.reset()
         if self._reference:
             self._run_reference(state, metrics, num_slots)
@@ -213,24 +399,30 @@ class CacheSimulator:
         if self._reference:
             # The scalar loop has no tensor twin; replay it per seed.
             return [
-                CacheSimulator(config, policy, reference=True).run(
-                    num_slots=num_slots
-                )
+                CacheSimulator(
+                    config,
+                    policy,
+                    reference=True,
+                    metrics=self._metrics_mode,
+                    block_size=self._block_size,
+                ).run(num_slots=num_slots)
                 for config, policy in zip(configs, policies)
             ]
         states = [SystemState(config) for config in configs]
-        metrics = [
-            CacheMetrics(
-                config.num_rsus, config.contents_per_rsu, state.max_ages
-            )
-            for config, state in zip(configs, states)
-        ]
+        metrics = [self._make_metrics(state, num_slots) for state in states]
         for policy in policies:
             policy.reset()
         stage = _BatchedCacheStage(states, policies)
+        shape = (self._config.num_rsus, self._config.contents_per_rsu)
+        block = self._block(num_slots)
+        recorders = [
+            _CacheBlockRecorder(metric, shape, block) for metric in metrics
+        ]
         for t in range(num_slots):
-            stage.step(t, metrics)
+            stage.step(t, recorders)
             stage.advance(t)
+        for recorder in recorders:
+            recorder.flush()
         return [
             CacheSimulationResult(
                 config=config,
@@ -280,23 +472,34 @@ class CacheSimulator:
         applying the chosen updates is a ``where`` and advancing time is a
         clipped add.  Initial ages still come from the caches built by
         :class:`SystemState` so the RNG stream consumption is unchanged.
+
+        The reward components are the inlined expressions of
+        :meth:`~repro.core.reward.UtilityFunction.evaluate` (identical float
+        operations on already-validated actions) and metrics are emitted in
+        ``block_size``-slot blocks — both byte-identical to the per-slot
+        reference accounting.
         """
-        mbs_budget = LinkBudget()
         ages = state.ages_matrix()
+        max_ages = state.max_ages
+        popularity = state.popularity
+        weight = self._config.aoi_weight
+        shape = (self._config.num_rsus, self._config.contents_per_rsu)
+        recorder = _CacheBlockRecorder(metrics, shape, self._block(num_slots))
 
         for t in range(num_slots):
-            observation = state.observation_vector(t, ages)
+            observation = state.observation_vector(t, ages, copy=False)
             actions = self._policy.decide(observation)
             actions = CachingPolicy.validate_actions(actions, observation)
             costs = observation.update_costs
-            breakdown = UtilityFunction(
-                state.max_ages, costs, weight=self._config.aoi_weight
-            ).evaluate(observation.ages, actions, state.popularity)
-            # Apply the chosen updates: a refreshed copy restarts at age 1.
-            updated = actions > 0
-            ages = np.where(updated, 1.0, ages)
-            mbs_budget.charge_many(costs[updated])
-            metrics.record_slot(t, ages, actions, breakdown)
+            # Inlined UtilityFunction.evaluate on the validated actions: the
+            # identical element-wise expressions and reductions, minus the
+            # per-slot revalidation and RewardBreakdown boxing.
+            acts = np.asarray(actions, dtype=float)
+            ages = np.where(acts > 0, 1.0, ages)
+            aoi = float(np.sum((max_ages / np.maximum(ages, 1.0)) * popularity))
+            cost = float(np.sum(acts * costs))
+            recorder.add(t, ages, actions, aoi, cost, weight * aoi - cost)
             # Advance time: cached copies age by one slot, the MBS regenerates.
             ages = np.minimum(ages + 1.0, state.cache_ceilings)
             state.mbs_store.tick(t + 1)
+        recorder.flush()

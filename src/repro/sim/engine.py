@@ -45,12 +45,13 @@ from repro.exceptions import ConfigurationError, ValidationError
 from repro.policies.registry import PolicySpec
 from repro.sim.cache_sim import CacheSimulator
 from repro.sim.joint_sim import JointSimulator
+from repro.sim.metrics import METRICS_MODES
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.service_sim import ServiceSimulator
 from repro.utils.rng import spawn_run_seeds
 
-__all__ = ["SIMULATION_KINDS", "SIMULATION_MODES", "simulate"]
+__all__ = ["METRICS_MODES", "SIMULATION_KINDS", "SIMULATION_MODES", "simulate"]
 
 SIMULATION_KINDS = ("cache", "service", "joint")
 SIMULATION_MODES = ("auto", "reference", "vectorized", "batch")
@@ -158,6 +159,8 @@ def simulate(
     seeds: Union[None, int, Sequence[int]] = None,
     num_slots: Optional[int] = None,
     service_batch: Optional[int] = None,
+    metrics: str = "full",
+    block_size: Optional[int] = None,
 ) -> Union[SimulationResult, List[SimulationResult]]:
     """Run one scenario under one or two policies and return the result(s).
 
@@ -189,6 +192,15 @@ def simulate(
         Optional horizon override.
     service_batch:
         Optional per-slot service batch limit (service/joint kinds only).
+    metrics:
+        Metric collection mode, ``"full"`` (default) or ``"summary"``.
+        ``summary()`` / ``rows()`` output is byte-identical; ``"summary"``
+        keeps only the per-slot aggregates, so memory stays flat in the
+        grid size on long-horizon runs (see :mod:`repro.sim.metrics`).
+    block_size:
+        Slots staged per metrics flush in the vectorised loops
+        (byte-identical for any value; default
+        :data:`~repro.sim.metrics.DEFAULT_BLOCK_SLOTS`).
 
     Returns
     -------
@@ -198,6 +210,10 @@ def simulate(
     if mode not in SIMULATION_MODES:
         raise ConfigurationError(
             f"mode must be one of {SIMULATION_MODES}, got {mode!r}"
+        )
+    if metrics not in METRICS_MODES:
+        raise ConfigurationError(
+            f"metrics must be one of {METRICS_MODES}, got {metrics!r}"
         )
     caching, service = _split_policies(policies)
     inferred = (
@@ -220,10 +236,12 @@ def simulate(
         raise ConfigurationError("service_batch does not apply to cache runs")
     reference = mode == "reference"
 
+    collection = dict(metrics=metrics, block_size=block_size)
+
     def build_simulator(scn: ScenarioConfig):
         if inferred == "cache":
             return CacheSimulator(
-                scn, _materialize(caching, scn), reference=reference
+                scn, _materialize(caching, scn), reference=reference, **collection
             )
         if inferred == "service":
             return ServiceSimulator(
@@ -231,6 +249,7 @@ def simulate(
                 _materialize(service, scn),
                 service_batch=service_batch,
                 reference=reference,
+                **collection,
             )
         return JointSimulator(
             scn,
@@ -238,6 +257,7 @@ def simulate(
             _materialize(service, scn),
             service_batch=service_batch,
             reference=reference,
+            **collection,
         )
 
     if seeds is None:
@@ -258,17 +278,21 @@ def simulate(
     )
     if mode in ("auto", "batch"):
         if inferred == "cache":
-            return CacheSimulator(scenario, None, reference=False).run_batch(
+            return CacheSimulator(
+                scenario, None, reference=False, **collection
+            ).run_batch(
                 seed_list, policies=caching_policies, num_slots=num_slots
             )
         if inferred == "service":
             return ServiceSimulator(
-                scenario, None, service_batch=service_batch, reference=False
+                scenario, None, service_batch=service_batch, reference=False,
+                **collection,
             ).run_batch(
                 seed_list, policies=service_policies, num_slots=num_slots
             )
         return JointSimulator(
-            scenario, None, None, service_batch=service_batch, reference=False
+            scenario, None, None, service_batch=service_batch, reference=False,
+            **collection,
         ).run_batch(
             seed_list,
             caching_policies=caching_policies,
@@ -281,7 +305,7 @@ def simulate(
     for index, seeded in enumerate(scenarios):
         if inferred == "cache":
             simulator = CacheSimulator(
-                seeded, caching_policies[index], reference=reference
+                seeded, caching_policies[index], reference=reference, **collection
             )
         elif inferred == "service":
             simulator = ServiceSimulator(
@@ -289,6 +313,7 @@ def simulate(
                 service_policies[index],
                 service_batch=service_batch,
                 reference=reference,
+                **collection,
             )
         else:
             simulator = JointSimulator(
@@ -297,6 +322,7 @@ def simulate(
                 service_policies[index],
                 service_batch=service_batch,
                 reference=reference,
+                **collection,
             )
         results.append(simulator.run(num_slots=num_slots))
     return results

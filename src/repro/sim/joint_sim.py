@@ -4,22 +4,37 @@ Split out of the monolithic ``repro.sim.simulator`` behind the
 :func:`repro.sim.engine.simulate` façade; the class surface and every
 trajectory are unchanged (pinned by the golden-trajectory and
 batch-equivalence suites).
+
+The vectorised loops consume precomputed arrival tensors and emit both
+stages' metrics in ``block_size``-slot blocks, byte-identical to the
+per-slot reference accounting (see :mod:`repro.sim.cache_sim` and
+:mod:`repro.sim.service_sim`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.policies import CachingPolicy, ServiceObservation, ServicePolicy
 from repro.core.reward import UtilityFunction
 from repro.net.queueing import RequestQueue
-from repro.sim.cache_sim import _BatchedCacheStage
-from repro.sim.metrics import CacheMetrics, ServiceMetrics
+from repro.sim.cache_sim import _BatchedCacheStage, _CacheBlockRecorder
+from repro.sim.metrics import (
+    DEFAULT_BLOCK_SLOTS,
+    CacheMetrics,
+    ServiceMetrics,
+    check_metrics_mode,
+)
 from repro.sim.results import JointSimulationResult
 from repro.sim.scenario import ScenarioConfig
-from repro.sim.service_sim import _VectorQueues, _vector_service_slot
+from repro.sim.service_sim import (
+    _ServiceBlockRecorder,
+    _VectorQueues,
+    _check_horizons,
+    _vector_service_slot,
+)
 from repro.sim.system import SystemState, _expand_batch_policies
 from repro.utils.validation import check_positive_int
 
@@ -42,14 +57,20 @@ class JointSimulator:
         *,
         service_batch: Optional[int] = None,
         reference: bool = False,
+        metrics: str = "full",
+        block_size: Optional[int] = None,
     ) -> None:
         if service_batch is not None:
             check_positive_int(service_batch, "service_batch")
+        if block_size is not None:
+            check_positive_int(block_size, "block_size")
         self._config = config
         self._caching_policy = caching_policy
         self._service_policy = service_policy
         self._service_batch = service_batch
         self._reference = bool(reference)
+        self._metrics_mode = check_metrics_mode(metrics)
+        self._block_size = block_size
 
     @property
     def config(self) -> ScenarioConfig:
@@ -61,6 +82,30 @@ class JointSimulator:
         """Whether the scalar reference loop is used instead of the vectorised one."""
         return self._reference
 
+    @property
+    def metrics_mode(self) -> str:
+        """The metric collection mode, ``"full"`` or ``"summary"``."""
+        return self._metrics_mode
+
+    def _block(self, num_slots: int) -> int:
+        block = self._block_size if self._block_size else DEFAULT_BLOCK_SLOTS
+        return max(1, min(int(block), int(num_slots)))
+
+    def _make_metrics(self, state: SystemState, num_slots: int):
+        cache_metrics = CacheMetrics(
+            self._config.num_rsus,
+            self._config.contents_per_rsu,
+            state.max_ages,
+            mode=self._metrics_mode,
+            expected_slots=num_slots,
+        )
+        service_metrics = ServiceMetrics(
+            self._config.num_rsus,
+            mode=self._metrics_mode,
+            expected_slots=num_slots,
+        )
+        return cache_metrics, service_metrics
+
     def run(self, *, num_slots: Optional[int] = None) -> JointSimulationResult:
         """Run the coupled simulation and return both stages' metrics."""
         num_slots = check_positive_int(
@@ -68,10 +113,7 @@ class JointSimulator:
             "num_slots",
         )
         state = SystemState(self._config)
-        cache_metrics = CacheMetrics(
-            self._config.num_rsus, self._config.contents_per_rsu, state.max_ages
-        )
-        service_metrics = ServiceMetrics(self._config.num_rsus)
+        cache_metrics, service_metrics = self._make_metrics(state, num_slots)
         self._caching_policy.reset()
         self._service_policy.reset()
         if self._reference:
@@ -97,6 +139,7 @@ class JointSimulator:
         caching_policies: Optional[Sequence[CachingPolicy]] = None,
         service_policies: Optional[Sequence[ServicePolicy]] = None,
         num_slots: Optional[int] = None,
+        horizons: Optional[Sequence] = None,
     ) -> List[JointSimulationResult]:
         """Run one coupled simulation per seed through a seed-batched loop.
 
@@ -104,7 +147,9 @@ class JointSimulator:
         ``(num_seeds, num_rsus, contents_per_rsu)`` ages tensor exactly like
         :meth:`CacheSimulator.run_batch`; stage 2 reads each seed's live
         post-update slice of that tensor, preserving the AoI-guard coupling.
-        Bit-identical to per-seed :meth:`run` calls.
+        Bit-identical to per-seed :meth:`run` calls.  *horizons* optionally
+        supplies per-seed precomputed arrival tensors (see
+        :meth:`ServiceSimulator.run_batch`).
         """
         num_slots = check_positive_int(
             num_slots if num_slots is not None else self._config.num_slots,
@@ -126,19 +171,17 @@ class JointSimulator:
                     service_policy,
                     service_batch=self._service_batch,
                     reference=True,
+                    metrics=self._metrics_mode,
+                    block_size=self._block_size,
                 ).run(num_slots=num_slots)
                 for config, caching_policy, service_policy in zip(
                     configs, caching_policies, service_policies
                 )
             ]
         states = [SystemState(config) for config in configs]
-        cache_metrics = [
-            CacheMetrics(
-                config.num_rsus, config.contents_per_rsu, state.max_ages
-            )
-            for config, state in zip(configs, states)
-        ]
-        service_metrics = [ServiceMetrics(config.num_rsus) for config in configs]
+        pairs = [self._make_metrics(state, num_slots) for state in states]
+        cache_metrics = [pair[0] for pair in pairs]
+        service_metrics = [pair[1] for pair in pairs]
         for policy in caching_policies:
             policy.reset()
         for policy in service_policies:
@@ -148,10 +191,22 @@ class JointSimulator:
             _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
             for _ in states
         ]
-        horizons = [state.workload.generate_horizon(num_slots) for state in states]
+        if horizons is None:
+            horizons = [state.workload.generate_horizon(num_slots) for state in states]
+        else:
+            _check_horizons(horizons, seeds)
+        block = self._block(num_slots)
+        shape = (self._config.num_rsus, self._config.contents_per_rsu)
+        cache_recorders = [
+            _CacheBlockRecorder(metric, shape, block) for metric in cache_metrics
+        ]
+        service_recorders = [
+            _ServiceBlockRecorder(metric, self._config.num_rsus, block)
+            for metric in service_metrics
+        ]
         for t in range(num_slots):
             # ---- Stage 1: cache management (seed-batched) ----------------
-            stage.step(t, cache_metrics)
+            stage.step(t, cache_recorders)
             # ---- Stage 2: content service, AoI guard on live ages --------
             for s, state in enumerate(states):
                 for rsu_id, content_ids in horizons[s].slot_batches(t):
@@ -162,10 +217,14 @@ class JointSimulator:
                 )
                 _vector_service_slot(
                     state, queues[s], service_policies[s], self._service_batch,
-                    service_metrics[s], t, cost, stage.ages[s],
+                    service_recorders[s], t, cost, stage.ages[s],
                 )
             # ---- Advance time --------------------------------------------
             stage.advance(t)
+        for recorder in cache_recorders:
+            recorder.flush()
+        for recorder in service_recorders:
+            recorder.flush()
         return [
             JointSimulationResult(
                 config=config,
@@ -284,23 +343,38 @@ class JointSimulator:
         Stage 1 updates the ages matrix exactly like the vectorised
         :class:`CacheSimulator`; stage 2's AoI-validity guard then reads the
         post-update (pre-tick) ages, preserving the reference coupling.
+        Both stages' metrics are emitted in blocks (byte-identical to the
+        per-slot reference accounting).
         """
         queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
         ages = state.ages_matrix()
+        max_ages = state.max_ages
+        popularity = state.popularity
+        weight = self._config.aoi_weight
         distance = 0.5 * state.topology.region_length
         horizon = state.workload.generate_horizon(num_slots)
+        block = self._block(num_slots)
+        shape = (self._config.num_rsus, self._config.contents_per_rsu)
+        cache_recorder = _CacheBlockRecorder(cache_metrics, shape, block)
+        service_recorder = _ServiceBlockRecorder(
+            service_metrics, self._config.num_rsus, block
+        )
 
         for t in range(num_slots):
             # ---- Stage 1: cache management -------------------------------
-            observation = state.observation_vector(t, ages)
+            observation = state.observation_vector(t, ages, copy=False)
             actions = self._caching_policy.decide(observation)
             actions = CachingPolicy.validate_actions(actions, observation)
             costs = observation.update_costs
-            breakdown = UtilityFunction(
-                state.max_ages, costs, weight=self._config.aoi_weight
-            ).evaluate(observation.ages, actions, state.popularity)
-            ages = np.where(actions > 0, 1.0, ages)
-            cache_metrics.record_slot(t, ages, actions, breakdown)
+            # Inlined UtilityFunction.evaluate on the validated actions (see
+            # CacheSimulator._run_vectorized).
+            acts = np.asarray(actions, dtype=float)
+            ages = np.where(acts > 0, 1.0, ages)
+            aoi = float(np.sum((max_ages / np.maximum(ages, 1.0)) * popularity))
+            cost_total = float(np.sum(acts * costs))
+            cache_recorder.add(
+                t, ages, actions, aoi, cost_total, weight * aoi - cost_total
+            )
 
             # ---- Stage 2: content service ---------------------------------
             # The AoI guard reads the live post-update (pre-tick) ages.
@@ -311,9 +385,11 @@ class JointSimulator:
             )
             _vector_service_slot(
                 state, queues, self._service_policy, self._service_batch,
-                service_metrics, t, cost, ages,
+                service_recorder, t, cost, ages,
             )
 
             # ---- Advance time ---------------------------------------------
             ages = np.minimum(ages + 1.0, state.cache_ceilings)
             state.mbs_store.tick(t + 1)
+        cache_recorder.flush()
+        service_recorder.flush()

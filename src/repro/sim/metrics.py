@@ -1,76 +1,348 @@
 """Metric collection for simulation runs.
 
-The simulators in :mod:`repro.sim.simulator` are deliberately thin loops;
-everything the experiments need to report — AoI sample paths, per-slot reward
-breakdowns, cumulative reward, queue backlogs, service costs — is recorded by
-the collectors in this module, which the figure-regeneration code then reads.
+The simulators in :mod:`repro.sim` are deliberately thin loops; everything
+the experiments need to report — AoI sample paths, per-slot reward
+breakdowns, cumulative reward, queue backlogs, service costs — is recorded
+by the collectors in this module, which the figure-regeneration code then
+reads.
+
+The collectors are array-backed: per-slot values land in preallocated
+(growable) numpy buffers rather than Python lists, the headline reductions
+(``total_reward``, ``mean_age``, ...) are computed lazily from those
+buffers and cached until the next append, and the hot loops can emit whole
+blocks of slots at once through the ``record_block`` APIs instead of paying
+one Python call per slot.
+
+Every collector runs in one of two modes (:data:`METRICS_MODES`):
+
+* ``"full"`` (the default) — keep everything, including the per-slot age /
+  action matrices and per-RSU service histories.  Memory grows as
+  ``O(num_slots * num_rsus * contents_per_rsu)``.
+* ``"summary"`` — keep only the per-slot scalar aggregates that feed
+  ``summary()`` / ``rows()`` and the headline traces (cumulative reward,
+  total backlog / latency / cost per slot).  Memory is flat in the grid
+  size and a few dozen bytes per slot, so long-horizon, large-grid runs
+  stay cheap.  ``summary()`` / ``rows()`` are byte-identical to ``"full"``
+  because both modes reduce the *same* per-slot aggregate buffers with the
+  same numpy expressions; only the matrix-history accessors
+  (``age_matrix_history``, ``age_trace``, per-RSU histories, ...) become
+  unavailable and raise :class:`~repro.exceptions.SimulationError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.aoi import AoIProcess
 from repro.core.reward import RewardBreakdown
-from repro.exceptions import ValidationError
+from repro.exceptions import SimulationError, ValidationError
+
+#: Metric collection modes accepted by the collectors, the simulators, and
+#: :func:`repro.sim.engine.simulate`.
+METRICS_MODES = ("full", "summary")
+
+#: Default number of slots the simulators stage before flushing one
+#: ``record_block`` call (the ``block_size`` knob of the simulators).
+DEFAULT_BLOCK_SLOTS = 64
+
+_INITIAL_CAPACITY = 64
 
 
-@dataclass
+def check_metrics_mode(mode: str) -> str:
+    """Validate a metrics mode string and return it."""
+    if mode not in METRICS_MODES:
+        raise ValidationError(
+            f"metrics mode must be one of {METRICS_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+class _SlotBuffer:
+    """Growable preallocated array with one row per recorded slot.
+
+    Appending is an index assignment into spare capacity (amortised O(1),
+    no per-append allocation); ``extend`` writes a whole block with one
+    slice assignment.  When the caller knows the horizon up front it can
+    preallocate exactly and never regrow.
+    """
+
+    __slots__ = ("_data", "_size", "_row_shape", "_dtype")
+
+    def __init__(
+        self,
+        row_shape: Tuple[int, ...] = (),
+        dtype=float,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self._row_shape = tuple(row_shape)
+        self._dtype = dtype
+        initial = _INITIAL_CAPACITY if capacity is None else max(int(capacity), 1)
+        self._data = np.zeros((initial, *self._row_shape), dtype=dtype)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._data.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros((capacity, *self._row_shape), dtype=self._dtype)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    def append(self, row) -> None:
+        self._reserve(1)
+        self._data[self._size] = row
+        self._size += 1
+
+    def extend(self, rows: np.ndarray) -> None:
+        count = rows.shape[0]
+        self._reserve(count)
+        self._data[self._size : self._size + count] = rows
+        self._size += count
+
+    @property
+    def array(self) -> np.ndarray:
+        """View of the filled prefix (do not mutate)."""
+        return self._data[: self._size]
+
+
+#: Chunk length of the canonical streaming sum.  Reductions fold per-slot
+#: values in consecutive chunks of this length, so a streaming accumulator
+#: and a deferred fold over a kept buffer produce the identical float —
+#: and any horizon up to one chunk reduces exactly like a plain ``np.sum``.
+STREAM_CHUNK = 1024
+
+
+def _chunked_sum(values: np.ndarray) -> float:
+    """The canonical fold: sequential sum of per-chunk ``np.sum`` partials."""
+    total = 0.0
+    for start in range(0, values.size, STREAM_CHUNK):
+        total += float(np.sum(values[start : start + STREAM_CHUNK]))
+    return total
+
+
+class _StreamingSum:
+    """O(1)-memory accumulator reproducing :func:`_chunked_sum` bit for bit.
+
+    Values fill a fixed staging chunk; every full chunk folds into the
+    running total exactly where the deferred fold would split, so the sum
+    is a pure function of the value sequence — independent of whether
+    values arrived one at a time or in blocks, or were kept in a buffer.
+    """
+
+    __slots__ = ("_staging", "_fill", "_total", "count")
+
+    def __init__(self) -> None:
+        self._staging = np.zeros(STREAM_CHUNK)
+        self._fill = 0
+        self._total = 0.0
+        self.count = 0
+
+    def push(self, value: float) -> None:
+        self._staging[self._fill] = value
+        self._fill += 1
+        self.count += 1
+        if self._fill == STREAM_CHUNK:
+            self._total += float(np.sum(self._staging))
+            self._fill = 0
+
+    def extend(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        offset = 0
+        while offset < values.size:
+            take = min(STREAM_CHUNK - self._fill, values.size - offset)
+            self._staging[self._fill : self._fill + take] = values[
+                offset : offset + take
+            ]
+            self._fill += take
+            self.count += take
+            offset += take
+            if self._fill == STREAM_CHUNK:
+                self._total += float(np.sum(self._staging))
+                self._fill = 0
+
+    @property
+    def total(self) -> float:
+        return self._total + float(np.sum(self._staging[: self._fill]))
+
+
 class RewardTrace:
-    """Per-slot reward components of the cache-management stage (Eq. 1)."""
+    """Per-slot reward components of the cache-management stage (Eq. 1).
 
-    aoi_utilities: List[float] = field(default_factory=list)
-    costs: List[float] = field(default_factory=list)
-    totals: List[float] = field(default_factory=list)
+    Array-backed: in ``mode="full"`` the per-slot scalars live in growable
+    numpy buffers and every reduction property is computed from the backing
+    arrays once and cached until the next append.  In ``mode="summary"``
+    only the per-slot *totals* are kept (they power the Fig. 1a
+    cumulative-reward trace); the cost and AoI components stream through
+    the canonical chunked accumulator, whose reductions are byte-identical
+    to the full mode's deferred folds.
+    """
+
+    def __init__(
+        self, expected_slots: Optional[int] = None, *, mode: str = "full"
+    ) -> None:
+        self._mode = check_metrics_mode(mode)
+        self._totals = _SlotBuffer(capacity=expected_slots)
+        if self._mode == "full":
+            self._aoi = _SlotBuffer(capacity=expected_slots)
+            self._costs = _SlotBuffer(capacity=expected_slots)
+            self._aoi_stream = self._cost_stream = None
+        else:
+            self._aoi = self._costs = None
+            self._aoi_stream = _StreamingSum()
+            self._cost_stream = _StreamingSum()
+        self._cache: Dict[str, object] = {}
+
+    @property
+    def mode(self) -> str:
+        """The collection mode, ``"full"`` or ``"summary"``."""
+        return self._mode
+
+    def _require_full(self, what: str) -> None:
+        if self._mode != "full":
+            raise SimulationError(
+                f"{what} needs the full per-slot components; this trace "
+                "runs in metrics='summary' mode (re-run with "
+                "metrics='full')"
+            )
 
     def record(self, breakdown: RewardBreakdown) -> None:
         """Append one slot's reward breakdown."""
-        self.aoi_utilities.append(float(breakdown.aoi_utility))
-        self.costs.append(float(breakdown.cost))
-        self.totals.append(float(breakdown.total))
+        self._cache.clear()
+        self._totals.append(float(breakdown.total))
+        if self._mode == "full":
+            self._aoi.append(float(breakdown.aoi_utility))
+            self._costs.append(float(breakdown.cost))
+        else:
+            self._aoi_stream.push(float(breakdown.aoi_utility))
+            self._cost_stream.push(float(breakdown.cost))
+
+    def record_block(
+        self,
+        aoi_utilities: np.ndarray,
+        costs: np.ndarray,
+        totals: np.ndarray,
+    ) -> None:
+        """Append a block of consecutive slots' reward components at once.
+
+        Equivalent to one :meth:`record` call per slot (the recorded values
+        and every reduction are byte-identical); the block form exists so
+        the hot loops pay one call per *block* instead of per slot.
+        """
+        self._cache.clear()
+        self._totals.extend(totals)
+        if self._mode == "full":
+            self._aoi.extend(aoi_utilities)
+            self._costs.extend(costs)
+        else:
+            self._aoi_stream.extend(aoi_utilities)
+            self._cost_stream.extend(costs)
 
     def __len__(self) -> int:
-        return len(self.totals)
+        return len(self._totals)
+
+    def _cached(self, key: str, compute):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Per-slot views (list-typed for comparison convenience in tests)
+    # ------------------------------------------------------------------
+    @property
+    def aoi_utilities(self) -> List[float]:
+        """Per-slot AoI utilities (Eq. 2) as a list (``mode="full"``)."""
+        self._require_full("aoi_utilities")
+        return self._aoi.array.tolist()
 
     @property
+    def costs(self) -> List[float]:
+        """Per-slot MBS costs (Eq. 3) as a list (``mode="full"``)."""
+        self._require_full("costs")
+        return self._costs.array.tolist()
+
+    @property
+    def totals(self) -> List[float]:
+        """Per-slot total utilities (Eq. 1) as a list."""
+        return self._totals.array.tolist()
+
+    # ------------------------------------------------------------------
+    # Cached reductions (byte-identical across modes)
+    # ------------------------------------------------------------------
+    @property
     def cumulative_reward(self) -> np.ndarray:
-        """Running sum of the total utility — the rising curve of Fig. 1a."""
-        return np.cumsum(np.asarray(self.totals, dtype=float))
+        """Running sum of the total utility — the rising curve of Fig. 1a.
+
+        The cumsum is cached until the next append; the returned array is a
+        fresh copy, so callers may mutate it freely.
+        """
+        result = self._cached(
+            "cumulative_reward", lambda: np.cumsum(self._totals.array)
+        )
+        return result.copy()
 
     @property
     def total_reward(self) -> float:
         """Sum of the per-slot total utilities."""
-        return float(np.sum(self.totals))
+        return self._cached(
+            "total_reward", lambda: float(np.sum(self._totals.array))
+        )
 
     @property
     def total_cost(self) -> float:
         """Sum of the per-slot MBS costs (Eq. 3 accumulated)."""
-        return float(np.sum(self.costs))
+        if self._mode == "full":
+            return self._cached(
+                "total_cost", lambda: _chunked_sum(self._costs.array)
+            )
+        return self._cost_stream.total
 
     @property
     def total_aoi_utility(self) -> float:
         """Sum of the per-slot AoI utilities (Eq. 2 accumulated)."""
-        return float(np.sum(self.aoi_utilities))
+        if self._mode == "full":
+            return self._cached(
+                "total_aoi_utility", lambda: _chunked_sum(self._aoi.array)
+            )
+        return self._aoi_stream.total
 
     @property
     def mean_reward(self) -> float:
         """Average per-slot total utility."""
-        if not self.totals:
+        if not len(self._totals):
             return float("nan")
-        return float(np.mean(self.totals))
+        return self._cached(
+            "mean_reward", lambda: float(np.mean(self._totals.array))
+        )
 
 
 class CacheMetrics:
     """Collector for the cache-management stage.
 
-    Records, per slot: the full AoI matrix, the chosen action matrix, and
-    the reward breakdown.  Per-(RSU, content) :class:`AoIProcess` traces —
-    used to plot individual contents as in Fig. 1a — are materialised on
-    demand by :meth:`age_trace` from the recorded matrices, keeping the
-    per-slot recording path free of per-content Python work.
+    In ``mode="full"`` it records, per slot, the full AoI matrix, the
+    chosen action matrix, and the reward breakdown; per-(RSU, content)
+    :class:`AoIProcess` traces are materialised on demand by
+    :meth:`age_trace`.  In ``mode="summary"`` only the per-slot scalar
+    aggregates survive — ``summary()`` output is byte-identical, memory is
+    flat in the grid size.
+
+    Parameters
+    ----------
+    num_rsus, contents_per_rsu:
+        Grid shape of the recorded matrices.
+    max_ages:
+        Per-(RSU, content) ``A_max`` matrix (for the violation metric).
+    mode:
+        ``"full"`` or ``"summary"`` (see the module docstring).
+    expected_slots:
+        Optional horizon hint; buffers preallocate exactly and never regrow.
     """
 
     def __init__(
@@ -78,6 +350,9 @@ class CacheMetrics:
         num_rsus: int,
         contents_per_rsu: int,
         max_ages: np.ndarray,
+        *,
+        mode: str = "full",
+        expected_slots: Optional[int] = None,
     ) -> None:
         max_ages = np.asarray(max_ages, dtype=float)
         if max_ages.shape != (num_rsus, contents_per_rsu):
@@ -85,19 +360,50 @@ class CacheMetrics:
                 f"max_ages must have shape ({num_rsus}, {contents_per_rsu}), "
                 f"got {max_ages.shape}"
             )
+        self._mode = check_metrics_mode(mode)
         self._num_rsus = int(num_rsus)
         self._contents_per_rsu = int(contents_per_rsu)
         self._max_ages = max_ages.copy()
-        self.reward = RewardTrace()
-        self._age_history: List[np.ndarray] = []
-        self._action_history: List[np.ndarray] = []
-        self._slot_times: List[int] = []
+        self.reward = RewardTrace(expected_slots, mode=self._mode)
+        self._slots = 0
+        self._total_updates = 0
+        self._violations = 0
+        self._cache: Dict[str, object] = {}
+        if self._mode == "full":
+            shape = (self._num_rsus, self._contents_per_rsu)
+            self._age_history = _SlotBuffer(shape, float, expected_slots)
+            self._action_history = _SlotBuffer(shape, int, expected_slots)
+            self._slot_times = _SlotBuffer((), int, expected_slots)
+            self._age_sums = _SlotBuffer(capacity=expected_slots)
+            self._age_sum_stream = None
+        else:
+            self._age_history = None
+            self._action_history = None
+            self._slot_times = None
+            self._age_sums = None
+            self._age_sum_stream = _StreamingSum()
+
+    @property
+    def mode(self) -> str:
+        """The collection mode, ``"full"`` or ``"summary"``."""
+        return self._mode
 
     @property
     def num_slots_recorded(self) -> int:
         """Number of slots recorded so far."""
-        return len(self._age_history)
+        return self._slots
 
+    def _require_full(self, what: str) -> None:
+        if self._mode != "full":
+            raise SimulationError(
+                f"{what} needs the full per-slot history; this collector "
+                "runs in metrics='summary' mode (re-run with "
+                "metrics='full')"
+            )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def record_slot(
         self,
         time_slot: int,
@@ -114,10 +420,82 @@ class CacheMetrics:
                 f"ages/actions must have shape {expected}, got {ages.shape} / "
                 f"{actions.shape}"
             )
-        self._age_history.append(ages.copy())
-        self._action_history.append(actions.copy())
-        self._slot_times.append(int(time_slot))
+        self._cache.clear()
+        self._total_updates += int(actions.sum())
+        self._violations += int(np.count_nonzero(ages > self._max_ages))
+        if self._mode == "full":
+            self._age_sums.append(float(np.sum(ages)))
+            self._age_history.append(ages)
+            self._action_history.append(actions)
+            self._slot_times.append(int(time_slot))
+        else:
+            self._age_sum_stream.push(float(np.sum(ages)))
+        self._slots += 1
         self.reward.record(breakdown)
+
+    def record_block(
+        self,
+        start_slot: int,
+        ages: np.ndarray,
+        actions: np.ndarray,
+        aoi_utilities: np.ndarray,
+        costs: np.ndarray,
+        totals: np.ndarray,
+    ) -> None:
+        """Record a block of consecutive decision epochs in one call.
+
+        *ages* / *actions* are ``(block, num_rsus, contents_per_rsu)``
+        matrices, the reward components ``(block,)`` vectors, for the
+        consecutive slots ``start_slot, start_slot + 1, ...``.  Equivalent
+        — byte for byte, in every mode — to one :meth:`record_slot` call
+        per slot, at a fraction of the per-slot Python overhead.
+        """
+        ages = np.asarray(ages, dtype=float)
+        actions = np.asarray(actions, dtype=int)
+        count = ages.shape[0]
+        self._cache.clear()
+        self._total_updates += int(actions.sum())
+        self._violations += int(np.count_nonzero(ages > self._max_ages))
+        if self._mode == "full":
+            self._age_sums.extend(ages.reshape(count, -1).sum(axis=1))
+            self._age_history.extend(ages)
+            self._action_history.extend(actions)
+            self._slot_times.extend(
+                np.arange(start_slot, start_slot + count, dtype=int)
+            )
+        else:
+            self._age_sum_stream.extend(ages.reshape(count, -1).sum(axis=1))
+        self._slots += count
+        self.reward.record_block(aoi_utilities, costs, totals)
+
+    def record_block_aggregates(
+        self,
+        aoi_utilities: np.ndarray,
+        costs: np.ndarray,
+        totals: np.ndarray,
+        age_sums: np.ndarray,
+        update_total: int,
+        violation_total: int,
+    ) -> None:
+        """Record a block from pre-reduced per-slot aggregates.
+
+        The summary-mode fast path: callers that already reduced each
+        slot's matrices (``age_sums[i] == float(np.sum(ages_i))`` etc., as
+        the seed-batched hot loop does across the whole seed axis at once)
+        skip shipping the matrices entirely.  Only valid in
+        ``mode="summary"`` — the full mode needs the matrices themselves.
+        """
+        if self._mode != "summary":
+            raise ValidationError(
+                "record_block_aggregates is the summary-mode fast path; "
+                "full-mode collectors need record_block with the matrices"
+            )
+        self._cache.clear()
+        self._age_sum_stream.extend(age_sums)
+        self._total_updates += int(update_total)
+        self._violations += int(violation_total)
+        self._slots += int(np.shape(age_sums)[0])
+        self.reward.record_block(aoi_utilities, costs, totals)
 
     # ------------------------------------------------------------------
     # Post-run accessors
@@ -128,8 +506,9 @@ class CacheMetrics:
         Traces are materialised on demand from the recorded age history (the
         per-slot hot loop only appends matrices), so asking for a trace is
         cheap relative to the run but not free — cache the result if you
-        need it repeatedly.
+        need it repeatedly.  Needs ``mode="full"``.
         """
+        self._require_full("age_trace")
         k, h = int(rsu), int(content_slot)
         if not (0 <= k < self._num_rsus and 0 <= h < self._contents_per_rsu):
             raise ValidationError(
@@ -138,47 +517,63 @@ class CacheMetrics:
         process = AoIProcess(
             float(self._max_ages[k, h]), label=f"rsu{k}-content{h}"
         )
-        for time_slot, ages in zip(self._slot_times, self._age_history):
-            process.record(time_slot, float(ages[k, h]))
+        ages = self._age_history.array[:, k, h]
+        for time_slot, age in zip(self._slot_times.array, ages):
+            process.record(int(time_slot), float(age))
         return process
 
     def age_matrix_history(self) -> np.ndarray:
-        """Return the full age history, shape ``(num_slots, num_rsus, contents)``."""
-        if not self._age_history:
-            return np.zeros((0, self._num_rsus, self._contents_per_rsu))
-        return np.stack(self._age_history)
+        """Return the full age history, shape ``(num_slots, num_rsus, contents)``.
+
+        A fresh copy, as before the array-backed rewrite — mutating it never
+        touches the recorded data.
+        """
+        self._require_full("age_matrix_history")
+        return self._age_history.array.copy()
 
     def action_matrix_history(self) -> np.ndarray:
         """Return the full action history, same shape as the age history."""
-        if not self._action_history:
-            return np.zeros((0, self._num_rsus, self._contents_per_rsu), dtype=int)
-        return np.stack(self._action_history)
+        self._require_full("action_matrix_history")
+        return self._action_history.array.copy()
 
     @property
     def total_updates(self) -> int:
         """Total number of MBS-pushed updates over the run."""
-        return int(self.action_matrix_history().sum())
+        return self._total_updates
 
     @property
     def mean_age(self) -> float:
         """Mean age across all cached copies and all slots."""
-        history = self.age_matrix_history()
-        if history.size == 0:
+        if self._slots == 0:
             return float("nan")
-        return float(history.mean())
+        if "mean_age" not in self._cache:
+            samples = self._slots * self._num_rsus * self._contents_per_rsu
+            age_total = (
+                _chunked_sum(self._age_sums.array)
+                if self._mode == "full"
+                else self._age_sum_stream.total
+            )
+            self._cache["mean_age"] = age_total / samples
+        return self._cache["mean_age"]
 
     @property
     def violation_fraction(self) -> float:
         """Fraction of (slot, RSU, content) samples exceeding their ``A_max``."""
-        history = self.age_matrix_history()
-        if history.size == 0:
+        if self._slots == 0:
             return float("nan")
-        return float(np.mean(history > self._max_ages[np.newaxis, :, :]))
+        samples = self._slots * self._num_rsus * self._contents_per_rsu
+        return self._violations / samples
 
     def summary(self) -> Dict[str, float]:
-        """Return the headline metrics of the run as a dictionary."""
+        """Return the headline metrics of the run as a dictionary.
+
+        Identical — byte for byte — whether the collector runs in
+        ``"full"`` or ``"summary"`` mode and whether slots arrived one at a
+        time or in blocks: every entry reduces the same per-slot aggregate
+        buffers.
+        """
         return {
-            "num_slots": float(self.num_slots_recorded),
+            "num_slots": float(self._slots),
             "total_reward": self.reward.total_reward,
             "mean_reward": self.reward.mean_reward,
             "total_cost": self.reward.total_cost,
@@ -190,23 +585,63 @@ class CacheMetrics:
 
 
 class ServiceMetrics:
-    """Collector for the content-service stage (one entry per RSU per slot)."""
+    """Collector for the content-service stage (one entry per RSU per slot).
 
-    def __init__(self, num_rsus: int) -> None:
+    ``mode="full"`` keeps the per-RSU histories; ``mode="summary"`` keeps
+    only the per-slot totals (summed over RSUs) that feed ``summary()`` and
+    the Fig. 1b latency trace, so memory is flat in the number of RSUs.
+    """
+
+    def __init__(
+        self,
+        num_rsus: int,
+        *,
+        mode: str = "full",
+        expected_slots: Optional[int] = None,
+    ) -> None:
         if num_rsus <= 0:
             raise ValidationError(f"num_rsus must be > 0, got {num_rsus}")
+        self._mode = check_metrics_mode(mode)
         self._num_rsus = int(num_rsus)
-        self._backlogs: List[np.ndarray] = []
-        self._latencies: List[np.ndarray] = []
-        self._costs: List[np.ndarray] = []
-        self._decisions: List[np.ndarray] = []
-        self._served_counts: List[np.ndarray] = []
+        self._slots = 0
+        self._backlog_sums = _SlotBuffer(capacity=expected_slots)
+        self._latency_sums = _SlotBuffer(capacity=expected_slots)
+        self._cost_sums = _SlotBuffer(capacity=expected_slots)
+        self._total_served = 0
+        self._serve_decisions = 0
+        self._cache: Dict[str, object] = {}
+        if self._mode == "full":
+            row = (self._num_rsus,)
+            self._backlogs = _SlotBuffer(row, float, expected_slots)
+            self._latencies = _SlotBuffer(row, float, expected_slots)
+            self._costs = _SlotBuffer(row, float, expected_slots)
+            self._decisions = _SlotBuffer(row, float, expected_slots)
+            self._served_counts = _SlotBuffer(row, float, expected_slots)
+        else:
+            self._backlogs = self._latencies = self._costs = None
+            self._decisions = self._served_counts = None
+
+    @property
+    def mode(self) -> str:
+        """The collection mode, ``"full"`` or ``"summary"``."""
+        return self._mode
 
     @property
     def num_slots_recorded(self) -> int:
         """Number of slots recorded so far."""
-        return len(self._backlogs)
+        return self._slots
 
+    def _require_full(self, what: str) -> None:
+        if self._mode != "full":
+            raise SimulationError(
+                f"{what} needs the full per-RSU history; this collector "
+                "runs in metrics='summary' mode (re-run with "
+                "metrics='full')"
+            )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def record_slot(
         self,
         backlogs: Sequence[float],
@@ -230,83 +665,136 @@ class ServiceMetrics:
                     f"{name} must have shape ({self._num_rsus},), got {arr.shape}"
                 )
             arrays.append(arr)
-        self._backlogs.append(arrays[0])
-        self._latencies.append(arrays[1])
-        self._costs.append(arrays[2])
-        self._decisions.append(arrays[3])
-        self._served_counts.append(arrays[4])
+        self._cache.clear()
+        self._backlog_sums.append(float(np.sum(arrays[0])))
+        self._latency_sums.append(float(np.sum(arrays[1])))
+        self._cost_sums.append(float(np.sum(arrays[2])))
+        self._serve_decisions += int(np.count_nonzero(arrays[3]))
+        self._total_served += int(arrays[4].sum())
+        if self._mode == "full":
+            self._backlogs.append(arrays[0])
+            self._latencies.append(arrays[1])
+            self._costs.append(arrays[2])
+            self._decisions.append(arrays[3])
+            self._served_counts.append(arrays[4])
+        self._slots += 1
+
+    def record_block(
+        self,
+        backlogs: np.ndarray,
+        latencies: np.ndarray,
+        costs: np.ndarray,
+        decisions: np.ndarray,
+        served_counts: np.ndarray,
+    ) -> None:
+        """Record a block of consecutive slots, ``(block, num_rsus)`` each.
+
+        Equivalent — byte for byte, in every mode — to one
+        :meth:`record_slot` call per slot.
+        """
+        blocks = [
+            np.asarray(values, dtype=float)
+            for values in (backlogs, latencies, costs, decisions, served_counts)
+        ]
+        count = blocks[0].shape[0]
+        self._cache.clear()
+        self._backlog_sums.extend(blocks[0].sum(axis=1))
+        self._latency_sums.extend(blocks[1].sum(axis=1))
+        self._cost_sums.extend(blocks[2].sum(axis=1))
+        self._serve_decisions += int(np.count_nonzero(blocks[3]))
+        self._total_served += int(blocks[4].sum())
+        if self._mode == "full":
+            self._backlogs.extend(blocks[0])
+            self._latencies.extend(blocks[1])
+            self._costs.extend(blocks[2])
+            self._decisions.extend(blocks[3])
+            self._served_counts.extend(blocks[4])
+        self._slots += count
 
     # ------------------------------------------------------------------
     # Post-run accessors
     # ------------------------------------------------------------------
     def backlog_history(self, rsu: Optional[int] = None) -> np.ndarray:
         """Backlog Q[t] per slot, for one RSU or summed over all RSUs."""
-        return self._history(self._backlogs, rsu)
+        return self._history(self._backlogs, self._backlog_sums, rsu, "backlog_history")
 
     def latency_history(self, rsu: Optional[int] = None) -> np.ndarray:
         """Accumulated waiting time per slot (the Fig. 1b latency curve)."""
-        return self._history(self._latencies, rsu)
+        return self._history(self._latencies, self._latency_sums, rsu, "latency_history")
 
     def cost_history(self, rsu: Optional[int] = None) -> np.ndarray:
         """Service cost spent per slot."""
-        return self._history(self._costs, rsu)
+        return self._history(self._costs, self._cost_sums, rsu, "cost_history")
 
-    def _history(self, store: List[np.ndarray], rsu: Optional[int]) -> np.ndarray:
-        if not store:
+    def _history(
+        self,
+        store: Optional[_SlotBuffer],
+        sums: _SlotBuffer,
+        rsu: Optional[int],
+        what: str,
+    ) -> np.ndarray:
+        if self._slots == 0:
             return np.zeros(0)
-        stacked = np.stack(store)
         if rsu is None:
-            return stacked.sum(axis=1)
+            return sums.array.copy()
+        self._require_full(f"{what}(rsu=...)")
         if not 0 <= rsu < self._num_rsus:
             raise ValidationError(f"rsu {rsu} out of range [0, {self._num_rsus})")
-        return stacked[:, rsu]
+        return store.array[:, rsu].copy()
 
     @property
     def total_cost(self) -> float:
         """Total service cost across RSUs and slots."""
-        return float(self.cost_history().sum())
+        if "total_cost" not in self._cache:
+            self._cache["total_cost"] = float(np.sum(self._cost_sums.array))
+        return self._cache["total_cost"]
 
     @property
     def time_average_cost(self) -> float:
         """Time-average service cost (the Eq. 4 objective, summed over RSUs)."""
-        history = self.cost_history()
-        if history.size == 0:
+        if self._slots == 0:
             return float("nan")
-        return float(history.mean())
+        if "time_average_cost" not in self._cache:
+            self._cache["time_average_cost"] = float(
+                np.mean(self._cost_sums.array)
+            )
+        return self._cache["time_average_cost"]
 
     @property
     def time_average_backlog(self) -> float:
         """Time-average total backlog across RSUs."""
-        history = self.backlog_history()
-        if history.size == 0:
+        if self._slots == 0:
             return float("nan")
-        return float(history.mean())
+        if "time_average_backlog" not in self._cache:
+            self._cache["time_average_backlog"] = float(
+                np.mean(self._backlog_sums.array)
+            )
+        return self._cache["time_average_backlog"]
 
     @property
     def peak_backlog(self) -> float:
         """Peak total backlog across RSUs."""
-        history = self.backlog_history()
-        if history.size == 0:
+        if self._slots == 0:
             return float("nan")
-        return float(history.max())
+        if "peak_backlog" not in self._cache:
+            self._cache["peak_backlog"] = float(np.max(self._backlog_sums.array))
+        return self._cache["peak_backlog"]
 
     @property
     def total_served(self) -> int:
         """Total number of requests served across RSUs and slots."""
-        if not self._served_counts:
-            return 0
-        return int(np.stack(self._served_counts).sum())
+        return self._total_served
 
     @property
     def service_rate(self) -> float:
         """Fraction of (RSU, slot) pairs in which the RSU decided to serve."""
-        if not self._decisions:
+        if self._slots == 0:
             return float("nan")
-        return float(np.stack(self._decisions).mean())
+        return self._serve_decisions / (self._slots * self._num_rsus)
 
     def is_stable(self) -> bool:
         """Heuristic stability check on the total-backlog sample path."""
-        history = self.backlog_history()
+        history = self._backlog_sums.array
         if history.size < 4:
             return True
         half = history.size // 2
@@ -314,9 +802,13 @@ class ServiceMetrics:
         return float(second.mean()) <= 2.0 * float(first.mean()) + 1.0
 
     def summary(self) -> Dict[str, float]:
-        """Return the headline metrics of the run as a dictionary."""
+        """Return the headline metrics of the run as a dictionary.
+
+        Identical — byte for byte — across both collection modes and both
+        recording granularities (see :class:`CacheMetrics.summary`).
+        """
         return {
-            "num_slots": float(self.num_slots_recorded),
+            "num_slots": float(self._slots),
             "total_cost": self.total_cost,
             "time_average_cost": self.time_average_cost,
             "time_average_backlog": self.time_average_backlog,

@@ -3,8 +3,15 @@
 Split out of the monolithic ``repro.sim.simulator`` behind the
 :func:`repro.sim.engine.simulate` façade; the class surface and every
 trajectory are unchanged (pinned by the golden-trajectory and
-batch-equivalence suites).  :class:`_VectorQueues` and
-:func:`_vector_service_slot` are shared with the joint simulator.
+batch-equivalence suites).  :class:`_VectorQueues`,
+:class:`_ServiceBlockRecorder`, and :func:`_vector_service_slot` are shared
+with the joint simulator.
+
+The vectorised loops consume a precomputed
+:class:`~repro.net.requests.WorkloadHorizon` arrival tensor (optionally
+supplied by the caller — e.g. shipped through shared memory by the parallel
+runner) and emit metrics in ``block_size``-slot blocks; both are
+byte-identical to the per-slot reference accounting.
 """
 
 from __future__ import annotations
@@ -14,8 +21,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.policies import ServiceObservation, ServicePolicy
+from repro.exceptions import ValidationError
 from repro.net.queueing import RequestQueue
-from repro.sim.metrics import ServiceMetrics
+from repro.sim.metrics import (
+    DEFAULT_BLOCK_SLOTS,
+    ServiceMetrics,
+    check_metrics_mode,
+)
 from repro.sim.results import ServiceSimulationResult
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.system import SystemState, _expand_batch_policies
@@ -98,12 +110,57 @@ class _VectorQueues:
             self._head[rsu] = 0
 
 
+class _ServiceBlockRecorder:
+    """Stages per-(slot, RSU) service metrics and flushes K-slot blocks.
+
+    The per-RSU loop writes straight into preallocated ``(block, num_rsus)``
+    rows (no per-slot list building or array conversion); every *block*
+    slots one :meth:`ServiceMetrics.record_block` call lands the staged
+    values — byte-identical to per-slot :meth:`ServiceMetrics.record_slot`.
+    """
+
+    def __init__(self, metrics: ServiceMetrics, num_rsus: int, block_size: int) -> None:
+        self._metrics = metrics
+        block = max(1, int(block_size))
+        shape = (block, int(num_rsus))
+        self.backlogs = np.zeros(shape)
+        self.latencies = np.zeros(shape)
+        self.costs = np.zeros(shape)
+        self.decisions = np.zeros(shape)
+        self.served = np.zeros(shape)
+        self._fill = 0
+
+    def begin_slot(self) -> int:
+        """Return the staging row index of the next slot."""
+        return self._fill
+
+    def end_slot(self) -> None:
+        """Commit the current staging row; flush when the block is full."""
+        self._fill += 1
+        if self._fill == self.backlogs.shape[0]:
+            self.flush()
+
+    def flush(self) -> None:
+        """Emit the staged slots to the collector."""
+        fill = self._fill
+        if not fill:
+            return
+        self._metrics.record_block(
+            self.backlogs[:fill],
+            self.latencies[:fill],
+            self.costs[:fill],
+            self.decisions[:fill],
+            self.served[:fill],
+        )
+        self._fill = 0
+
+
 def _vector_service_slot(
     state: SystemState,
     queues: _VectorQueues,
     policy: ServicePolicy,
     service_batch: Optional[int],
-    metrics: ServiceMetrics,
+    recorder: _ServiceBlockRecorder,
     time_slot: int,
     cost: float,
     ages: np.ndarray,
@@ -113,9 +170,14 @@ def _vector_service_slot(
     Shared by :class:`ServiceSimulator` (frozen *ages*) and
     :class:`JointSimulator` (the live stage-1 ages matrix): expire, account
     latency/backlog, build the per-RSU observation with the AoI-guard head
-    lookup, apply the policy decision, and record the slot.
+    lookup, apply the policy decision, and stage the slot on *recorder*.
     """
-    backlogs, latencies, costs, decisions, served_counts = ([], [], [], [], [])
+    row = recorder.begin_slot()
+    backlogs = recorder.backlogs[row]
+    latencies = recorder.latencies[row]
+    spent_costs = recorder.costs[row]
+    decisions = recorder.decisions[row]
+    served_counts = recorder.served[row]
     for k in range(state.config.num_rsus):
         queues.expire(k, time_slot)
         latency = float(queues.total_waiting(k, time_slot))
@@ -150,12 +212,20 @@ def _vector_service_slot(
             )
             served = queues.serve(k, batch)
             spent = cost * served
-        backlogs.append(backlog)
-        latencies.append(latency)
-        costs.append(spent)
-        decisions.append(bool(serve))
-        served_counts.append(served)
-    metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
+        backlogs[k] = backlog
+        latencies[k] = latency
+        spent_costs[k] = spent
+        decisions[k] = float(bool(serve))
+        served_counts[k] = served
+    recorder.end_slot()
+
+
+def _check_horizons(horizons, seeds) -> None:
+    """Validate a caller-supplied per-seed horizon list."""
+    if len(horizons) != len(seeds):
+        raise ValidationError(
+            f"got {len(horizons)} precomputed horizons for {len(seeds)} seeds"
+        )
 
 
 class ServiceSimulator:
@@ -173,10 +243,15 @@ class ServiceSimulator:
     policy:
         The service policy each RSU applies (the paper's
         :class:`~repro.core.lyapunov.LyapunovServiceController` or a baseline).
-    caches:
-        Optional pre-built RSU caches whose ages feed the AoI-validity guard;
-        when omitted, fresh caches with static ages are used (ages then play
-        no role because they never violate).
+    service_batch:
+        Optional per-slot service batch limit.
+    reference:
+        Run the original scalar per-request loop instead of the vectorised one.
+    metrics:
+        Metric collection mode, ``"full"`` (default) or ``"summary"`` —
+        see :mod:`repro.sim.metrics`.
+    block_size:
+        Slots staged per metrics flush in the vectorised loops.
     """
 
     def __init__(
@@ -186,13 +261,19 @@ class ServiceSimulator:
         *,
         service_batch: Optional[int] = None,
         reference: bool = False,
+        metrics: str = "full",
+        block_size: Optional[int] = None,
     ) -> None:
         if service_batch is not None:
             check_positive_int(service_batch, "service_batch")
+        if block_size is not None:
+            check_positive_int(block_size, "block_size")
         self._config = config
         self._policy = policy
         self._service_batch = service_batch
         self._reference = bool(reference)
+        self._metrics_mode = check_metrics_mode(metrics)
+        self._block_size = block_size
 
     @property
     def config(self) -> ScenarioConfig:
@@ -209,6 +290,22 @@ class ServiceSimulator:
         """Whether the scalar reference loop is used instead of the vectorised one."""
         return self._reference
 
+    @property
+    def metrics_mode(self) -> str:
+        """The metric collection mode, ``"full"`` or ``"summary"``."""
+        return self._metrics_mode
+
+    def _block(self, num_slots: int) -> int:
+        block = self._block_size if self._block_size else DEFAULT_BLOCK_SLOTS
+        return max(1, min(int(block), int(num_slots)))
+
+    def _make_metrics(self, num_slots: int) -> ServiceMetrics:
+        return ServiceMetrics(
+            self._config.num_rsus,
+            mode=self._metrics_mode,
+            expected_slots=num_slots,
+        )
+
     def run(self, *, num_slots: Optional[int] = None) -> ServiceSimulationResult:
         """Run the simulation and return the recorded result."""
         num_slots = check_positive_int(
@@ -216,7 +313,7 @@ class ServiceSimulator:
             "num_slots",
         )
         state = SystemState(self._config)
-        metrics = ServiceMetrics(self._config.num_rsus)
+        metrics = self._make_metrics(num_slots)
         self._policy.reset()
         if self._reference:
             self._run_reference(state, metrics, num_slots)
@@ -234,6 +331,7 @@ class ServiceSimulator:
         *,
         policies: Optional[Sequence[ServicePolicy]] = None,
         num_slots: Optional[int] = None,
+        horizons: Optional[Sequence] = None,
     ) -> List[ServiceSimulationResult]:
         """Run one simulation per seed, interleaved slot by slot.
 
@@ -242,6 +340,16 @@ class ServiceSimulator:
         scalar), so unlike :meth:`CacheSimulator.run_batch` there is no
         tensor axis to fold the seeds into; batching here exists so the
         runtime can dispatch whole seed groups uniformly across run kinds.
+
+        Parameters
+        ----------
+        horizons:
+            Optional per-seed precomputed
+            :class:`~repro.net.requests.WorkloadHorizon` arrival tensors
+            (e.g. attached from shared memory by the parallel runner).
+            Must match what ``generate_horizon`` would produce for each
+            seed; omitted, the horizons are generated here.  Ignored by the
+            scalar ``reference=True`` replay, which draws per slot.
         """
         num_slots = check_positive_int(
             num_slots if num_slots is not None else self._config.num_slots,
@@ -257,11 +365,13 @@ class ServiceSimulator:
                     policy,
                     service_batch=self._service_batch,
                     reference=True,
+                    metrics=self._metrics_mode,
+                    block_size=self._block_size,
                 ).run(num_slots=num_slots)
                 for config, policy in zip(configs, policies)
             ]
         states = [SystemState(config) for config in configs]
-        metrics = [ServiceMetrics(config.num_rsus) for config in configs]
+        metrics = [self._make_metrics(num_slots) for _ in configs]
         for policy in policies:
             policy.reset()
         queues = [
@@ -269,9 +379,18 @@ class ServiceSimulator:
             for _ in states
         ]
         static_ages = [state.ages_matrix() for state in states]
-        # Precompute every seed's arrival tensor up front: the hot loop then
-        # replays packed arrays instead of calling into the workload models.
-        horizons = [state.workload.generate_horizon(num_slots) for state in states]
+        # Replay precomputed arrival tensors: the hot loop never calls back
+        # into the workload models (the tensors either arrive from the
+        # dispatching runner or are generated here, identically).
+        if horizons is None:
+            horizons = [state.workload.generate_horizon(num_slots) for state in states]
+        else:
+            _check_horizons(horizons, seeds)
+        block = self._block(num_slots)
+        recorders = [
+            _ServiceBlockRecorder(metric, self._config.num_rsus, block)
+            for metric in metrics
+        ]
         for t in range(num_slots):
             for s, state in enumerate(states):
                 for rsu_id, content_ids in horizons[s].slot_batches(t):
@@ -282,9 +401,11 @@ class ServiceSimulator:
                 )
                 _vector_service_slot(
                     state, queues[s], policies[s], self._service_batch,
-                    metrics[s], t, cost, static_ages[s],
+                    recorders[s], t, cost, static_ages[s],
                 )
                 state.mbs_store.tick(t + 1)
+        for recorder in recorders:
+            recorder.flush()
         return [
             ServiceSimulationResult(
                 config=config,
@@ -376,6 +497,9 @@ class ServiceSimulator:
         static_ages = state.ages_matrix()
         distance = 0.5 * state.topology.region_length
         horizon = state.workload.generate_horizon(num_slots)
+        recorder = _ServiceBlockRecorder(
+            metrics, self._config.num_rsus, self._block(num_slots)
+        )
 
         for t in range(num_slots):
             for rsu_id, content_ids in horizon.slot_batches(t):
@@ -384,7 +508,8 @@ class ServiceSimulator:
                 distance=distance, size=1.0, time_slot=t
             )
             _vector_service_slot(
-                state, queues, self._policy, self._service_batch, metrics,
+                state, queues, self._policy, self._service_batch, recorder,
                 t, cost, static_ages,
             )
             state.mbs_store.tick(t + 1)
+        recorder.flush()

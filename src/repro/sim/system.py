@@ -50,30 +50,28 @@ class SystemState:
             if config.random_initial_ages:
                 cache.randomize_ages(self.init_rng)
             self.caches.append(cache)
-        # Static per-(RSU, content-slot) parameter matrices.
+        # Static per-(RSU, content-slot) parameter matrices, gathered from
+        # one-pass catalog arrays (per-item catalog indexing is measurable
+        # setup cost at production grid sizes).
         num_rsus = config.num_rsus
         per_rsu = config.contents_per_rsu
-        self.max_ages = np.zeros((num_rsus, per_rsu))
+        self.content_ids = np.asarray(
+            [rsu.covered_regions for rsu in self.topology.rsus], dtype=int
+        )
+        self.max_ages = self.catalog.max_ages[self.content_ids]
         self.popularity = np.zeros((num_rsus, per_rsu))
         for k, rsu in enumerate(self.topology.rsus):
             population = self.request_generator.content_population(rsu.rsu_id)
-            for slot, content_id in enumerate(rsu.covered_regions):
-                self.max_ages[k, slot] = self.catalog[content_id].max_age
-                self.popularity[k, slot] = population[content_id]
+            self.popularity[k] = [
+                population[content_id] for content_id in rsu.covered_regions
+            ]
         self.utility = UtilityFunction(
             self.max_ages,
             np.zeros_like(self.max_ages),  # costs are supplied per slot
             weight=config.aoi_weight,
         )
         # Static index/parameter arrays used by the vectorised hot loops.
-        self.content_ids = np.asarray(
-            [rsu.covered_regions for rsu in self.topology.rsus], dtype=int
-        )
-        catalog_sizes = np.asarray(
-            [self.catalog[h].size for h in range(self.catalog.num_contents)],
-            dtype=float,
-        )
-        self.content_sizes = catalog_sizes[self.content_ids]
+        self.content_sizes = self.catalog.sizes[self.content_ids]
         self.mbs_distances = np.asarray(
             [self.topology.mbs_distance(k) for k in range(num_rsus)], dtype=float
         )[:, np.newaxis]
@@ -83,9 +81,7 @@ class SystemState:
         # Each content is cached by exactly one RSU; map it to its cache
         # slot within that RSU.
         self.content_slot = np.zeros(self.catalog.num_contents, dtype=int)
-        for k in range(num_rsus):
-            for slot in range(per_rsu):
-                self.content_slot[self.content_ids[k, slot]] = slot
+        self.content_slot[self.content_ids] = np.arange(per_rsu, dtype=int)
         self._static_update_costs: Optional[np.ndarray] = None
 
     def ages_matrix(self) -> np.ndarray:
@@ -121,12 +117,13 @@ class SystemState:
             mbs_ages=mbs_ages,
         )
 
-    def update_costs_vector(self, time_slot: int) -> np.ndarray:
+    def update_costs_vector(self, time_slot: int, *, copy: bool = True) -> np.ndarray:
         """Vectorised twin of :meth:`update_costs_matrix` (identical values).
 
         Distances and sizes are static, so time-invariant cost models are
-        evaluated once and the matrix is reused (copied, so callers may keep
-        or mutate it).
+        evaluated once and the matrix is reused (copied by default, so
+        callers may keep or mutate it; hot loops pass ``copy=False`` and
+        treat the result as read-only).
         """
         if self.update_cost_model.time_varying:
             return self.update_cost_model.cost_array(
@@ -140,20 +137,33 @@ class SystemState:
                 sizes=self.content_sizes,
                 time_slot=time_slot,
             )
-        return self._static_update_costs.copy()
+        if copy:
+            return self._static_update_costs.copy()
+        return self._static_update_costs
 
-    def observation_vector(self, time_slot: int, ages: np.ndarray) -> CacheObservation:
+    def observation_vector(
+        self, time_slot: int, ages: np.ndarray, *, copy: bool = True
+    ) -> CacheObservation:
         """Vectorised twin of :meth:`observation` for a given *ages* matrix.
 
         Builds the identical :class:`CacheObservation` (bit for bit) with
-        array gathers instead of per-(RSU, content) Python loops.
+        array gathers instead of per-(RSU, content) Python loops.  With
+        ``copy=False`` the observation aliases the static parameter
+        matrices instead of defensively copying them each slot, and uses
+        *ages* as passed.  The values are identical, and the statics are
+        never mutated over a run (so even policies that retain
+        observations stay correct); the hot loops use it to skip O(grid)
+        copies per slot, passing an *ages* array that is not mutated in
+        place afterwards.
         """
+        if copy:
+            ages = ages.copy()
         return CacheObservation(
             time_slot=time_slot,
-            ages=ages.copy(),
-            max_ages=self.max_ages.copy(),
-            popularity=self.popularity.copy(),
-            update_costs=self.update_costs_vector(time_slot),
+            ages=ages,
+            max_ages=self.max_ages.copy() if copy else self.max_ages,
+            popularity=self.popularity.copy() if copy else self.popularity,
+            update_costs=self.update_costs_vector(time_slot, copy=copy),
             mbs_ages=self.mbs_store.ages[self.content_ids],
         )
 

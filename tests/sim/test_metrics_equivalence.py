@@ -1,0 +1,327 @@
+"""Summary-mode and slot-blocked metrics equivalence.
+
+``metrics="summary"`` collectors must produce ``summary()`` / ``rows()``
+output byte-identical to ``metrics="full"`` — across all three simulators,
+every execution mode (reference / vectorized / batch), every registered
+workload model, and any metrics block size.  These tests pin that contract,
+plus the summary-mode error surface and the cached-reduction semantics of
+the array-backed collectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reward import RewardBreakdown
+from repro.exceptions import SimulationError, ValidationError
+from repro.sim import simulate
+from repro.sim.metrics import CacheMetrics, RewardTrace, ServiceMetrics
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import CacheSimulator, JointSimulator, ServiceSimulator
+from repro.workloads import export_trace, workload_names
+from repro.workloads.registry import WorkloadSpec
+
+SLOTS = 40
+
+
+def cache_scenario(**overrides):
+    return ScenarioConfig.small(seed=3, num_slots=SLOTS, **overrides)
+
+
+def run_cache(mode, metrics, **kwargs):
+    config = cache_scenario()
+    from repro.core.caching_mdp import MDPCachingPolicy
+
+    policy = MDPCachingPolicy(config.build_mdp_config())
+    simulator = CacheSimulator(
+        config, policy, reference=(mode == "reference"), metrics=metrics, **kwargs
+    )
+    if mode == "batch":
+        return simulator.run_batch([3])[0]
+    return simulator.run()
+
+
+class TestSummaryEqualsFull:
+    @pytest.mark.parametrize("mode", ["reference", "vectorized", "batch"])
+    def test_cache_kind(self, mode):
+        full = run_cache(mode, "full")
+        summary = run_cache(mode, "summary")
+        assert full.summary() == summary.summary()
+        assert full.rows() == summary.rows()
+
+    @pytest.mark.parametrize("mode", ["reference", "vectorized", "batch"])
+    def test_service_kind(self, mode):
+        from repro.core.lyapunov import LyapunovServiceController
+
+        config = ScenarioConfig.fig1b(seed=1).with_overrides(num_slots=SLOTS)
+        results = {}
+        for metrics in ("full", "summary"):
+            simulator = ServiceSimulator(
+                config,
+                LyapunovServiceController(config.tradeoff_v),
+                reference=(mode == "reference"),
+                metrics=metrics,
+            )
+            results[metrics] = (
+                simulator.run_batch([1])[0] if mode == "batch" else simulator.run()
+            )
+        assert results["full"].summary() == results["summary"].summary()
+        assert results["full"].rows() == results["summary"].rows()
+
+    @pytest.mark.parametrize("mode", ["reference", "vectorized", "batch"])
+    def test_joint_kind(self, mode):
+        from repro.core.caching_mdp import MDPCachingPolicy
+        from repro.core.lyapunov import LyapunovServiceController
+
+        config = ScenarioConfig.small(seed=5, num_slots=SLOTS, arrival_rate=0.8)
+        results = {}
+        for metrics in ("full", "summary"):
+            simulator = JointSimulator(
+                config,
+                MDPCachingPolicy(config.build_mdp_config()),
+                LyapunovServiceController(config.tradeoff_v),
+                reference=(mode == "reference"),
+                metrics=metrics,
+            )
+            results[metrics] = (
+                simulator.run_batch([5])[0] if mode == "batch" else simulator.run()
+            )
+        assert results["full"].summary() == results["summary"].summary()
+        assert results["full"].rows() == results["summary"].rows()
+
+    @pytest.mark.parametrize("block_size", [1, 3, 7, 1000])
+    def test_block_size_never_changes_output(self, block_size):
+        baseline = run_cache("vectorized", "full")
+        blocked = run_cache("vectorized", "full", block_size=block_size)
+        assert baseline.summary() == blocked.summary()
+        assert np.array_equal(
+            baseline.metrics.age_matrix_history(),
+            blocked.metrics.age_matrix_history(),
+        )
+        assert np.array_equal(
+            baseline.metrics.action_matrix_history(),
+            blocked.metrics.action_matrix_history(),
+        )
+        assert baseline.metrics.reward.totals == blocked.metrics.reward.totals
+
+    @pytest.mark.parametrize("block_size", [1, 3, 1000])
+    def test_summary_block_sizes(self, block_size):
+        baseline = run_cache("vectorized", "full")
+        summary = run_cache("vectorized", "summary", block_size=block_size)
+        assert baseline.summary() == summary.summary()
+
+    def test_every_workload_model(self, tmp_path):
+        """summary == full for every registered workload, joint kind, all modes."""
+        from repro.core.caching_mdp import MDPCachingPolicy
+        from repro.core.lyapunov import LyapunovServiceController
+        from repro.sim.system import SystemState
+
+        for name in workload_names():
+            if name == "trace":
+                base = ScenarioConfig.small(seed=7, num_slots=SLOTS)
+                path = str(tmp_path / "workload.jsonl")
+                export_trace(SystemState(base).workload, SLOTS, path)
+                workload = f"trace:path={path}"
+            else:
+                workload = name
+            config = ScenarioConfig.small(
+                seed=7, num_slots=SLOTS, arrival_rate=0.9, workload=workload
+            )
+            for mode in ("reference", "vectorized", "batch"):
+                results = {}
+                for metrics in ("full", "summary"):
+                    simulator = JointSimulator(
+                        config,
+                        MDPCachingPolicy(config.build_mdp_config()),
+                        LyapunovServiceController(config.tradeoff_v),
+                        reference=(mode == "reference"),
+                        metrics=metrics,
+                    )
+                    results[metrics] = (
+                        simulator.run_batch([7])[0]
+                        if mode == "batch"
+                        else simulator.run()
+                    )
+                assert results["full"].summary() == results["summary"].summary(), (
+                    name,
+                    mode,
+                )
+
+    def test_simulate_facade_threads_metrics(self):
+        config = cache_scenario()
+        full = simulate(config, "mdp", metrics="full")
+        summary = simulate(config, "mdp", metrics="summary", block_size=5)
+        assert full.summary() == summary.summary()
+        batch_full = simulate(config, "mdp", seeds=2, metrics="full")
+        batch_summary = simulate(config, "mdp", seeds=2, metrics="summary")
+        for one, other in zip(batch_full, batch_summary):
+            assert one.summary() == other.summary()
+
+    def test_simulate_rejects_unknown_metrics(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            simulate(cache_scenario(), "mdp", metrics="everything")
+
+
+class TestSummaryModeSurface:
+    def test_traces_survive_summary_mode(self):
+        result = run_cache("vectorized", "summary")
+        full = run_cache("vectorized", "full")
+        np.testing.assert_array_equal(result.cumulative_reward, full.cumulative_reward)
+        assert result.metrics.reward.totals == full.metrics.reward.totals
+
+    def test_service_headline_histories_survive_summary_mode(self):
+        from repro.core.lyapunov import LyapunovServiceController
+
+        config = ScenarioConfig.fig1b(seed=2).with_overrides(num_slots=SLOTS)
+        results = {
+            metrics: ServiceSimulator(
+                config,
+                LyapunovServiceController(config.tradeoff_v),
+                metrics=metrics,
+            ).run()
+            for metrics in ("full", "summary")
+        }
+        for history in ("backlog_history", "latency_history", "cost_history"):
+            np.testing.assert_array_equal(
+                getattr(results["full"].metrics, history)(),
+                getattr(results["summary"].metrics, history)(),
+            )
+
+    def test_matrix_accessors_raise_in_summary_mode(self):
+        result = run_cache("vectorized", "summary")
+        with pytest.raises(SimulationError):
+            result.metrics.age_matrix_history()
+        with pytest.raises(SimulationError):
+            result.metrics.action_matrix_history()
+        with pytest.raises(SimulationError):
+            result.metrics.age_trace(0, 0)
+        # The streamed reward components keep their reductions but not the
+        # per-slot vectors.
+        with pytest.raises(SimulationError):
+            result.metrics.reward.costs
+        with pytest.raises(SimulationError):
+            result.metrics.reward.aoi_utilities
+        full = run_cache("vectorized", "full")
+        assert result.metrics.reward.total_cost == full.metrics.reward.total_cost
+        assert (
+            result.metrics.reward.total_aoi_utility
+            == full.metrics.reward.total_aoi_utility
+        )
+
+    def test_streaming_sum_matches_deferred_fold_past_chunk_boundary(self):
+        from repro.sim.metrics import STREAM_CHUNK, _StreamingSum, _chunked_sum
+
+        rng = np.random.default_rng(7)
+        values = rng.uniform(-1.0, 1.0, size=2 * STREAM_CHUNK + 137)
+        stream = _StreamingSum()
+        stream.push(float(values[0]))
+        stream.extend(values[1:900])
+        stream.extend(values[900:])
+        assert stream.total == _chunked_sum(values)
+        assert stream.count == values.size
+
+    def test_per_rsu_histories_raise_in_summary_mode(self):
+        metrics = ServiceMetrics(2, mode="summary")
+        metrics.record_slot([1.0, 2.0], [2.0, 4.0], [0.5, 0.0], [True, False], [1, 0])
+        with pytest.raises(SimulationError):
+            metrics.backlog_history(rsu=0)
+        np.testing.assert_allclose(metrics.backlog_history(), [3.0])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            ServiceMetrics(2, mode="compact")
+        with pytest.raises(ValidationError):
+            CacheMetrics(2, 2, np.ones((2, 2)), mode="compact")
+        with pytest.raises(ValidationError):
+            CacheSimulator(cache_scenario(), None, metrics="compact")
+
+
+class TestBlockRecordingPrimitives:
+    def test_cache_record_block_matches_record_slot(self):
+        max_ages = np.array([[4.0, 6.0], [8.0, 10.0]])
+        rng = np.random.default_rng(0)
+        ages = rng.uniform(1.0, 12.0, size=(5, 2, 2))
+        actions = rng.integers(0, 2, size=(5, 2, 2))
+        aoi = rng.uniform(0.0, 5.0, size=5)
+        costs = rng.uniform(0.0, 2.0, size=5)
+        totals = aoi - costs
+        one = CacheMetrics(2, 2, max_ages)
+        for t in range(5):
+            one.record_slot(
+                t,
+                ages[t],
+                actions[t],
+                RewardBreakdown(float(aoi[t]), float(costs[t]), 1.0),
+            )
+        other = CacheMetrics(2, 2, max_ages)
+        other.record_block(
+            0, ages[:3], actions[:3], (aoi - costs + costs)[:3], costs[:3], totals[:3]
+        )
+        other.record_block(3, ages[3:], actions[3:], aoi[3:], costs[3:], totals[3:])
+        assert one.summary() == other.summary()
+        assert np.array_equal(one.age_matrix_history(), other.age_matrix_history())
+        assert np.array_equal(
+            one.action_matrix_history(), other.action_matrix_history()
+        )
+        trace_one = one.age_trace(1, 0)
+        trace_other = other.age_trace(1, 0)
+        np.testing.assert_array_equal(trace_one.ages, trace_other.ages)
+
+    def test_service_record_block_matches_record_slot(self):
+        rng = np.random.default_rng(1)
+        rows = rng.uniform(0.0, 5.0, size=(6, 5, 3))
+        decisions = rng.integers(0, 2, size=(6, 3)).astype(float)
+        one = ServiceMetrics(3)
+        for t in range(6):
+            one.record_slot(
+                rows[t, 0], rows[t, 1], rows[t, 2], decisions[t], rows[t, 4]
+            )
+        other = ServiceMetrics(3)
+        other.record_block(
+            rows[:4, 0], rows[:4, 1], rows[:4, 2], decisions[:4], rows[:4, 4]
+        )
+        other.record_block(
+            rows[4:, 0], rows[4:, 1], rows[4:, 2], decisions[4:], rows[4:, 4]
+        )
+        assert one.summary() == other.summary()
+        for history in ("backlog_history", "latency_history", "cost_history"):
+            np.testing.assert_array_equal(
+                getattr(one, history)(), getattr(other, history)()
+            )
+            np.testing.assert_array_equal(
+                getattr(one, history)(rsu=1), getattr(other, history)(rsu=1)
+            )
+
+    def test_record_block_aggregates_is_summary_only(self):
+        metrics = CacheMetrics(1, 1, np.ones((1, 1)))
+        with pytest.raises(ValidationError):
+            metrics.record_block_aggregates(
+                np.ones(1), np.ones(1), np.ones(1), np.ones(1), 0, 0
+            )
+
+    def test_reward_trace_reductions_cached_and_invalidated(self):
+        trace = RewardTrace()
+        trace.record(RewardBreakdown(2.0, 1.0, 1.0))
+        assert trace.total_reward == pytest.approx(1.0)
+        # The cumsum is cached internally (returned as a fresh copy)...
+        assert trace.cumulative_reward is not trace.cumulative_reward
+        assert "cumulative_reward" in trace._cache
+        # ...and mutating a returned copy never corrupts the trace.
+        trace.cumulative_reward[:] = -1.0
+        np.testing.assert_allclose(trace.cumulative_reward, [1.0])
+        # The next append invalidates every cached reduction.
+        trace.record(RewardBreakdown(4.0, 1.0, 1.0))
+        assert trace.total_reward == pytest.approx(4.0)
+        np.testing.assert_allclose(trace.cumulative_reward, [1.0, 4.0])
+
+    def test_slot_buffers_grow_past_initial_capacity(self):
+        metrics = ServiceMetrics(2)
+        for t in range(200):
+            metrics.record_slot([1.0, 2.0], [0.0, 0.0], [0.5, 0.5], [1, 0], [1, 0])
+        assert metrics.num_slots_recorded == 200
+        assert metrics.total_cost == pytest.approx(200.0)
+        assert metrics.backlog_history().shape == (200,)
+        assert metrics.backlog_history(rsu=1).shape == (200,)

@@ -138,8 +138,20 @@ class TestApiSurface:
 
     def test_simulation_modes_snapshot(self):
         from repro.runtime.spec import EXPERIMENT_MODES
-        from repro.sim import SIMULATION_KINDS, SIMULATION_MODES
+        from repro.sim import METRICS_MODES, SIMULATION_KINDS, SIMULATION_MODES
 
         assert SIMULATION_KINDS == ("cache", "service", "joint")
         assert SIMULATION_MODES == ("auto", "reference", "vectorized", "batch")
         assert EXPERIMENT_MODES == SIMULATION_MODES
+        # PR 5: the metric collection knob threaded through simulate(), the
+        # simulators, RunSpec/ExperimentSpec, and the CLI.
+        assert METRICS_MODES == ("full", "summary")
+
+    def test_metrics_knobs_in_simulate_signature(self):
+        import inspect
+
+        from repro import simulate
+
+        parameters = inspect.signature(simulate).parameters
+        assert parameters["metrics"].default == "full"
+        assert parameters["block_size"].default is None
