@@ -102,6 +102,7 @@ from repro.runtime import (
     ExperimentSpec,
     RunRecord,
     RunSpec,
+    RunStore,
     expand_seeds,
     expand_workloads,
     load_specs,
@@ -127,7 +128,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AlwaysServePolicy",
@@ -193,6 +194,7 @@ __all__ = [
     "ExperimentSpec",
     "RunRecord",
     "RunSpec",
+    "RunStore",
     "expand_seeds",
     "expand_workloads",
     "load_specs",

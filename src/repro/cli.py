@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction harness.
 
-Six subcommands cover the common workflows without writing any Python:
+Eight subcommands cover the common workflows without writing any Python:
 
 * ``list`` — show every registered experiment (the E1-E8 index of DESIGN.md).
 * ``run`` — run registered experiments, or a declarative spec file.
@@ -8,6 +8,9 @@ Six subcommands cover the common workflows without writing any Python:
 * ``workloads`` — show every registered request-process model.
 * ``policies`` — show every registered caching/service policy.
 * ``cache`` — inspect or clear the on-disk MDP solve cache.
+* ``results`` — list / filter / aggregate / export historical runs from
+  the persistent run store.
+* ``store`` — inspect, clear, or compact the persistent run store.
 
 Examples::
 
@@ -20,10 +23,15 @@ Examples::
     python -m repro.cli run --spec experiments.json --out results.json
     python -m repro.cli run --spec experiments.json --policy mdp:mode=factored
     python -m repro.cli run --spec experiments.json --metrics summary
+    python -m repro.cli run --spec experiments.json --store    # resumable
     python -m repro.cli figures --slots 500 --workload flash-crowd
     python -m repro.cli workloads
     python -m repro.cli policies
     python -m repro.cli cache --clear
+    python -m repro.cli results --label 'fig1a*' --aggregate
+    python -m repro.cli results --kind cache --csv --out history.csv
+    python -m repro.cli store --stats
+    python -m repro.cli store --vacuum
 
 ``--workload`` and ``--policy`` share one ``name[:k=v,...]`` grammar; see
 the ``workloads`` and ``policies`` subcommands for the two catalogs.
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import io
 import os
 import pstats
 import sys
@@ -184,6 +193,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    run_parser.add_argument(
+        "--store",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help=(
+            "with --spec: enable the persistent run store (at DIR, or the "
+            "REPRO_RUN_STORE_DIR/default location) — cells already stored "
+            "are served from disk, only dirty/missing cells recompute, and "
+            "fresh cells persist for future sweeps and 'repro.cli results'"
+        ),
+    )
+
     figures_parser = subparsers.add_parser(
         "figures", help="regenerate Fig. 1a and Fig. 1b as ASCII charts"
     )
@@ -211,7 +234,93 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--clear",
         action="store_true",
-        help="delete every persisted solve from the cache directory",
+        help=(
+            "delete every persisted solve from the cache directory "
+            "(including temp files orphaned by interrupted writers)"
+        ),
+    )
+
+    results_parser = subparsers.add_parser(
+        "results",
+        help="list, filter, aggregate, and export runs from the run store",
+    )
+    results_parser.add_argument(
+        "--dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="store location (default: REPRO_RUN_STORE_DIR or .repro_cache/runs)",
+    )
+    results_parser.add_argument(
+        "--label",
+        type=str,
+        default=None,
+        metavar="GLOB",
+        help="only rows whose label matches this fnmatch glob, e.g. 'fig1a*'",
+    )
+    results_parser.add_argument(
+        "--kind",
+        choices=["cache", "service", "joint"],
+        default=None,
+        help="only rows of this simulation kind",
+    )
+    results_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N rows",
+    )
+    results_parser.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="collapse each label's rows into one across-seed mean/CI row",
+    )
+    format_group = results_parser.add_mutually_exclusive_group()
+    format_group.add_argument(
+        "--json", action="store_true", help="emit JSON instead of tables"
+    )
+    format_group.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of tables"
+    )
+    results_parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the export to PATH instead of stdout (needs --json/--csv)",
+    )
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect, clear, or compact the persistent run store"
+    )
+    store_parser.add_argument(
+        "--dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="store location (default: REPRO_RUN_STORE_DIR or .repro_cache/runs)",
+    )
+    action_group = store_parser.add_mutually_exclusive_group()
+    action_group.add_argument(
+        "--stats",
+        action="store_true",
+        help="show cell counts, sizes, and versions (the default action)",
+    )
+    action_group.add_argument(
+        "--clear",
+        action="store_true",
+        help="delete every stored cell, blob, and orphaned temp file",
+    )
+    action_group.add_argument(
+        "--vacuum",
+        action="store_true",
+        help="compact the database and collect orphaned blobs/temp files",
+    )
+    store_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --stats: emit the statistics as JSON (for CI artifacts)",
     )
 
     return parser
@@ -246,6 +355,12 @@ def _command_run(arguments, out) -> int:
         return 2
     if arguments.out is not None:
         out.write("error: --out applies to --spec runs\n")
+        return 2
+    if arguments.store is not None:
+        out.write(
+            "error: --store applies to --spec runs (set REPRO_RUN_STORE=1 "
+            "to enable the run store for registered experiments)\n"
+        )
         return 2
     requested = [item.strip() for item in arguments.experiments]
     workload = _parse_workload(arguments.workload)
@@ -342,8 +457,16 @@ def _run_spec_file(arguments, out) -> int:
     if arguments.metrics is not None:
         specs = [spec.with_overrides(metrics=arguments.metrics) for spec in specs]
     runner = ExperimentRunner(arguments.workers)
-    batch = runner.run_grid(specs, num_seeds=arguments.seeds)
+    batch = runner.run_grid(specs, num_seeds=arguments.seeds, store=arguments.store)
     out.write(f"Ran {len(batch)} run(s) across {len(specs)} experiment(s)\n")
+    store_stats = (runner.last_dispatch_stats or {}).get("run_store")
+    if store_stats:
+        out.write(
+            "Run store: cached={cells_cached} dispatched={cells_dispatched} "
+            "total={cells_total} hit_rate={rate:.1f}%\n".format(
+                rate=100.0 * store_stats["hit_rate"], **store_stats
+            )
+        )
     # One table per simulation kind: kinds report different metric columns,
     # and format_table takes its header from the first row.
     kind_of_label = {
@@ -473,6 +596,173 @@ def _command_cache(arguments, out) -> int:
     return 0
 
 
+def _open_store(directory, out):
+    """Resolve and open the run store for the results/store subcommands.
+
+    Returns ``(store, exit_code)`` — exactly one is meaningful.  No
+    directory is created as a side effect of merely *inspecting* a store
+    that does not exist yet.
+    """
+    from repro.runtime.store import RunStore, opt_in_directory
+
+    directory = directory if directory is not None else opt_in_directory()
+    if directory is None:
+        out.write("Run store: disabled (REPRO_RUN_STORE=0)\n")
+        return None, 0
+    if not os.path.isdir(directory):
+        out.write(f"Run store: empty (no store at {directory})\n")
+        return None, 0
+    return RunStore(directory), 0
+
+
+def _store_rows_to_records(rows):
+    """Rebuild :class:`RunRecord`-shaped entries from exported store rows."""
+    from repro.runtime import BatchResult, RunRecord
+
+    provenance = ("label", "seed", "kind", "package_version", "created_at")
+    records = [
+        RunRecord(
+            label=row["label"],
+            seed=row["seed"],
+            kind=row["kind"],
+            summary={k: v for k, v in row.items() if k not in provenance},
+        )
+        for row in rows
+    ]
+    return BatchResult(records=records)
+
+
+def _command_results(arguments, out) -> int:
+    import csv
+    import json
+
+    from repro.analysis.sweep import format_table
+
+    if arguments.out is not None and not (arguments.json or arguments.csv):
+        out.write("error: --out needs --json or --csv\n")
+        return 2
+    store, exit_code = _open_store(arguments.dir, out)
+    if store is None:
+        return exit_code
+    try:
+        rows = store.rows(
+            label=arguments.label, kind=arguments.kind, limit=arguments.limit
+        )
+    finally:
+        store.close()
+    if not rows:
+        out.write("Run store: no rows match\n")
+        return 0
+    aggregate = (
+        _store_rows_to_records(rows).aggregate() if arguments.aggregate else None
+    )
+    if arguments.json:
+        document = {"rows": rows}
+        if aggregate is not None:
+            document["aggregate"] = aggregate
+        text = json.dumps(document, indent=2)
+        _write_export(text + "\n", arguments.out, out)
+        return 0
+    if arguments.csv:
+        export = aggregate if aggregate is not None else rows
+        columns: List[str] = []
+        for row in export:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(export)
+        _write_export(buffer.getvalue(), arguments.out, out)
+        return 0
+    display = aggregate if aggregate is not None else rows
+    kinds: List[str] = []
+    for row in display:
+        kind = row.get("kind") or "aggregate"
+        if kind not in kinds:
+            kinds.append(kind)
+    if aggregate is not None:
+        # Aggregate rows drop the per-seed provenance; group them by the
+        # kind of their first underlying row.
+        kind_of_label = {row["label"]: row["kind"] for row in reversed(rows)}
+        out.write(f"{len(rows)} row(s), {len(aggregate)} label(s)\n")
+        for kind in ("cache", "service", "joint"):
+            group = [
+                row
+                for row in aggregate
+                if kind_of_label.get(row["label"]) == kind
+            ]
+            if group:
+                out.write(f"\n[{kind}]\n")
+                out.write(format_table(group) + "\n")
+        return 0
+    out.write(f"{len(rows)} row(s)\n")
+    for kind in ("cache", "service", "joint"):
+        group = [row for row in rows if row.get("kind") == kind]
+        if group:
+            out.write(f"\n[{kind}]\n")
+            out.write(format_table(group) + "\n")
+    return 0
+
+
+def _write_export(text, path, out) -> None:
+    if path is None:
+        out.write(text)
+    else:
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+        out.write(f"Wrote {path}\n")
+
+
+def _command_store(arguments, out) -> int:
+    import json
+
+    store, exit_code = _open_store(arguments.dir, out)
+    if store is None:
+        return exit_code
+    try:
+        if arguments.clear:
+            removed = store.clear()
+            out.write(
+                f"Cleared {removed} cell(s) from {store.directory}\n"
+            )
+            return 0
+        if arguments.vacuum:
+            report = store.vacuum()
+            out.write(
+                f"Vacuumed {store.directory}: removed "
+                f"{report['orphan_blobs']} orphaned blob(s), "
+                f"{report['stale_tmp_files']} stale temp file(s)\n"
+            )
+            return 0
+        stats = store.store_stats()
+    finally:
+        store.close()
+    if arguments.json:
+        out.write(json.dumps(stats, indent=2) + "\n")
+        return 0
+    out.write(f"Run store directory: {stats['directory']}\n")
+    out.write(f"Schema version: {stats['schema_version']}\n")
+    out.write(f"Cells: {stats['cells']}")
+    if stats["cells_by_kind"]:
+        rendered = ", ".join(
+            f"{kind}={count}" for kind, count in stats["cells_by_kind"].items()
+        )
+        out.write(f" ({rendered})")
+    out.write(f"\nLabels: {stats['labels']}\n")
+    out.write(
+        f"Package versions: {', '.join(stats['package_versions']) or '-'}\n"
+    )
+    out.write(
+        f"Database: {stats['database_bytes']} bytes; blobs: "
+        f"{stats['blob_count']} file(s), {stats['blob_bytes']} bytes\n"
+    )
+    return 0
+
+
 def _profiled(fn, out) -> int:
     """Run *fn* under cProfile and append the top-20 cumulative hotspots."""
     profiler = cProfile.Profile()
@@ -505,6 +795,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_policies(out)
     if arguments.command == "cache":
         return _command_cache(arguments, out)
+    if arguments.command == "results":
+        return _command_results(arguments, out)
+    if arguments.command == "store":
+        return _command_store(arguments, out)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
 
 

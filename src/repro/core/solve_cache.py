@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.solvers import SolverResult
 from repro.exceptions import ValidationError
+from repro.utils.cachedir import resolve_cache_dir, sweep_stale_tmp_files
 from repro.utils.validation import check_positive_int
 
 #: Default on-disk location, relative to the working directory.
@@ -53,10 +54,6 @@ SOLVER_CODE_VERSION = 1
 
 _ENV_DIR = "REPRO_SOLVE_CACHE_DIR"
 _ENV_DISABLE = "REPRO_SOLVE_CACHE"
-
-#: Spellings of "disabled" accepted for ``REPRO_SOLVE_CACHE`` (compared
-#: case-insensitively after stripping whitespace).
-_FALSEY_VALUES = frozenset(("0", "false", "no", "off", ""))
 
 
 def _canonical(value: Any) -> Any:
@@ -197,7 +194,11 @@ class SolveCache:
             self._save(key, result)
 
     def clear(self, *, disk: bool = False) -> None:
-        """Drop the in-memory entries (and the on-disk files when *disk*)."""
+        """Drop the in-memory entries (and the on-disk files when *disk*).
+
+        The disk pass also removes orphaned ``*.tmp`` files left by writers
+        interrupted before their atomic ``os.replace`` publish.
+        """
         self._memory.clear()
         if disk and self._directory is not None and os.path.isdir(self._directory):
             for name in os.listdir(self._directory):
@@ -206,6 +207,7 @@ class SolveCache:
                         os.remove(os.path.join(self._directory, name))
                     except OSError:  # pragma: no cover - best-effort cleanup
                         pass
+            sweep_stale_tmp_files(self._directory, max_age_seconds=0.0)
 
     def _insert(self, key: str, result: SolverResult) -> None:
         if key not in self._memory and len(self._memory) >= self._capacity:
@@ -286,10 +288,7 @@ _global_cache: Optional[SolveCache] = None
 
 def default_directory() -> Optional[str]:
     """Resolve the on-disk location of the global cache from the environment."""
-    disable = os.environ.get(_ENV_DISABLE)
-    if disable is not None and disable.strip().lower() in _FALSEY_VALUES:
-        return None
-    return os.environ.get(_ENV_DIR, DEFAULT_DIRECTORY)
+    return resolve_cache_dir(_ENV_DIR, DEFAULT_DIRECTORY, disable_env=_ENV_DISABLE)
 
 
 def global_solve_cache() -> SolveCache:

@@ -22,6 +22,7 @@ from repro.runtime.runner import (
     expand_workloads,
 )
 from repro.runtime.spec import ExperimentSpec, load_specs, save_specs
+from repro.runtime.store import RunStore
 
 __all__ = [
     "BatchResult",
@@ -29,6 +30,7 @@ __all__ = [
     "ExperimentSpec",
     "RunRecord",
     "RunSpec",
+    "RunStore",
     "execute_batch",
     "execute_spec",
     "expand_seeds",

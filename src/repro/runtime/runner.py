@@ -565,8 +565,33 @@ class ExperimentRunner:
 
     def map(self, fn: Callable, items: Sequence) -> List:
         """Apply picklable *fn* to *items*, preserving input order."""
+        return self.map_stream(fn, items)
+
+    def map_stream(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List:
+        """Like :meth:`map`, invoking *on_result(index, result)* as results land.
+
+        Results stream back in submission order (the pool's ``map``
+        contract), so the callback fires incrementally while later tasks
+        are still running — this is what lets a store-backed grid persist
+        each task group the moment it completes instead of only at the end
+        of the sweep (an interrupted sweep keeps its finished cells).
+        """
         items = list(items)
         workers = self.effective_workers(len(items))
+
+        def _consume(iterable) -> List:
+            results = []
+            for index, result in enumerate(iterable):
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
+            return results
+
         if workers <= 1 or len(items) <= 1:
             if self._workers == 1:
                 # An explicit serial request is a contract, not a hint: set
@@ -576,28 +601,29 @@ class ExperimentRunner:
                 previous = os.environ.get(_WORKER_ENV_FLAG)
                 os.environ[_WORKER_ENV_FLAG] = "1"
                 try:
-                    return [fn(item) for item in items]
+                    return _consume(fn(item) for item in items)
                 finally:
                     if previous is None:
                         os.environ.pop(_WORKER_ENV_FLAG, None)
                     else:
                         os.environ[_WORKER_ENV_FLAG] = previous
-            return [fn(item) for item in items]
+            return _consume(fn(item) for item in items)
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_mark_worker
         ) as pool:
-            return list(pool.map(fn, items))
+            return _consume(pool.map(fn, items))
 
     @staticmethod
     def _seed_pairs(
         specs: Sequence[Any], num_seeds: Optional[int]
     ) -> List["tuple"]:
-        """Normalise a mixed grid into ``(RunSpec, num_seeds)`` pairs.
+        """Normalise a mixed grid into ``(RunSpec, num_seeds, store_opt)`` triples.
 
         :class:`~repro.runtime.spec.ExperimentSpec` entries convert through
         ``to_run_spec()`` and carry their own replicate count (overridden by
-        an explicit *num_seeds* argument); plain :class:`RunSpec` entries
-        default to one seed.
+        an explicit *num_seeds* argument) plus their per-spec ``store``
+        opt-in/out; plain :class:`RunSpec` entries default to one seed and
+        inherit the grid-level store setting.
         """
         # Imported lazily: the spec module imports RunSpec from here.
         from repro.runtime.spec import ExperimentSpec
@@ -606,12 +632,14 @@ class ExperimentRunner:
             check_positive_int(num_seeds, "num_seeds")
         pairs = []
         for spec in specs:
+            store_opt = None
             if isinstance(spec, ExperimentSpec):
                 count = spec.num_seeds if num_seeds is None else num_seeds
+                store_opt = spec.store
                 spec = spec.to_run_spec()
             else:
                 count = 1 if num_seeds is None else num_seeds
-            pairs.append((spec, count))
+            pairs.append((spec, count, store_opt))
         return pairs
 
     def run(self, specs: Sequence[Any]) -> BatchResult:
@@ -625,7 +653,7 @@ class ExperimentRunner:
             raise ValidationError("specs must be non-empty")
         expanded = [
             replace(spec, seed=seed)
-            for spec, count in self._seed_pairs(specs, None)
+            for spec, count, _ in self._seed_pairs(specs, None)
             for seed in spawn_run_seeds(spec.seed, count)
         ]
         return BatchResult(records=self.map(execute_spec, expanded))
@@ -636,6 +664,7 @@ class ExperimentRunner:
         *,
         num_seeds: Optional[int] = None,
         seed_batching: bool = True,
+        store: Any = None,
     ) -> BatchResult:
         """Expand each spec over derived seeds, then execute the full grid.
 
@@ -652,6 +681,18 @@ class ExperimentRunner:
         processes stay busy.  Results are bit-identical to the per-run path
         (``seed_batching=False``) for every worker count; only wall-clock
         time changes.
+
+        *store* makes the grid resumable: ``None`` consults the
+        ``REPRO_RUN_STORE[_DIR]`` environment knobs, ``True``/a directory/a
+        :class:`~repro.runtime.store.RunStore` enable the persistent run
+        store, ``False`` disables it.  With a store, cells already present
+        are served from disk and only dirty/missing cells dispatch to the
+        workers; finished task groups persist incrementally, so an
+        interrupted sweep resumes where it stopped.  The merged result is
+        bit-identical to a cold run (see :mod:`repro.runtime.store`), and
+        ``last_dispatch_stats["run_store"]`` reports the cell hit/dispatch
+        split.  Specs whose policies are live instances (no canonical
+        serial form) always recompute.
         """
         if not specs:
             raise ValidationError("specs must be non-empty")
@@ -659,10 +700,17 @@ class ExperimentRunner:
         # dispatch; the per-run fallback below fills in a minimal report.
         self.last_dispatch_stats = None
         pairs = self._seed_pairs(specs, num_seeds)
-        if not seed_batching or all(count == 1 for _, count in pairs):
+        stores, owned = self._grid_stores(store, pairs)
+        if any(entry is not None for entry in stores):
+            try:
+                return self._run_grid_stored(pairs, stores, seed_batching)
+            finally:
+                for opened in owned:
+                    opened.close()
+        if not seed_batching or all(count == 1 for _, count, _ in pairs):
             expanded = [
                 replace(spec, seed=seed)
-                for spec, count in pairs
+                for spec, count, _ in pairs
                 for seed in spawn_run_seeds(spec.seed, count)
             ]
             started = time.perf_counter()
@@ -686,9 +734,9 @@ class ExperimentRunner:
         # the grid has fewer groups than workers, so split each group's
         # seeds into ceil(workers / groups) chunks.  Records are ordered by
         # (spec, seed) regardless, exactly like expand_seeds.
-        workers = self.effective_workers(sum(count for _, count in pairs))
+        workers = self.effective_workers(sum(count for _, count, _ in pairs))
         tasks = []
-        for spec, count in pairs:
+        for spec, count, _ in pairs:
             seeds = spawn_run_seeds(spec.seed, count)
             splits = max(1, min(count, -(-workers // len(pairs))))
             chunk = -(-count // splits)
@@ -744,4 +792,160 @@ class ExperimentRunner:
         self.last_dispatch_stats = stats
         return BatchResult(
             records=[record for group, _, _ in outcomes for record in group]
+        )
+
+    @staticmethod
+    def _grid_stores(store: Any, pairs: Sequence["tuple"]) -> "tuple":
+        """Resolve the effective run store of every grid entry.
+
+        Returns ``(stores, owned)``: one :class:`~repro.runtime.store.RunStore`
+        (or ``None``) per pair, honouring per-spec opt-ins/outs, plus the
+        list of stores this call opened (and must close).  A caller-supplied
+        :class:`RunStore` instance stays the caller's to close.
+        """
+        from repro.runtime.store import RunStore, resolve_store
+
+        grid_store = resolve_store(store)
+        owned = [grid_store] if grid_store is not None and not isinstance(
+            store, RunStore
+        ) else []
+        opt_in_store: Optional[RunStore] = None
+        stores: List[Optional[RunStore]] = []
+        for _, _, store_opt in pairs:
+            if store_opt is False:
+                stores.append(None)
+            elif store_opt and grid_store is None:
+                if opt_in_store is None:
+                    opt_in_store = resolve_store(True)
+                    if opt_in_store is not None:
+                        owned.append(opt_in_store)
+                stores.append(opt_in_store)
+            else:
+                stores.append(grid_store)
+        return stores, owned
+
+    def _run_grid_stored(
+        self,
+        pairs: Sequence["tuple"],
+        stores: Sequence[Any],
+        seed_batching: bool,
+    ) -> BatchResult:
+        """Store-backed grid execution: serve cached cells, dispatch the rest.
+
+        Every ``(spec, seed)`` cell is first looked up in its effective
+        store; only the missing ones are chunked into tasks and dispatched.
+        Fresh task groups are upserted the moment they complete (streaming,
+        not end-of-sweep), so a killed sweep keeps its finished cells and a
+        re-run recomputes only what is left.  The merged
+        :class:`BatchResult` is ordered by (spec, seed) exactly like a cold
+        run and is bit-identical to one.
+        """
+        started = time.perf_counter()
+        cell_records: Dict["tuple", RunRecord] = {}
+        seeds_by_pair: List[List[int]] = []
+        groups = []  # (pair index, spec, missing seeds)
+        cells_total = 0
+        for index, ((spec, count, _), cell_store) in enumerate(zip(pairs, stores)):
+            seeds = spawn_run_seeds(spec.seed, count)
+            seeds_by_pair.append(seeds)
+            missing = []
+            for seed in seeds:
+                cells_total += 1
+                record = cell_store.get(spec, seed) if cell_store is not None else None
+                if record is None:
+                    missing.append(seed)
+                else:
+                    cell_records[(index, int(seed))] = record
+            if missing:
+                groups.append((index, spec, missing))
+        cells_cached = cells_total - sum(len(missing) for _, _, missing in groups)
+
+        workers = self.effective_workers(
+            sum(len(missing) for _, _, missing in groups)
+        )
+        tasks: List["tuple"] = []
+        task_pair: List[int] = []
+        for index, spec, missing in groups:
+            count = len(missing)
+            if seed_batching:
+                splits = max(1, min(count, -(-workers // len(groups))))
+                chunk = -(-count // splits)
+            else:
+                chunk = 1
+            for start in range(0, count, chunk):
+                tasks.append((spec, tuple(missing[start : start + chunk])))
+                task_pair.append(index)
+
+        def on_result(task_index: int, outcome: "tuple") -> None:
+            records, _, _ = outcome
+            index = task_pair[task_index]
+            cell_store = stores[index]
+            spec = pairs[index][0]
+            if cell_store is not None:
+                cell_store.put_many(
+                    [(spec, record.seed, record) for record in records]
+                )
+            for record in records:
+                cell_records[(index, int(record.seed))] = record
+
+        shipment = None
+        use_shm = (
+            self._shared_memory
+            if self._shared_memory is not None
+            else shared_memory_available()
+        )
+        outcomes: List["tuple"] = []
+        try:
+            if tasks and use_shm and workers > 1 and shared_memory_available():
+                shipment = HorizonShipment()
+                tasks = [
+                    (spec, seeds, shipment.handle_for(spec, seeds))
+                    for spec, seeds in tasks
+                ]
+            if tasks:
+                outcomes = self.map_stream(_execute_batch_timed, tasks, on_result)
+        finally:
+            if shipment is not None:
+                shipment.close()
+        wall_seconds = time.perf_counter() - started
+        per_worker: Dict[int, Dict[str, float]] = {}
+        for _, seconds, pid in outcomes:
+            entry = per_worker.setdefault(pid, {"tasks": 0, "seconds": 0.0})
+            entry["tasks"] += 1
+            entry["seconds"] += seconds
+        stats: Dict[str, Any] = {
+            "tasks": len(tasks),
+            "workers": workers,
+            "shared_memory": shipment is not None,
+            "wall_seconds": wall_seconds,
+            "task_seconds_total": sum(seconds for _, seconds, _ in outcomes),
+            "per_worker": per_worker,
+        }
+        stats.update(
+            shipment.stats()
+            if shipment is not None
+            else {
+                "shm_blocks": 0,
+                "shm_bytes": 0,
+                "shm_setup_seconds": 0.0,
+                "horizon_precompute_seconds": 0.0,
+                "horizons_computed": 0,
+                "horizons_reused": 0,
+            }
+        )
+        cells_dispatched = cells_total - cells_cached
+        stats["run_store"] = {
+            "enabled": True,
+            "cells_total": cells_total,
+            "cells_cached": cells_cached,
+            "cells_dispatched": cells_dispatched,
+            "hit_rate": (cells_cached / cells_total) if cells_total else 0.0,
+        }
+        self.last_dispatch_stats = stats
+        return BatchResult(
+            records=[
+                cell_records[(index, int(seed))]
+                for index, (spec, count, _) in enumerate(pairs)
+                for seed in seeds_by_pair[index]
+            ]
         )

@@ -83,6 +83,11 @@ class ExperimentSpec:
         Metric collection mode, ``"full"`` (default) or ``"summary"`` —
         ``summary()`` / ``rows()`` output is byte-identical, ``"summary"``
         keeps run memory flat in the grid size on long horizons.
+    store:
+        Per-spec persistent run-store opt-in: ``None`` (default) follows
+        the grid-level/environment setting, ``True`` opts this spec into
+        the default store even when the grid sets none, ``False`` always
+        recomputes this spec (see :mod:`repro.runtime.store`).
     """
 
     kind: str
@@ -96,6 +101,7 @@ class ExperimentSpec:
     num_slots: Optional[int] = None
     service_batch: Optional[int] = None
     metrics: str = "full"
+    store: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -136,6 +142,10 @@ class ExperimentSpec:
         if self.metrics not in METRICS_MODES:
             raise ValidationError(
                 f"metrics must be one of {METRICS_MODES}, got {self.metrics!r}"
+            )
+        if self.store is not None and not isinstance(self.store, bool):
+            raise ValidationError(
+                f"store must be None, True, or False, got {self.store!r}"
             )
         if not self.label:
             object.__setattr__(self, "label", self.auto_label())
@@ -196,6 +206,7 @@ class ExperimentSpec:
             "num_slots": self.num_slots,
             "service_batch": self.service_batch,
             "metrics": self.metrics,
+            "store": self.store,
         }
 
     @classmethod

@@ -161,6 +161,7 @@ def simulate(
     service_batch: Optional[int] = None,
     metrics: str = "full",
     block_size: Optional[int] = None,
+    store: Any = None,
 ) -> Union[SimulationResult, List[SimulationResult]]:
     """Run one scenario under one or two policies and return the result(s).
 
@@ -201,6 +202,19 @@ def simulate(
         Slots staged per metrics flush in the vectorised loops
         (byte-identical for any value; default
         :data:`~repro.sim.metrics.DEFAULT_BLOCK_SLOTS`).
+    store:
+        Persistent run-store knob (see :mod:`repro.runtime.store`):
+        ``None`` consults ``REPRO_RUN_STORE[_DIR]``, ``True``/a
+        directory/a :class:`~repro.runtime.RunStore` enable it, ``False``
+        disables it.  ``simulate()`` always executes (it returns full
+        trajectory results, which the store does not hold) but
+        *write-through* records each run's summary metrics and trace into
+        the store, warming the cells that
+        :meth:`ExperimentRunner.run_grid
+        <repro.runtime.runner.ExperimentRunner.run_grid>` and the
+        ``repro.cli results`` subcommand consume.  Runs whose policies are
+        live instances (no canonical serial form) or whose scenario has no
+        seed are skipped.
 
     Returns
     -------
@@ -260,10 +274,25 @@ def simulate(
             **collection,
         )
 
+    def write_through(results: Sequence[SimulationResult]) -> None:
+        _store_write_through(
+            store,
+            kind=inferred,
+            caching=caching,
+            service=service,
+            reference=reference,
+            results=results,
+            num_slots=num_slots,
+            service_batch=service_batch,
+            metrics=metrics,
+        )
+
     if seeds is None:
         if mode == "batch":
             raise ConfigurationError("mode='batch' needs seeds")
-        return build_simulator(scenario).run(num_slots=num_slots)
+        result = build_simulator(scenario).run(num_slots=num_slots)
+        write_through([result])
+        return result
 
     # Per-seed policy instances are shared by every mode: spec references
     # build per seeded scenario, instances deep-copy per seed — so each
@@ -278,27 +307,30 @@ def simulate(
     )
     if mode in ("auto", "batch"):
         if inferred == "cache":
-            return CacheSimulator(
+            batch_results = CacheSimulator(
                 scenario, None, reference=False, **collection
             ).run_batch(
                 seed_list, policies=caching_policies, num_slots=num_slots
             )
-        if inferred == "service":
-            return ServiceSimulator(
+        elif inferred == "service":
+            batch_results = ServiceSimulator(
                 scenario, None, service_batch=service_batch, reference=False,
                 **collection,
             ).run_batch(
                 seed_list, policies=service_policies, num_slots=num_slots
             )
-        return JointSimulator(
-            scenario, None, None, service_batch=service_batch, reference=False,
-            **collection,
-        ).run_batch(
-            seed_list,
-            caching_policies=caching_policies,
-            service_policies=service_policies,
-            num_slots=num_slots,
-        )
+        else:
+            batch_results = JointSimulator(
+                scenario, None, None, service_batch=service_batch,
+                reference=False, **collection,
+            ).run_batch(
+                seed_list,
+                caching_policies=caching_policies,
+                service_policies=service_policies,
+                num_slots=num_slots,
+            )
+        write_through(batch_results)
+        return batch_results
     # reference / vectorized: one per-run loop per seed, identical to the
     # historical per-seed entry points.
     results: List[SimulationResult] = []
@@ -325,4 +357,87 @@ def simulate(
                 **collection,
             )
         results.append(simulator.run(num_slots=num_slots))
+    write_through(results)
     return results
+
+
+def _store_write_through(
+    store: Any,
+    *,
+    kind: str,
+    caching: Optional[PolicyLike],
+    service: Optional[PolicyLike],
+    reference: bool,
+    results: Sequence[SimulationResult],
+    num_slots: Optional[int],
+    service_batch: Optional[int],
+    metrics: str,
+) -> None:
+    """Record finished ``simulate()`` runs into the persistent run store.
+
+    Uses exactly the cell keys :meth:`ExperimentRunner.run_grid
+    <repro.runtime.runner.ExperimentRunner.run_grid>` computes, so a
+    ``simulate()`` call warms the same cells a later sweep would hit.
+    Silently skips runs it cannot address: opaque policy instances,
+    seedless scenarios, or a store disabled by the environment.
+    """
+    if store is None or store is False:
+        return
+    # Imported lazily — repro.runtime imports the sim package.
+    from repro.runtime.runner import RunRecord, RunSpec
+    from repro.runtime.store import RunStore, resolve_store
+
+    def spec_of(policy: Optional[PolicyLike], role: str) -> Optional[PolicySpec]:
+        if policy is None or not isinstance(policy, (str, PolicySpec)):
+            return None
+        return PolicySpec.coerce(policy, role=role)
+
+    main = spec_of(caching, "caching") if kind != "service" else spec_of(
+        service, "service"
+    )
+    second = spec_of(service, "service") if kind == "joint" else None
+    if main is None or (kind == "joint" and second is None):
+        return
+    resolved = resolve_store(store)
+    if resolved is None:
+        return
+    label = f"{kind}:{main.label()}"
+    if second is not None:
+        label += f"+{second.label()}"
+    try:
+        items = []
+        for result in results:
+            seed = result.config.seed
+            if seed is None:
+                continue
+            spec = RunSpec(
+                kind=kind,
+                scenario=result.config,
+                policy=main,
+                seed=int(seed),
+                label=label,
+                num_slots=num_slots,
+                service_policy=second,
+                service_batch=service_batch,
+                reference=reference,
+                metrics=metrics,
+            )
+            if kind == "cache":
+                trace = result.cumulative_reward
+            elif kind == "service":
+                trace = result.latency_history
+            else:
+                trace = None
+            record = RunRecord(
+                label=label,
+                seed=int(seed),
+                kind=kind,
+                summary=result.summary(),
+                trace=trace,
+            )
+            items.append((spec, int(seed), record))
+        if items:
+            resolved.put_many(items)
+    finally:
+        if not isinstance(store, RunStore):
+            resolved.close()

@@ -1,0 +1,243 @@
+"""Corruption-recovery tests for the run store (ISSUE satellite).
+
+A store that serves stale or torn data is worse than no store.  Each test
+here damages the on-disk state a different way — truncated database,
+garbage database, torn trace blob, missing blob, unparsable summary row,
+schema-version mismatch — and asserts the same three outcomes every time:
+the damage is *detected*, *logged*, and the affected cells *recompute*
+(never silently served).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.runtime.runner import ExperimentRunner, RunRecord, RunSpec
+from repro.runtime.spec import ExperimentSpec
+from repro.runtime.store import (
+    DATABASE_NAME,
+    STORE_SCHEMA_VERSION,
+    RunStore,
+    cell_key,
+)
+from repro.sim.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    return ScenarioConfig.small(seed=11, num_slots=30)
+
+
+def make_spec(tiny_scenario, **overrides):
+    fields = dict(
+        kind="cache",
+        scenario=tiny_scenario,
+        policy="periodic:period=2",
+        seed=7,
+        label="a",
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+def make_record(spec, seed):
+    return RunRecord(
+        label=spec.label,
+        seed=int(seed),
+        kind=spec.kind,
+        summary={"total_reward": 1.25, "policy": "periodic"},
+        trace=np.linspace(0.0, 1.0, 5),
+    )
+
+
+def seeded_store(directory, spec, seeds=(3,)):
+    """A store holding one valid cell per seed, with its connection closed."""
+    with RunStore(str(directory)) as store:
+        for seed in seeds:
+            assert store.put(spec, seed, make_record(spec, seed))
+    return str(directory)
+
+
+class TestTruncatedDatabase:
+    def test_truncated_file_resets_and_recovers(
+        self, tiny_scenario, tmp_path, caplog
+    ):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        database = os.path.join(directory, DATABASE_NAME)
+        with open(database, "r+b") as handle:
+            handle.truncate(100)  # keep a partial header: classic torn write
+
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.store"):
+            with RunStore(directory) as store:
+                assert store.get(spec, 3) is None  # detected -> miss
+                assert store.stats.resets == 1
+                # The store works again after the rebuild.
+                assert store.put(spec, 3, make_record(spec, 3))
+                assert store.get(spec, 3) is not None
+        assert any("rebuilding" in message for message in caplog.messages)
+
+    def test_garbage_file_resets_and_recovers(self, tiny_scenario, tmp_path, caplog):
+        spec = make_spec(tiny_scenario)
+        directory = str(tmp_path / "runs")
+        os.makedirs(directory)
+        with open(os.path.join(directory, DATABASE_NAME), "wb") as handle:
+            handle.write(b"this is not a sqlite database, sorry" * 100)
+
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.store"):
+            with RunStore(directory) as store:
+                assert store.get(spec, 3) is None
+                assert store.stats.resets == 1
+        assert any("rebuilding" in message for message in caplog.messages)
+
+
+class TestTornBlob:
+    def test_garbage_blob_drops_the_cell(self, tiny_scenario, tmp_path, caplog):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        key = cell_key(spec, 3)
+        blob = os.path.join(directory, "blobs", f"{key}.npz")
+        with open(blob, "wb") as handle:
+            handle.write(b"\x00\x01garbage")
+
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.store"):
+            with RunStore(directory) as store:
+                assert store.get(spec, 3) is None
+                assert store.stats.corrupt_cells == 1
+                # The cell is gone, not just skipped: a second lookup is a
+                # plain miss and a fresh put works.
+                assert store.get(spec, 3) is None
+                assert store.stats.corrupt_cells == 1
+                assert store.put(spec, 3, make_record(spec, 3))
+                loaded = store.get(spec, 3)
+        assert loaded is not None and loaded.trace is not None
+        assert any("torn trace blob" in message for message in caplog.messages)
+
+    def test_truncated_blob_drops_the_cell(self, tiny_scenario, tmp_path):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        key = cell_key(spec, 3)
+        blob = os.path.join(directory, "blobs", f"{key}.npz")
+        with open(blob, "r+b") as handle:
+            handle.truncate(10)  # valid zip magic is gone mid-file
+        with RunStore(directory) as store:
+            assert store.get(spec, 3) is None
+            assert store.stats.corrupt_cells == 1
+
+    def test_missing_blob_drops_the_cell(self, tiny_scenario, tmp_path):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        os.remove(os.path.join(directory, "blobs", f"{cell_key(spec, 3)}.npz"))
+        with RunStore(directory) as store:
+            assert store.get(spec, 3) is None
+            assert store.stats.corrupt_cells == 1
+
+
+class TestCorruptRow:
+    def test_unparsable_summary_drops_the_cell(self, tiny_scenario, tmp_path, caplog):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        with sqlite3.connect(os.path.join(directory, DATABASE_NAME)) as connection:
+            connection.execute("UPDATE cells SET summary_json = '{not json'")
+
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.store"):
+            with RunStore(directory) as store:
+                assert store.get(spec, 3) is None
+                assert store.stats.corrupt_cells == 1
+                assert len(store) == 0  # dropped, not retried forever
+        assert any("unparsable summary JSON" in m for m in caplog.messages)
+
+    def test_non_object_summary_drops_the_cell(self, tiny_scenario, tmp_path):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        with sqlite3.connect(os.path.join(directory, DATABASE_NAME)) as connection:
+            connection.execute("UPDATE cells SET summary_json = '[1, 2, 3]'")
+        with RunStore(directory) as store:
+            assert store.get(spec, 3) is None
+            assert store.stats.corrupt_cells == 1
+
+    def test_rows_skips_unparsable_cells(self, tiny_scenario, tmp_path):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec, seeds=(3, 4))
+        key = cell_key(spec, 3)
+        with sqlite3.connect(os.path.join(directory, DATABASE_NAME)) as connection:
+            connection.execute(
+                "UPDATE cells SET summary_json = 'junk' WHERE cell_key = ?", (key,)
+            )
+        with RunStore(directory) as store:
+            rows = store.rows()
+        assert len(rows) == 1
+        assert rows[0]["seed"] == 4
+
+
+class TestSchemaMismatch:
+    def test_older_schema_rebuilds_the_store(self, tiny_scenario, tmp_path, caplog):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        with sqlite3.connect(os.path.join(directory, DATABASE_NAME)) as connection:
+            connection.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(STORE_SCHEMA_VERSION + 1),),
+            )
+
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.store"):
+            with RunStore(directory) as store:
+                assert store.get(spec, 3) is None
+                assert store.stats.resets == 1
+                # The rebuilt store pins the current schema version.
+                row = store._connect().execute(
+                    "SELECT value FROM meta WHERE key = 'schema_version'"
+                ).fetchone()
+        assert row == (str(STORE_SCHEMA_VERSION),)
+        assert any("schema version" in message for message in caplog.messages)
+
+    def test_schema_reset_discards_blobs_too(self, tiny_scenario, tmp_path):
+        spec = make_spec(tiny_scenario)
+        directory = seeded_store(tmp_path / "runs", spec)
+        blob_dir = os.path.join(directory, "blobs")
+        assert os.listdir(blob_dir)
+        with sqlite3.connect(os.path.join(directory, DATABASE_NAME)) as connection:
+            connection.execute("UPDATE meta SET value = '0'")
+        with RunStore(directory) as store:
+            store.get(spec, 3)
+        assert os.listdir(blob_dir) == []
+
+
+class TestGridRecovery:
+    def test_corrupted_store_grid_still_bit_identical(self, tiny_scenario, tmp_path):
+        """End to end: a damaged store never taints run_grid results."""
+        spec = ExperimentSpec(
+            kind="cache",
+            scenario=tiny_scenario,
+            policy="periodic:period=2",
+            seed=7,
+            num_seeds=6,
+            label="a",
+        )
+        cold = ExperimentRunner(workers=1).run_grid([spec], store=False)
+
+        store_dir = str(tmp_path / "runs")
+        ExperimentRunner(workers=1).run_grid([spec], store=store_dir)
+        # Tear every blob: all six cells become unusable.
+        blob_dir = os.path.join(store_dir, "blobs")
+        for name in os.listdir(blob_dir):
+            with open(os.path.join(blob_dir, name), "wb") as handle:
+                handle.write(b"torn")
+
+        runner = ExperimentRunner(workers=1)
+        recovered = runner.run_grid([spec], store=store_dir)
+        report = runner.last_dispatch_stats["run_store"]
+        assert report["cells_cached"] == 0
+        assert report["cells_dispatched"] == 6
+        assert recovered.matches(cold)
+
+        # The recomputation healed the store.
+        runner = ExperimentRunner(workers=1)
+        healed = runner.run_grid([spec], store=store_dir)
+        assert runner.last_dispatch_stats["run_store"]["cells_cached"] == 6
+        assert healed.matches(cold)

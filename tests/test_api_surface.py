@@ -74,6 +74,7 @@ EXPECTED_ALL = {
     "ExperimentSpec",
     "RunRecord",
     "RunSpec",
+    "RunStore",
     "expand_seeds",
     "expand_workloads",
     "load_specs",

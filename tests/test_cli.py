@@ -342,3 +342,233 @@ class TestSpecRuns:
         exit_code = main(["run", "--spec", example], out=out)
         assert exit_code == 0
         assert "tiny-joint" in out.getvalue()
+
+
+class TestRunStoreFlag:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        from repro.runtime import ExperimentSpec, save_specs
+        from repro.sim.scenario import ScenarioConfig
+
+        path = str(tmp_path / "experiments.json")
+        save_specs(
+            [
+                ExperimentSpec(
+                    kind="cache",
+                    scenario=ScenarioConfig.small(seed=1, num_slots=30),
+                    policy="periodic:period=2",
+                    num_seeds=3,
+                    label="tiny",
+                )
+            ],
+            path,
+        )
+        return path
+
+    def test_store_flag_parses(self, spec_path, tmp_path):
+        arguments = build_parser().parse_args(["run", "--spec", spec_path])
+        assert arguments.store is None
+        arguments = build_parser().parse_args(
+            ["run", "--spec", spec_path, "--store"]
+        )
+        assert arguments.store is True
+        arguments = build_parser().parse_args(
+            ["run", "--spec", spec_path, "--store", str(tmp_path / "runs")]
+        )
+        assert arguments.store == str(tmp_path / "runs")
+
+    def test_store_rejected_without_spec(self):
+        out = io.StringIO()
+        assert main(["run", "E1", "--store"], out=out) == 2
+        assert "--store" in out.getvalue()
+
+    def test_run_twice_reports_hits(self, spec_path, tmp_path):
+        store_dir = str(tmp_path / "runs")
+        out = io.StringIO()
+        assert main(
+            ["run", "--spec", spec_path, "--store", store_dir], out=out
+        ) == 0
+        first = out.getvalue()
+        assert "cached=0 dispatched=3 total=3 hit_rate=0.0%" in first
+        out = io.StringIO()
+        assert main(
+            ["run", "--spec", spec_path, "--store", store_dir], out=out
+        ) == 0
+        second = out.getvalue()
+        assert "cached=3 dispatched=0 total=3 hit_rate=100.0%" in second
+        # The warm pass renders the identical aggregate table.
+        assert first.split("[cache]")[1] == second.split("[cache]")[1]
+
+    def test_run_without_store_reports_nothing(self, spec_path):
+        out = io.StringIO()
+        assert main(["run", "--spec", spec_path], out=out) == 0
+        assert "Run store:" not in out.getvalue()
+
+
+class TestResultsCommand:
+    @pytest.fixture
+    def store_dir(self, tmp_path):
+        from repro.runtime import ExperimentRunner, ExperimentSpec
+        from repro.sim.scenario import ScenarioConfig
+
+        directory = str(tmp_path / "runs")
+        scenario = ScenarioConfig.small(seed=1, num_slots=30)
+        specs = [
+            ExperimentSpec(
+                kind="cache",
+                scenario=scenario,
+                policy=policy,
+                num_seeds=2,
+                label=label,
+            )
+            for label, policy in [
+                ("tiny-p2", "periodic:period=2"),
+                ("tiny-p3", "periodic:period=3"),
+            ]
+        ]
+        ExperimentRunner(workers=1).run_grid(specs, store=directory)
+        return directory
+
+    def test_results_table(self, store_dir):
+        out = io.StringIO()
+        assert main(["results", "--dir", store_dir], out=out) == 0
+        text = out.getvalue()
+        assert "4 row(s)" in text
+        assert "[cache]" in text
+        assert "tiny-p2" in text and "tiny-p3" in text
+
+    def test_results_label_glob(self, store_dir):
+        out = io.StringIO()
+        assert main(
+            ["results", "--dir", store_dir, "--label", "*-p3"], out=out
+        ) == 0
+        text = out.getvalue()
+        assert "2 row(s)" in text
+        assert "tiny-p2" not in text
+
+    def test_results_aggregate(self, store_dir):
+        out = io.StringIO()
+        assert main(["results", "--dir", store_dir, "--aggregate"], out=out) == 0
+        text = out.getvalue()
+        assert "4 row(s), 2 label(s)" in text
+        assert "_ci" in text  # multi-seed rows carry confidence intervals
+
+    def test_results_json_export(self, store_dir, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "rows.json")
+        out = io.StringIO()
+        assert main(
+            ["results", "--dir", store_dir, "--json", "--aggregate",
+             "--out", out_path],
+            out=out,
+        ) == 0
+        document = json.load(open(out_path))
+        assert len(document["rows"]) == 4
+        assert len(document["aggregate"]) == 2
+        assert {row["label"] for row in document["aggregate"]} == {
+            "tiny-p2", "tiny-p3"
+        }
+
+    def test_results_csv(self, store_dir):
+        import csv
+
+        out = io.StringIO()
+        assert main(["results", "--dir", store_dir, "--csv"], out=out) == 0
+        rows = list(csv.DictReader(io.StringIO(out.getvalue())))
+        assert len(rows) == 4
+        assert rows[0]["label"] == "tiny-p2"
+        assert "total_reward" in rows[0]
+
+    def test_results_kind_filter_no_match(self, store_dir):
+        out = io.StringIO()
+        assert main(
+            ["results", "--dir", store_dir, "--kind", "service"], out=out
+        ) == 0
+        assert "no rows match" in out.getvalue()
+
+    def test_results_missing_store(self, tmp_path):
+        out = io.StringIO()
+        assert main(
+            ["results", "--dir", str(tmp_path / "nope")], out=out
+        ) == 0
+        assert "empty" in out.getvalue()
+        assert not (tmp_path / "nope").exists()  # inspection creates nothing
+
+    def test_results_out_requires_format(self, store_dir, tmp_path):
+        out = io.StringIO()
+        assert main(
+            ["results", "--dir", store_dir, "--out", str(tmp_path / "x.json")],
+            out=out,
+        ) == 2
+
+    def test_results_disabled_by_env(self, monkeypatch):
+        out = io.StringIO()
+        monkeypatch.setenv("REPRO_RUN_STORE", "0")
+        assert main(["results"], out=out) == 0
+        assert "disabled" in out.getvalue()
+
+
+class TestStoreCommand:
+    @pytest.fixture
+    def store_dir(self, tmp_path):
+        from repro.runtime import ExperimentRunner, ExperimentSpec
+        from repro.sim.scenario import ScenarioConfig
+
+        directory = str(tmp_path / "runs")
+        spec = ExperimentSpec(
+            kind="cache",
+            scenario=ScenarioConfig.small(seed=1, num_slots=30),
+            policy="periodic:period=2",
+            num_seeds=2,
+            label="tiny",
+        )
+        ExperimentRunner(workers=1).run_grid([spec], store=directory)
+        return directory
+
+    def test_store_stats(self, store_dir):
+        out = io.StringIO()
+        assert main(["store", "--dir", store_dir], out=out) == 0
+        text = out.getvalue()
+        assert f"Run store directory: {store_dir}" in text
+        assert "Cells: 2 (cache=2)" in text
+        assert "Labels: 1" in text
+
+    def test_store_stats_json(self, store_dir):
+        import json
+
+        out = io.StringIO()
+        assert main(["store", "--dir", store_dir, "--json"], out=out) == 0
+        stats = json.loads(out.getvalue())
+        assert stats["cells"] == 2
+        assert stats["cells_by_kind"] == {"cache": 2}
+        assert stats["blob_count"] == 2
+
+    def test_store_vacuum(self, store_dir):
+        import os
+
+        orphan = os.path.join(store_dir, "blobs", "orphan.npz")
+        open(orphan, "wb").write(b"junk")
+        out = io.StringIO()
+        assert main(["store", "--dir", store_dir, "--vacuum"], out=out) == 0
+        assert "1 orphaned blob(s)" in out.getvalue()
+        assert not os.path.exists(orphan)
+
+    def test_store_clear(self, store_dir):
+        out = io.StringIO()
+        assert main(["store", "--dir", store_dir, "--clear"], out=out) == 0
+        assert "Cleared 2 cell(s)" in out.getvalue()
+        out = io.StringIO()
+        assert main(["results", "--dir", store_dir], out=out) == 0
+        assert "no rows match" in out.getvalue()
+
+    def test_store_missing_directory(self, tmp_path):
+        out = io.StringIO()
+        assert main(["store", "--dir", str(tmp_path / "nope")], out=out) == 0
+        assert "empty" in out.getvalue()
+
+    def test_store_flags_mutually_exclusive(self, store_dir):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["store", "--dir", store_dir, "--clear", "--vacuum"]
+            )
