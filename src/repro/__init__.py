@@ -84,6 +84,9 @@ from repro.exceptions import (
 )
 from repro.net import (
     ContentCatalog,
+    NetworkController,
+    NetworkModel,
+    NetworkView,
     RequestGenerator,
     RoadTopology,
     RSUCache,
@@ -113,6 +116,8 @@ from repro.sim import (
     CacheSimulator,
     JointSimulationResult,
     JointSimulator,
+    MultihopSimulationResult,
+    MultihopSimulator,
     ScenarioConfig,
     ServiceSimulationResult,
     ServiceSimulator,
@@ -128,7 +133,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AlwaysServePolicy",
@@ -171,6 +176,9 @@ __all__ = [
     "SolverError",
     "ValidationError",
     "ContentCatalog",
+    "NetworkController",
+    "NetworkModel",
+    "NetworkView",
     "RequestGenerator",
     "RoadTopology",
     "RSUCache",
@@ -179,6 +187,8 @@ __all__ = [
     "CacheSimulator",
     "JointSimulationResult",
     "JointSimulator",
+    "MultihopSimulationResult",
+    "MultihopSimulator",
     "ScenarioConfig",
     "ServiceSimulationResult",
     "ServiceSimulator",

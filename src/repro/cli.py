@@ -260,7 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     results_parser.add_argument(
         "--kind",
-        choices=["cache", "service", "joint"],
+        choices=["cache", "service", "joint", "multihop"],
         default=None,
         help="only rows of this simulation kind",
     )
@@ -414,7 +414,10 @@ def _override_spec(spec, workload, policy):
     if policy is not None:
         main_role = "service" if spec.kind == "service" else "caching"
         auto_label = spec.auto_label()
-        if policy.role == main_role:
+        if spec.kind == "multihop":
+            # Multihop accepts every role on one grid.
+            overrides["policy"] = policy
+        elif policy.role == main_role:
             overrides["policy"] = policy
         elif spec.kind == "joint":
             overrides["service_policy"] = policy
@@ -473,7 +476,7 @@ def _run_spec_file(arguments, out) -> int:
         label: records[0].kind for label, records in batch.by_label().items()
     }
     aggregated = batch.aggregate()
-    for kind in ("cache", "service", "joint"):
+    for kind in ("cache", "service", "joint", "multihop"):
         rows = [row for row in aggregated if kind_of_label[row["label"]] == kind]
         if rows:
             out.write(f"\n[{kind}]\n")
@@ -551,7 +554,11 @@ def _command_policies(out) -> int:
 
     out.write("Registered policies\n")
     out.write("-------------------\n")
-    for role, title in (("caching", "Caching (stage 1)"), ("service", "Service (stage 2)")):
+    for role, title in (
+        ("caching", "Caching (stage 1)"),
+        ("service", "Service (stage 2)"),
+        ("onpath", "On-path (multi-hop)"),
+    ):
         out.write(f"{title}:\n")
         for name, description in available_policies(role).items():
             out.write(f"  {name}  {description}\n")
@@ -687,7 +694,7 @@ def _command_results(arguments, out) -> int:
         # kind of their first underlying row.
         kind_of_label = {row["label"]: row["kind"] for row in reversed(rows)}
         out.write(f"{len(rows)} row(s), {len(aggregate)} label(s)\n")
-        for kind in ("cache", "service", "joint"):
+        for kind in ("cache", "service", "joint", "multihop"):
             group = [
                 row
                 for row in aggregate
@@ -698,7 +705,7 @@ def _command_results(arguments, out) -> int:
                 out.write(format_table(group) + "\n")
         return 0
     out.write(f"{len(rows)} row(s)\n")
-    for kind in ("cache", "service", "joint"):
+    for kind in ("cache", "service", "joint", "multihop"):
         group = [row for row in rows if row.get("kind") == kind]
         if group:
             out.write(f"\n[{kind}]\n")

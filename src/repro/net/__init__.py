@@ -1,6 +1,6 @@
 """Vehicular-network substrate: topology, contents, channels, mobility, queues."""
 
-from repro.net.cache import CacheEntry, MBSContentStore, RSUCache
+from repro.net.cache import CacheEntry, LruContentCache, MBSContentStore, RSUCache
 from repro.net.channel import (
     ConstantCostModel,
     CostModel,
@@ -31,12 +31,22 @@ from repro.net.requests import (
     Request,
     RequestGenerator,
 )
+from repro.net.controller import NetworkController, SessionResult
+from repro.net.model import TOPOLOGY_KINDS, NetworkModel, build_network_graph
 from repro.net.topology import MacroBaseStation, Region, RoadTopology, RSU
+from repro.net.view import NetworkView
 
 __all__ = [
     "CacheEntry",
+    "LruContentCache",
     "MBSContentStore",
     "RSUCache",
+    "NetworkController",
+    "NetworkModel",
+    "NetworkView",
+    "SessionResult",
+    "TOPOLOGY_KINDS",
+    "build_network_graph",
     "ConstantCostModel",
     "CostModel",
     "DistanceCostModel",

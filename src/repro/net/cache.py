@@ -9,6 +9,7 @@ constraint ("guaranteeing the valid content service").
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -18,6 +19,7 @@ from repro.core.aoi import AoIVector
 from repro.exceptions import CacheError, ValidationError
 from repro.net.content import ContentCatalog
 from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_index, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -264,10 +266,7 @@ class MBSContentStore:
 
     def age_of(self, content_id: int) -> float:
         """Age of the MBS copy of *content_id*."""
-        if not 0 <= content_id < self._catalog.num_contents:
-            raise ValidationError(
-                f"content id {content_id} out of range [0, {self._catalog.num_contents})"
-            )
+        check_index(content_id, self._catalog.num_contents, label="content id")
         return float(self._aoi[content_id])
 
     def tick(self, time_slot: int) -> None:
@@ -278,3 +277,89 @@ class MBSContentStore:
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"MBSContentStore(num_contents={self._catalog.num_contents})"
+
+
+class LruContentCache:
+    """A bounded per-node cache with LRU eviction and per-copy ages.
+
+    Unlike :class:`RSUCache` (a fixed content set whose ages the MDP
+    refreshes in place), this cache backs the multi-hop network core:
+    on-path strategies insert arbitrary contents as they travel the
+    delivery path, and the least-recently-used copy is evicted once the
+    node is full.  Each copy carries the age it had at insertion time and
+    ages by one per slot, so freshness queries compose with the AoI
+    machinery of the rest of the library.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = check_positive_int(capacity, "capacity")
+        # content id -> age; insertion order == LRU order (oldest first).
+        self._entries: "OrderedDict[int, float]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of copies this node can hold."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, content_id: int) -> bool:
+        return int(content_id) in self._entries
+
+    def has(self, content_id: int) -> bool:
+        """Whether a copy of *content_id* is held (no LRU promotion)."""
+        return int(content_id) in self._entries
+
+    def contents(self) -> List[int]:
+        """Held content ids, least-recently-used first."""
+        return list(self._entries)
+
+    def age_of(self, content_id: int) -> float:
+        """Age of the held copy of *content_id*."""
+        content_id = int(content_id)
+        if content_id not in self._entries:
+            raise CacheError(f"content {content_id} is not cached at this node")
+        return self._entries[content_id]
+
+    def get(self, content_id: int) -> bool:
+        """Look up *content_id*, promoting it to most-recently-used on a hit."""
+        content_id = int(content_id)
+        if content_id not in self._entries:
+            return False
+        self._entries.move_to_end(content_id)
+        return True
+
+    def put(self, content_id: int, *, age: float = 1.0) -> Optional[int]:
+        """Insert (or refresh) a copy of *content_id* with the given *age*.
+
+        Returns the content id evicted to make room, or ``None``.
+        """
+        content_id = int(content_id)
+        if content_id in self._entries:
+            self._entries[content_id] = float(age)
+            self._entries.move_to_end(content_id)
+            return None
+        evicted: Optional[int] = None
+        if len(self._entries) >= self._capacity:
+            evicted, _ = self._entries.popitem(last=False)
+        self._entries[content_id] = float(age)
+        return evicted
+
+    def tick(self, slots: int = 1) -> None:
+        """Age every held copy by *slots* time slots."""
+        if slots < 0:
+            raise ValidationError(f"slots must be >= 0, got {slots}")
+        if slots:
+            for content_id in self._entries:
+                self._entries[content_id] += float(slots)
+
+    def clear(self) -> None:
+        """Drop every held copy."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"LruContentCache(capacity={self._capacity}, "
+            f"held={len(self._entries)})"
+        )

@@ -1,0 +1,224 @@
+"""Network controller: the mutation interface over the network model.
+
+Mirrors Icarus's ``NetworkController``: strategies open a *session* per
+request, forward it hop by hop, probe caches, deliver content, and decide
+cache placements.  The controller owns all accounting — per-hop latency,
+hop counts, the serving node, and the age the served copy carries — so a
+strategy cannot mis-report its own performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.net.model import NetworkModel
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one routed request.
+
+    Attributes
+    ----------
+    time_slot:
+        Slot the request was routed in.
+    receiver:
+        RSU node the request entered the network at.
+    content_id:
+        Requested content.
+    serving_node:
+        Node whose copy satisfied the request (the origin on a full miss).
+    hit:
+        Whether an RSU cache (not the origin) served the request.
+    hops:
+        Links traversed, counting both the request and delivery direction.
+    latency:
+        Sum of link delays over all traversed hops.
+    path:
+        Hop sequence walked by the request (receiver first), excluding the
+        delivery direction.
+    served_age:
+        Age of the copy the receiver ends up with.
+    """
+
+    time_slot: int
+    receiver: int
+    content_id: int
+    serving_node: int
+    hit: bool
+    hops: int
+    latency: float
+    path: Tuple[int, ...]
+    served_age: float
+
+    @property
+    def mean_hop_latency(self) -> float:
+        """Latency per traversed hop (0 for a local hit)."""
+        if self.hops == 0:
+            return 0.0
+        return self.latency / self.hops
+
+
+class _Session:
+    __slots__ = (
+        "time_slot",
+        "receiver",
+        "content_id",
+        "max_age",
+        "hops",
+        "latency",
+        "path",
+        "serving_node",
+        "serving_age",
+    )
+
+    def __init__(
+        self, time_slot: int, receiver: int, content_id: int, max_age: Optional[float]
+    ) -> None:
+        self.time_slot = int(time_slot)
+        self.receiver = int(receiver)
+        self.content_id = int(content_id)
+        self.max_age = None if max_age is None else float(max_age)
+        self.hops = 0
+        self.latency = 0.0
+        self.path: List[int] = [self.receiver]
+        self.serving_node: Optional[int] = None
+        self.serving_age: float = 1.0
+
+
+class NetworkController:
+    """Session-scoped mutation interface over a :class:`NetworkModel`."""
+
+    def __init__(self, model: NetworkModel) -> None:
+        self._model = model
+        self._session: Optional[_Session] = None
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def start_session(
+        self,
+        time_slot: int,
+        receiver: int,
+        content_id: int,
+        *,
+        max_age: Optional[float] = None,
+    ) -> None:
+        """Open the session for one request entering at *receiver*.
+
+        *max_age* is the content's freshness bound: cached copies older
+        than it do not satisfy the request (the AoI constraint the paper's
+        controllers enforce).  ``None`` accepts any cached copy.
+        """
+        if self._session is not None:
+            raise SimulationError("a network session is already open")
+        self._session = _Session(time_slot, receiver, content_id, max_age)
+
+    def _require_session(self) -> _Session:
+        if self._session is None:
+            raise SimulationError("no network session is open")
+        return self._session
+
+    # ------------------------------------------------------------------
+    # Forwarding and content access
+    # ------------------------------------------------------------------
+    def forward_request_hop(self, u: int, v: int) -> None:
+        """Carry the request over the direct link *u*→*v*."""
+        session = self._traverse(u, v)
+        session.path.append(int(v))
+
+    def forward_content_hop(self, u: int, v: int) -> None:
+        """Carry the content over the direct link *u*→*v* (delivery leg)."""
+        self._traverse(u, v)
+
+    def _traverse(self, u: int, v: int) -> _Session:
+        session = self._require_session()
+        session.latency += self._model.edge_delay(u, v)
+        session.hops += 1
+        return session
+
+    def get_content(self, node: int) -> bool:
+        """Probe *node* for a copy fresh enough to serve the session.
+
+        The origin always serves (age 1).  An RSU serves when it holds the
+        content within the session's freshness bound; probing a held copy
+        promotes it in LRU order whether or not it is fresh enough.
+        """
+        session = self._require_session()
+        if node == self._model.origin:
+            session.serving_node = int(node)
+            session.serving_age = 1.0
+            return True
+        if not self._model.has_cache(node):
+            return False
+        cache = self._model.cache(node)
+        if not cache.get(session.content_id):
+            return False
+        age = cache.age_of(session.content_id)
+        if session.max_age is not None and age > session.max_age:
+            return False
+        session.serving_node = int(node)
+        session.serving_age = age
+        return True
+
+    def put_content(self, node: int, *, age: Optional[float] = None) -> Optional[int]:
+        """Place a copy of the session's content at *node*.
+
+        The copy inherits the serving copy's age unless *age* overrides it.
+        Returns the content id evicted to make room, or ``None``.  Placing
+        at the origin is a no-op (it already holds everything fresh).
+        """
+        session = self._require_session()
+        if not self._model.has_cache(node):
+            return None
+        if age is None:
+            age = session.serving_age
+        return self._model.cache(node).put(session.content_id, age=age)
+
+    def end_session(self) -> SessionResult:
+        """Close the session and return its accounting."""
+        session = self._require_session()
+        if session.serving_node is None:
+            raise SimulationError(
+                "network session ended before any node served the request"
+            )
+        self._session = None
+        return SessionResult(
+            time_slot=session.time_slot,
+            receiver=session.receiver,
+            content_id=session.content_id,
+            serving_node=session.serving_node,
+            hit=session.serving_node != self._model.origin,
+            hops=session.hops,
+            latency=session.latency,
+            path=tuple(session.path),
+            served_age=session.serving_age,
+        )
+
+    def abort_session(self) -> None:
+        """Discard the open session without recording a result."""
+        self._session = None
+
+    # ------------------------------------------------------------------
+    # Slot maintenance
+    # ------------------------------------------------------------------
+    def tick(self, slots: int = 1) -> None:
+        """Age every cached copy at every node by *slots* time slots."""
+        for node in self._model.cache_nodes():
+            self._model.cache(node).tick(slots)
+
+    def refresh_content(self, node: int, content_id: int, *, age: float = 1.0) -> None:
+        """Refresh (or insert) a copy outside any session.
+
+        This is the hook the paper's MDP cache-update controller uses in
+        multihop mode: the MBS pushes a fresh version into an RSU cache
+        between request sessions.
+        """
+        if not self._model.has_cache(node):
+            raise SimulationError(f"node {node} has no cache to refresh")
+        self._model.cache(node).put(int(content_id), age=age)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"NetworkController({self._model!r})"

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ValidationError
 from repro.utils.rng import RandomSource, ensure_rng
-from repro.utils.validation import check_positive, check_probability_vector
+from repro.utils.validation import check_index, check_positive, check_probability_vector
 
 
 class RegionState(enum.IntEnum):
@@ -132,10 +132,7 @@ class RegionStateProcess:
 
     def state_of(self, region: int) -> RegionState:
         """Return the current condition of *region*."""
-        if not 0 <= region < self.num_regions:
-            raise ValidationError(
-                f"region {region} out of range [0, {self.num_regions})"
-            )
+        check_index(region, self.num_regions, label="region")
         return self._states[region]
 
     def step(self) -> List[RegionState]:

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ValidationError
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_index, check_positive, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -184,6 +184,9 @@ class RoadTopology:
         for rsu in self._rsus:
             for region_id in rsu.covered_regions:
                 self._region_to_rsu[region_id] = rsu.rsu_id
+        self._region_to_rsu_array = np.asarray(
+            [self._region_to_rsu[i] for i in range(num_regions)], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -230,18 +233,12 @@ class RoadTopology:
 
     def region(self, region_id: int) -> Region:
         """Return the region with index *region_id*."""
-        if not 0 <= region_id < self.num_regions:
-            raise ValidationError(
-                f"region id {region_id} out of range [0, {self.num_regions})"
-            )
+        check_index(region_id, self.num_regions, label="region id")
         return self._regions[region_id]
 
     def rsu(self, rsu_id: int) -> RSU:
         """Return the RSU with index *rsu_id*."""
-        if not 0 <= rsu_id < self.num_rsus:
-            raise ValidationError(
-                f"rsu id {rsu_id} out of range [0, {self.num_rsus})"
-            )
+        check_index(rsu_id, self.num_rsus, label="rsu id")
         return self._rsus[rsu_id]
 
     # ------------------------------------------------------------------
@@ -257,17 +254,34 @@ class RoadTopology:
 
     def rsu_at(self, position: float) -> Optional[RSU]:
         """Return the RSU whose coverage contains *position*, or ``None``."""
-        region = self.region_at(position)
-        if region is None:
+        rsu_id = int(self.rsu_for_positions(np.asarray([position], dtype=float))[0])
+        if rsu_id < 0:
             return None
-        return self._rsus[self._region_to_rsu[region.region_id]]
+        return self._rsus[rsu_id]
+
+    def rsu_for_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised coverage query: the serving RSU id for each position.
+
+        Off-road positions (negative, non-finite, or past the end of the
+        road) map to ``-1``.  This is the single lookup every scalar and
+        batched coverage query routes through.
+        """
+        positions = np.asarray(positions, dtype=float)
+        on_road = np.isfinite(positions)
+        on_road &= (positions >= 0.0) & (positions < self.road_length)
+        indices = np.zeros(positions.shape, dtype=np.int64)
+        np.floor_divide(
+            positions, self._region_length, out=indices, where=on_road, casting="unsafe"
+        )
+        np.clip(indices, 0, self.num_regions - 1, out=indices)
+        result = self._region_to_rsu_array[indices]
+        result[~on_road] = -1
+        return result
 
     def rsu_for_region(self, region_id: int) -> RSU:
         """Return the RSU that covers (and caches content for) *region_id*."""
         if region_id not in self._region_to_rsu:
-            raise ValidationError(
-                f"region id {region_id} out of range [0, {self.num_regions})"
-            )
+            check_index(region_id, self.num_regions, label="region id")
         return self._rsus[self._region_to_rsu[region_id]]
 
     def mbs_distance(self, rsu_id: int) -> float:

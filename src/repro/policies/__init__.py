@@ -24,6 +24,15 @@ Registering a new policy::
         return MyPolicy(knob)
 """
 
+from repro.policies.onpath import (
+    CacheLessForMore,
+    EdgeCaching,
+    LeaveCopyDown,
+    LeaveCopyEverywhere,
+    OnPathStrategy,
+    PartitionedCaching,
+    ProbCache,
+)
 from repro.policies.registry import (
     PolicyEntry,
     PolicySpec,
@@ -35,6 +44,13 @@ from repro.policies.registry import (
 )
 
 __all__ = [
+    "CacheLessForMore",
+    "EdgeCaching",
+    "LeaveCopyDown",
+    "LeaveCopyEverywhere",
+    "OnPathStrategy",
+    "PartitionedCaching",
+    "ProbCache",
     "PolicyEntry",
     "PolicySpec",
     "available_policies",

@@ -20,9 +20,11 @@ from typing import Optional
 
 import numpy as np
 
-# Importing the baselines registers their class-decorated policies.
+# Importing the baselines registers their class-decorated policies, and
+# importing the on-path module registers the multi-hop strategy family.
 from repro.baselines.caching import MyopicUpdatePolicy, RandomUpdatePolicy
 from repro.baselines.service import FixedProbabilityPolicy
+import repro.policies.onpath  # noqa: F401  (registers on import)
 from repro.core.caching_mdp import MDPCachingPolicy
 from repro.core.lyapunov import LyapunovServiceController
 from repro.policies.registry import register_policy

@@ -47,8 +47,9 @@ __all__ = [
     "register_policy",
 ]
 
-#: Valid policy roles: stage-1 cache management and stage-2 content service.
-ROLES = ("caching", "service")
+#: Valid policy roles: stage-1 cache management, stage-2 content service,
+#: and the multi-hop on-path caching strategies.
+ROLES = ("caching", "service", "onpath")
 
 _REGISTRY: Dict[str, "PolicyEntry"] = {}
 _BUILTIN_LOADED = False
@@ -261,7 +262,7 @@ class PolicySpec:
 
     @property
     def role(self) -> str:
-        """``"caching"`` or ``"service"``."""
+        """``"caching"``, ``"service"``, or ``"onpath"``."""
         return get_policy_entry(self.name).role
 
     @property

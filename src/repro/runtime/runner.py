@@ -44,7 +44,7 @@ from repro.workloads import WorkloadSpec
 #: serial path instead of spawning a pool of pools.
 _WORKER_ENV_FLAG = "REPRO_RUNNER_IN_WORKER"
 
-_KINDS = ("cache", "service", "joint")
+_KINDS = ("cache", "service", "joint", "multihop")
 
 
 @dataclass(frozen=True)
@@ -54,7 +54,8 @@ class RunSpec:
     Attributes
     ----------
     kind:
-        ``"cache"``, ``"service"``, or ``"joint"`` — which simulator runs.
+        ``"cache"``, ``"service"``, ``"joint"``, or ``"multihop"`` — which
+        simulator runs.
     scenario:
         The scenario configuration.  Its seed is overridden by :attr:`seed`.
     policy:
@@ -372,6 +373,22 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     )
 
     scenario = spec.scenario.with_overrides(seed=spec.seed)
+    if spec.kind == "multihop":
+        from repro.sim.multihop_sim import MultihopSimulator
+
+        result = MultihopSimulator(
+            scenario,
+            _materialize(spec.policy, scenario),
+            reference=spec.reference,
+            metrics=spec.metrics,
+        ).run(num_slots=spec.num_slots)
+        return RunRecord(
+            label=spec.label,
+            seed=spec.seed,
+            kind=spec.kind,
+            summary=result.summary(),
+            trace=result.latency_history,
+        )
     if spec.kind == "cache":
         result = CacheSimulator(
             scenario,
@@ -437,7 +454,17 @@ def execute_batch(task: "tuple") -> List[RunRecord]:
         policies = [
             _materialize_memoized(spec.policy, scenario) for scenario in scenarios
         ]
-        if spec.kind == "cache":
+        if spec.kind == "multihop":
+            from repro.sim.multihop_sim import MultihopSimulator
+
+            results = MultihopSimulator(
+                spec.scenario,
+                spec.policy,
+                reference=spec.reference,
+                metrics=spec.metrics,
+            ).run_batch(seeds, policies=policies, num_slots=spec.num_slots)
+            traces = [result.latency_history for result in results]
+        elif spec.kind == "cache":
             results = CacheSimulator(
                 spec.scenario,
                 spec.policy,

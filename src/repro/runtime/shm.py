@@ -118,7 +118,7 @@ class HorizonShipment:
         """
         if not shared_memory_available():
             return None
-        if spec.kind == "cache" or spec.reference:
+        if spec.kind in ("cache", "multihop") or spec.reference:
             return None
         num_slots = (
             spec.num_slots if spec.num_slots is not None else spec.scenario.num_slots

@@ -46,7 +46,7 @@ __all__ = ["EXPERIMENT_MODES", "ExperimentSpec", "load_specs", "save_specs"]
 #: the original scalar loops.
 EXPERIMENT_MODES = ("auto", "reference", "vectorized", "batch")
 
-_KINDS = ("cache", "service", "joint")
+_KINDS = ("cache", "service", "joint", "multihop")
 
 
 @dataclass(frozen=True)
@@ -56,13 +56,14 @@ class ExperimentSpec:
     Attributes
     ----------
     kind:
-        ``"cache"``, ``"service"``, or ``"joint"``.
+        ``"cache"``, ``"service"``, ``"joint"``, or ``"multihop"``.
     scenario:
         The scenario configuration (carries the workload spec).
     policy:
         The main policy: a :class:`~repro.policies.PolicySpec`, a registered
         name, or a ``"name:k=v,..."`` string.  Caching policy for
-        ``cache``/``joint`` kinds, service policy for ``service``.
+        ``cache``/``joint`` kinds, service policy for ``service``; any role
+        (including on-path strategies) for ``multihop``.
     service_policy:
         Second-stage policy for ``kind="joint"``.
     seed:
@@ -116,10 +117,16 @@ class ExperimentSpec:
                 f"(use ScenarioConfig.from_dict for dicts), got "
                 f"{type(self.scenario).__name__}"
             )
-        main_role = "service" if self.kind == "service" else "caching"
-        object.__setattr__(
-            self, "policy", PolicySpec.coerce(self.policy, role=main_role)
-        )
+        if self.kind == "multihop":
+            # Any role routes through the multihop simulator (on-path
+            # strategies, caching policies, and service policies compare on
+            # one grid), so no role restriction applies.
+            object.__setattr__(self, "policy", PolicySpec.coerce(self.policy))
+        else:
+            main_role = "service" if self.kind == "service" else "caching"
+            object.__setattr__(
+                self, "policy", PolicySpec.coerce(self.policy, role=main_role)
+            )
         if self.kind == "joint":
             if self.service_policy is None:
                 raise ValidationError("joint experiments need a service_policy")

@@ -88,7 +88,7 @@ BLOB_SUBDIR = "blobs"
 #: Bump whenever the row schema or the record semantics change in a way the
 #: keyed parameters cannot see, so older stores are rebuilt instead of
 #: silently served.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 _ENV_DIR = "REPRO_RUN_STORE_DIR"
 _ENV_ENABLE = "REPRO_RUN_STORE"
@@ -148,7 +148,9 @@ def _package_version() -> str:
 # ----------------------------------------------------------------------
 # Canonical cell keys
 # ----------------------------------------------------------------------
-def _coerce_policy_dict(policy: Any, role: str) -> Optional[Dict[str, Any]]:
+def _coerce_policy_dict(
+    policy: Any, role: Optional[str]
+) -> Optional[Dict[str, Any]]:
     """The canonical registry dict of a policy reference, ``None`` if opaque."""
     from repro.policies.registry import PolicySpec
 
@@ -171,7 +173,12 @@ def spec_payload(spec: RunSpec) -> Optional[Dict[str, Any]]:
     The payload folds in :data:`STORE_SCHEMA_VERSION` and the package
     version, so both invalidate every key when bumped.
     """
-    main_role = "service" if spec.kind == "service" else "caching"
+    if spec.kind == "multihop":
+        # Multihop accepts every role (on-path, caching, service) on one
+        # grid, so the policy is coerced without a role restriction.
+        main_role: Optional[str] = None
+    else:
+        main_role = "service" if spec.kind == "service" else "caching"
     policy = _coerce_policy_dict(spec.policy, main_role)
     if policy is None:
         return None

@@ -13,10 +13,17 @@ from repro.sim.engine import (
     simulate,
 )
 from repro.sim.joint_sim import JointSimulator
-from repro.sim.metrics import CacheMetrics, RewardTrace, ServiceMetrics
+from repro.sim.metrics import (
+    CacheMetrics,
+    MultihopMetrics,
+    RewardTrace,
+    ServiceMetrics,
+)
+from repro.sim.multihop_sim import MultihopSimulator
 from repro.sim.results import (
     CacheSimulationResult,
     JointSimulationResult,
+    MultihopSimulationResult,
     ServiceSimulationResult,
     SimulationResult,
 )
@@ -26,6 +33,7 @@ from repro.sim.system import SystemState
 
 __all__ = [
     "CacheMetrics",
+    "MultihopMetrics",
     "RewardTrace",
     "ServiceMetrics",
     "ScenarioConfig",
@@ -37,6 +45,8 @@ __all__ = [
     "CacheSimulator",
     "JointSimulationResult",
     "JointSimulator",
+    "MultihopSimulationResult",
+    "MultihopSimulator",
     "ServiceSimulationResult",
     "ServiceSimulator",
     "SystemState",

@@ -42,10 +42,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.policies import CachingPolicy, ServicePolicy
 from repro.exceptions import ConfigurationError, ValidationError
+from repro.policies.onpath import OnPathStrategy
 from repro.policies.registry import PolicySpec
 from repro.sim.cache_sim import CacheSimulator
 from repro.sim.joint_sim import JointSimulator
 from repro.sim.metrics import METRICS_MODES
+from repro.sim.multihop_sim import MultihopSimulator
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.service_sim import ServiceSimulator
@@ -53,21 +55,38 @@ from repro.utils.rng import spawn_run_seeds
 
 __all__ = ["METRICS_MODES", "SIMULATION_KINDS", "SIMULATION_MODES", "simulate"]
 
-SIMULATION_KINDS = ("cache", "service", "joint")
+SIMULATION_KINDS = ("cache", "service", "joint", "multihop")
 SIMULATION_MODES = ("auto", "reference", "vectorized", "batch")
 
 #: Accepted policy references: a ready instance, a registered name /
 #: ``"name:k=v,..."`` string, or a validated spec.
-PolicyLike = Union[CachingPolicy, ServicePolicy, PolicySpec, str]
+PolicyLike = Union[CachingPolicy, ServicePolicy, OnPathStrategy, PolicySpec, str]
 
 
 def _role_of(policy: PolicyLike) -> str:
-    """The role a policy reference plays (``"caching"`` or ``"service"``)."""
+    """The role a policy reference plays: ``"caching"``, ``"service"``, or
+    ``"onpath"``."""
+    if isinstance(policy, OnPathStrategy):
+        return "onpath"
     if isinstance(policy, CachingPolicy):
         return "caching"
     if isinstance(policy, ServicePolicy):
         return "service"
     return PolicySpec.coerce(policy).role
+
+
+def _wants_multihop(
+    policies: Union[PolicyLike, Sequence[PolicyLike], Dict[str, PolicyLike]],
+) -> bool:
+    """Whether *policies* implies the multihop kind (any on-path entry).
+
+    Lists keep their historical ``(caching, service)`` joint meaning unless
+    an on-path strategy appears; dicts always mean joint slots.
+    """
+    if isinstance(policies, dict):
+        return False
+    entries = policies if isinstance(policies, (list, tuple)) else [policies]
+    return any(_role_of(policy) == "onpath" for policy in entries)
 
 
 def _split_policies(
@@ -229,6 +248,30 @@ def simulate(
         raise ConfigurationError(
             f"metrics must be one of {METRICS_MODES}, got {metrics!r}"
         )
+    if kind is not None and kind not in SIMULATION_KINDS:
+        raise ConfigurationError(
+            f"kind must be one of {SIMULATION_KINDS}, got {kind!r}"
+        )
+    if kind == "multihop" or _wants_multihop(policies):
+        if kind not in (None, "multihop"):
+            raise ConfigurationError(
+                f"kind={kind!r} does not match the supplied policies "
+                "(an on-path strategy implies 'multihop')"
+            )
+        if service_batch is not None:
+            raise ConfigurationError(
+                "service_batch does not apply to multihop runs"
+            )
+        return _simulate_multihop(
+            scenario,
+            policies,
+            mode=mode,
+            seeds=seeds,
+            num_slots=num_slots,
+            metrics=metrics,
+            block_size=block_size,
+            store=store,
+        )
     caching, service = _split_policies(policies)
     inferred = (
         "joint"
@@ -236,10 +279,6 @@ def simulate(
         else ("cache" if caching is not None else "service")
     )
     if kind is not None:
-        if kind not in SIMULATION_KINDS:
-            raise ConfigurationError(
-                f"kind must be one of {SIMULATION_KINDS}, got {kind!r}"
-            )
         if kind != inferred:
             raise ConfigurationError(
                 f"kind={kind!r} does not match the supplied policies "
@@ -359,6 +398,128 @@ def simulate(
         results.append(simulator.run(num_slots=num_slots))
     write_through(results)
     return results
+
+
+def _simulate_multihop(
+    scenario: ScenarioConfig,
+    policies: Union[PolicyLike, Sequence[PolicyLike]],
+    *,
+    mode: str,
+    seeds: Union[None, int, Sequence[int]],
+    num_slots: Optional[int],
+    metrics: str,
+    block_size: Optional[int],
+    store: Any,
+) -> Union[SimulationResult, List[SimulationResult]]:
+    """Run the multihop kind: any number of policies, any role, one loop.
+
+    Unlike the other kinds, *policies* is a flat collection — on-path
+    strategies, caching policies, and service policies all route through
+    the one :class:`~repro.sim.multihop_sim.MultihopSimulator` grid, so
+    ``simulate(scenario, ["lce", "probcache:t_tw=10", "mdp"])`` compares
+    the whole family on identical workloads.  Results are ordered
+    policy-major, seed-minor.  The multihop loop has a single execution
+    path, so every ``mode`` is trivially bit-identical.
+    """
+    single_policy = not isinstance(policies, (list, tuple))
+    policy_list = [policies] if single_policy else list(policies)
+    if not policy_list:
+        raise ConfigurationError("at least one policy is required")
+    reference = mode == "reference"
+    collection = dict(metrics=metrics, block_size=block_size)
+    results: List[SimulationResult] = []
+    for policy in policy_list:
+        if seeds is None:
+            if mode == "batch":
+                raise ConfigurationError("mode='batch' needs seeds")
+            runs = [
+                MultihopSimulator(
+                    scenario,
+                    _materialize(policy, scenario),
+                    reference=reference,
+                    **collection,
+                ).run(num_slots=num_slots)
+            ]
+        else:
+            seed_list = _normalize_seeds(seeds, scenario)
+            scenarios = [scenario.with_overrides(seed=seed) for seed in seed_list]
+            runs = MultihopSimulator(
+                scenario, None, reference=reference, **collection
+            ).run_batch(
+                seed_list,
+                policies=_replicate(policy, scenarios),
+                num_slots=num_slots,
+            )
+        _multihop_write_through(
+            store,
+            policy=policy,
+            reference=reference,
+            results=runs,
+            num_slots=num_slots,
+            metrics=metrics,
+        )
+        results.extend(runs)
+    if seeds is None and single_policy:
+        return results[0]
+    return results
+
+
+def _multihop_write_through(
+    store: Any,
+    *,
+    policy: PolicyLike,
+    reference: bool,
+    results: Sequence[SimulationResult],
+    num_slots: Optional[int],
+    metrics: str,
+) -> None:
+    """Record finished multihop runs into the persistent run store.
+
+    Same cell-key scheme as :func:`_store_write_through`, with the
+    cumulative latency history as the stored trace.  Opaque policy
+    instances and seedless scenarios are skipped.
+    """
+    if store is None or store is False:
+        return
+    if not isinstance(policy, (str, PolicySpec)):
+        return
+    from repro.runtime.runner import RunRecord, RunSpec
+    from repro.runtime.store import RunStore, resolve_store
+
+    spec = PolicySpec.coerce(policy)
+    resolved = resolve_store(store)
+    if resolved is None:
+        return
+    label = f"multihop:{spec.label()}"
+    try:
+        items = []
+        for result in results:
+            seed = result.config.seed
+            if seed is None:
+                continue
+            run_spec = RunSpec(
+                kind="multihop",
+                scenario=result.config,
+                policy=spec,
+                seed=int(seed),
+                label=label,
+                num_slots=num_slots,
+                reference=reference,
+                metrics=metrics,
+            )
+            record = RunRecord(
+                label=label,
+                seed=int(seed),
+                kind="multihop",
+                summary=result.summary(),
+                trace=result.latency_history,
+            )
+            items.append((run_spec, int(seed), record))
+        if items:
+            resolved.put_many(items)
+    finally:
+        if not isinstance(store, RunStore):
+            resolved.close()
 
 
 def _store_write_through(

@@ -817,3 +817,173 @@ class ServiceMetrics:
             "service_rate": self.service_rate,
             "stable": float(self.is_stable()),
         }
+
+
+class MultihopMetrics:
+    """Collector for multihop runs: per-slot request/hit/latency/hop totals.
+
+    One :meth:`record_slot` call per slot aggregates every session routed in
+    that slot.  ``mode="full"`` additionally keeps the per-session
+    :class:`~repro.net.controller.SessionResult` records (hop sequences,
+    serving nodes) that the routing property tests and analysis notebooks
+    consume; ``mode="summary"`` keeps only the per-slot aggregates, so
+    memory stays flat in request volume.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "full",
+        expected_slots: Optional[int] = None,
+    ) -> None:
+        self._mode = check_metrics_mode(mode)
+        self._slots = 0
+        self._requests = _SlotBuffer(dtype=np.int64, capacity=expected_slots)
+        self._served = _SlotBuffer(dtype=np.int64, capacity=expected_slots)
+        self._hits = _SlotBuffer(dtype=np.int64, capacity=expected_slots)
+        self._latency = _SlotBuffer(capacity=expected_slots)
+        self._waiting = _SlotBuffer(capacity=expected_slots)
+        self._hops = _SlotBuffer(dtype=np.int64, capacity=expected_slots)
+        self._updates = _SlotBuffer(dtype=np.int64, capacity=expected_slots)
+        self._update_cost = _SlotBuffer(capacity=expected_slots)
+        self._sessions: Optional[List] = [] if self._mode == "full" else None
+
+    @property
+    def mode(self) -> str:
+        """The collection mode this collector runs in."""
+        return self._mode
+
+    def record_slot(
+        self,
+        *,
+        requests: int,
+        served: int,
+        hits: int,
+        latency: float,
+        hops: int,
+        waiting: float = 0.0,
+        updates: int = 0,
+        update_cost: float = 0.0,
+        sessions: Sequence = (),
+    ) -> None:
+        """Record one slot's aggregates (and, in full mode, its sessions)."""
+        self._slots += 1
+        self._requests.append(requests)
+        self._served.append(served)
+        self._hits.append(hits)
+        self._latency.append(latency)
+        self._waiting.append(waiting)
+        self._hops.append(hops)
+        self._updates.append(updates)
+        self._update_cost.append(update_cost)
+        if self._sessions is not None:
+            self._sessions.extend(sessions)
+
+    def sessions(self) -> List:
+        """Per-request session records (full mode only)."""
+        if self._sessions is None:
+            raise SimulationError(
+                "per-session records are only collected in metrics='full' mode"
+            )
+        return list(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        """Number of recorded slots."""
+        return self._slots
+
+    @property
+    def total_requests(self) -> int:
+        """Requests issued over the run."""
+        return int(self._requests.array.sum())
+
+    @property
+    def total_served(self) -> int:
+        """Requests actually routed over the run (== issued except when a
+        service-role policy defers some past the horizon)."""
+        return int(self._served.array.sum())
+
+    @property
+    def total_hits(self) -> int:
+        """Requests served from an RSU cache rather than the origin."""
+        return int(self._hits.array.sum())
+
+    @property
+    def total_latency(self) -> float:
+        """Sum of per-hop link delays over every routed request."""
+        return float(_chunked_sum(self._latency.array))
+
+    @property
+    def total_waiting(self) -> float:
+        """Total queue-wait slots accumulated before routing."""
+        return float(_chunked_sum(self._waiting.array))
+
+    @property
+    def total_hops(self) -> int:
+        """Links traversed over the run (request + delivery legs)."""
+        return int(self._hops.array.sum())
+
+    @property
+    def total_updates(self) -> int:
+        """MBS-pushed cache refreshes (caching-role policies only)."""
+        return int(self._updates.array.sum())
+
+    @property
+    def total_update_cost(self) -> float:
+        """Backhaul cost of those refreshes."""
+        return float(_chunked_sum(self._update_cost.array))
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of routed requests served from an RSU cache."""
+        served = self.total_served
+        if served == 0:
+            return float("nan")
+        return self.total_hits / served
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean network latency per routed request."""
+        served = self.total_served
+        if served == 0:
+            return float("nan")
+        return self.total_latency / served
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean links traversed per routed request."""
+        served = self.total_served
+        if served == 0:
+            return float("nan")
+        return self.total_hops / served
+
+    @property
+    def mean_hop_latency(self) -> float:
+        """Mean delay per traversed link (0 when every hit was local)."""
+        hops = self.total_hops
+        if hops == 0:
+            return 0.0
+        return self.total_latency / hops
+
+    def latency_history(self) -> np.ndarray:
+        """Cumulative network + waiting latency per slot (the run's trace)."""
+        return np.cumsum(self._latency.array + self._waiting.array)
+
+    def summary(self) -> Dict[str, float]:
+        """Return the headline metrics of the run as a dictionary."""
+        return {
+            "num_slots": float(self._slots),
+            "total_requests": float(self.total_requests),
+            "total_served": float(self.total_served),
+            "hit_ratio": self.hit_ratio,
+            "total_latency": self.total_latency,
+            "mean_latency": self.mean_latency,
+            "mean_hops": self.mean_hops,
+            "mean_hop_latency": self.mean_hop_latency,
+            "total_waiting": self.total_waiting,
+            "total_updates": float(self.total_updates),
+            "total_update_cost": self.total_update_cost,
+        }

@@ -1,0 +1,445 @@
+"""Multihop simulator: graph-routed requests over the network core.
+
+The ``multihop`` scenario kind generalises the paper's single-RSU caching
+model: requests enter at their receiver RSU and, on a miss, route over the
+:class:`~repro.net.model.NetworkModel` graph toward neighbour RSUs and then
+the origin (the MBS), with per-hop latency accounting and strategy-chosen
+cache placement along the delivery path.
+
+All three policy roles run through this one simulator, so the Icarus
+on-path family and the paper's controllers compare on one grid:
+
+* **onpath** strategies (``lce``, ``lcd``, ``probcache``, ``partition``,
+  ``cl4m``, ``edge``) decide placement per delivery; the degenerate
+  ``edge`` + star configuration reproduces the single-RSU model exactly
+  (pinned by the golden equivalence tests).
+* **caching** policies (``mdp``, ``myopic``, …) keep the legacy static
+  placement — each RSU holds its covered contents — and decide per-slot
+  MBS refreshes through the standard
+  :class:`~repro.core.policies.CacheObservation`; misses route to the
+  origin *without* inserting copies, so the cache state stays exactly the
+  policy's.
+* **service** policies (``lyapunov``, …) gate per-RSU request queues: a
+  deferred queue accrues waiting latency, a served queue routes each
+  request edge-style (receiver-only placement).
+
+There is a single execution path: ``reference``/``vectorized``/``batch``
+modes are trivially bit-identical because they all run this loop (the
+per-request graph walk has no tensor twin yet).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.policies import CachingPolicy, ServiceObservation, ServicePolicy
+from repro.exceptions import ConfigurationError
+from repro.net.controller import NetworkController, SessionResult
+from repro.net.model import NetworkModel
+from repro.net.view import NetworkView
+from repro.policies.onpath import EdgeCaching, OnPathStrategy
+from repro.sim.metrics import MultihopMetrics, check_metrics_mode
+from repro.sim.results import MultihopSimulationResult
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.system import SystemState, _expand_batch_policies
+from repro.utils.validation import check_positive_int
+
+MultihopPolicy = Union[OnPathStrategy, CachingPolicy, ServicePolicy]
+
+
+def _policy_role(policy: MultihopPolicy) -> str:
+    if isinstance(policy, OnPathStrategy):
+        return "onpath"
+    if isinstance(policy, CachingPolicy):
+        return "caching"
+    if isinstance(policy, ServicePolicy):
+        return "service"
+    raise ConfigurationError(
+        "a multihop policy must be an OnPathStrategy, CachingPolicy, or "
+        f"ServicePolicy instance; got {type(policy).__name__}"
+    )
+
+
+class MultihopSimulator:
+    """Simulator for the ``multihop`` scenario kind.
+
+    Parameters
+    ----------
+    config:
+        The scenario to simulate; ``topology_kind``, ``cache_capacity``,
+        and ``hop_delay`` shape the network graph.
+    policy:
+        An on-path strategy, a caching policy, or a service policy (see
+        the module docstring for how each role is driven).
+    reference:
+        Accepted for interface parity with the other simulators; the
+        multihop loop has a single execution path, so this only tags the
+        result provenance.
+    metrics:
+        ``"full"`` additionally keeps per-session routing records;
+        ``"summary"`` keeps per-slot aggregates only.
+    block_size:
+        Accepted for interface parity; the per-request loop records slot
+        by slot regardless.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: MultihopPolicy,
+        *,
+        reference: bool = False,
+        metrics: str = "full",
+        block_size: Optional[int] = None,
+    ) -> None:
+        if block_size is not None:
+            check_positive_int(block_size, "block_size")
+        self._config = config
+        # The role is resolved lazily (in run()): batch callers construct
+        # the simulator with a placeholder policy and pass the per-seed
+        # instances to run_batch(policies=...), like the other simulators.
+        self._policy = policy
+        self._reference = bool(reference)
+        self._metrics_mode = check_metrics_mode(metrics)
+        self._block_size = block_size
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario being simulated."""
+        return self._config
+
+    @property
+    def policy(self) -> MultihopPolicy:
+        """The policy under evaluation."""
+        return self._policy
+
+    @property
+    def role(self) -> str:
+        """``"onpath"``, ``"caching"``, or ``"service"``."""
+        return _policy_role(self._policy)
+
+    @property
+    def reference(self) -> bool:
+        """Provenance tag only — multihop has a single execution path."""
+        return self._reference
+
+    @property
+    def metrics_mode(self) -> str:
+        """The metric collection mode, ``"full"`` or ``"summary"``."""
+        return self._metrics_mode
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, *, num_slots: Optional[int] = None) -> MultihopSimulationResult:
+        """Run the simulation and return the recorded result."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        config = self._config
+        role = _policy_role(self._policy)
+        state = SystemState(config)
+        network = NetworkModel(
+            state.topology,
+            kind=config.topology_kind,
+            cost_model=state.service_cost_model,
+            cache_capacity=config.cache_capacity,
+            hop_delay=config.hop_delay,
+        )
+        self._warm_caches(state, network, role)
+        view = NetworkView(network)
+        controller = NetworkController(network)
+        metrics = MultihopMetrics(
+            mode=self._metrics_mode, expected_slots=num_slots
+        )
+        policy = self._policy
+        policy_reset = getattr(policy, "reset", None)
+        if callable(policy_reset):
+            policy_reset()
+        if role == "onpath":
+            policy.attach(view, controller)
+            self._run_onpath(state, controller, metrics, num_slots)
+        elif role == "caching":
+            self._run_caching(state, network, view, controller, metrics, num_slots)
+        else:
+            self._run_service(state, view, controller, metrics, num_slots)
+        return MultihopSimulationResult(
+            config=config,
+            policy_name=getattr(policy, "name", type(policy).__name__),
+            metrics=metrics,
+            catalog=state.catalog,
+            topology=state.topology,
+        )
+
+    def run_batch(
+        self,
+        seeds: Sequence[int],
+        *,
+        policies: Optional[Sequence[MultihopPolicy]] = None,
+        num_slots: Optional[int] = None,
+    ) -> List[MultihopSimulationResult]:
+        """Run one simulation per seed (the per-request loop has no tensor
+        twin, so this is an exact per-seed replay — trivially bit-identical
+        to per-run execution)."""
+        num_slots = check_positive_int(
+            num_slots if num_slots is not None else self._config.num_slots,
+            "num_slots",
+        )
+        seeds = [int(seed) for seed in seeds]
+        policies = _expand_batch_policies(seeds, policies, self._policy)
+        return [
+            MultihopSimulator(
+                self._config.with_overrides(seed=seed),
+                policy,
+                reference=self._reference,
+                metrics=self._metrics_mode,
+                block_size=self._block_size,
+            ).run(num_slots=num_slots)
+            for seed, policy in zip(seeds, policies)
+        ]
+
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+    def _warm_caches(
+        self, state: SystemState, network: NetworkModel, role: str
+    ) -> None:
+        """Seed the network caches with the legacy warm placement.
+
+        Each RSU node starts holding its covered contents at the exact ages
+        the :class:`~repro.sim.system.SystemState` drew (randomised when
+        ``random_initial_ages``) — the same starting state every legacy
+        simulator sees.
+        """
+        if role == "caching" and (
+            network.cache_capacity < self._config.contents_per_rsu
+        ):
+            raise ConfigurationError(
+                "caching-role multihop runs keep the legacy static placement "
+                f"and need cache_capacity >= contents_per_rsu "
+                f"({self._config.contents_per_rsu}), got {network.cache_capacity}"
+            )
+        for k, cache in enumerate(state.caches):
+            node_cache = network.cache(k)
+            for content_id in cache.content_ids:
+                node_cache.put(content_id, age=cache.age_of(content_id))
+
+    def _slot_requests(
+        self, state: SystemState, time_slot: int
+    ) -> List[Tuple[int, np.ndarray]]:
+        return state.workload.generate_slot_contents(time_slot)
+
+    def _route_request(
+        self,
+        strategy: OnPathStrategy,
+        state: SystemState,
+        time_slot: int,
+        receiver: int,
+        content_id: int,
+    ) -> SessionResult:
+        max_age = float(state.catalog.max_ages[int(content_id)])
+        return strategy.process_request(
+            time_slot, receiver, int(content_id), max_age=max_age
+        )
+
+    def _advance(self, state: SystemState, controller: NetworkController, t: int) -> None:
+        controller.tick(1)
+        state.mbs_store.tick(t + 1)
+
+    # ------------------------------------------------------------------
+    # Role-specific loops
+    # ------------------------------------------------------------------
+    def _run_onpath(
+        self,
+        state: SystemState,
+        controller: NetworkController,
+        metrics: MultihopMetrics,
+        num_slots: int,
+    ) -> None:
+        strategy = self._policy
+        for t in range(num_slots):
+            sessions: List[SessionResult] = []
+            for receiver, contents in self._slot_requests(state, t):
+                for content_id in contents:
+                    sessions.append(
+                        self._route_request(strategy, state, t, receiver, content_id)
+                    )
+            metrics.record_slot(
+                requests=len(sessions),
+                served=len(sessions),
+                hits=sum(1 for s in sessions if s.hit),
+                latency=float(sum(s.latency for s in sessions)),
+                hops=sum(s.hops for s in sessions),
+                sessions=sessions,
+            )
+            self._advance(state, controller, t)
+
+    def _run_caching(
+        self,
+        state: SystemState,
+        network: NetworkModel,
+        view: NetworkView,
+        controller: NetworkController,
+        metrics: MultihopMetrics,
+        num_slots: int,
+    ) -> None:
+        """Static placement + MDP-style refreshes, with on-path routing.
+
+        The cache state each slot is exactly what the caching policy
+        dictates: requests never insert or evict copies (a fetched copy is
+        consumed by the requester, not cached), so the age trajectories
+        match the legacy stage-1 simulator slot for slot.
+        """
+        policy = self._policy
+        content_ids = state.content_ids
+        num_rsus, per_rsu = content_ids.shape
+        probe = _StaticProbe(view, controller)
+        for t in range(num_slots):
+            # 1. The MBS decides and pushes refreshes (stage-1 semantics).
+            ages = np.empty((num_rsus, per_rsu), dtype=float)
+            for k in range(num_rsus):
+                node_cache = network.cache(k)
+                for slot in range(per_rsu):
+                    ages[k, slot] = node_cache.age_of(content_ids[k, slot])
+            observation = state.observation_vector(t, ages)
+            actions = policy.decide(observation)
+            actions = CachingPolicy.validate_actions(actions, observation)
+            costs = observation.update_costs
+            updates = 0
+            update_cost = 0.0
+            for k in range(num_rsus):
+                for slot in range(per_rsu):
+                    if actions[k, slot]:
+                        controller.refresh_content(
+                            k, content_ids[k, slot], age=1.0
+                        )
+                        updates += 1
+                        update_cost += float(costs[k, slot])
+            # 2. Requests route over the refreshed caches.
+            sessions: List[SessionResult] = []
+            for receiver, contents in self._slot_requests(state, t):
+                for content_id in contents:
+                    sessions.append(probe.route(state, t, receiver, content_id))
+            metrics.record_slot(
+                requests=len(sessions),
+                served=len(sessions),
+                hits=sum(1 for s in sessions if s.hit),
+                latency=float(sum(s.latency for s in sessions)),
+                hops=sum(s.hops for s in sessions),
+                updates=updates,
+                update_cost=update_cost,
+                sessions=sessions,
+            )
+            self._advance(state, controller, t)
+
+    def _run_service(
+        self,
+        state: SystemState,
+        view: NetworkView,
+        controller: NetworkController,
+        metrics: MultihopMetrics,
+        num_slots: int,
+    ) -> None:
+        """Per-RSU queues gated by the service policy, edge-style routing.
+
+        Mirrors the stage-2 simulator's observation conventions: the
+        ``queue_backlog``/``departure`` fields carry the queue's total
+        waiting time, and a ``True`` decision drains the whole queue.
+        """
+        policy = self._policy
+        num_rsus = self._config.num_rsus
+        queues: List[deque] = [deque() for _ in range(num_rsus)]
+        edge = EdgeCaching()
+        edge.attach(view, controller)
+        origin = view.origin
+        for t in range(num_slots):
+            arrivals = 0
+            for receiver, contents in self._slot_requests(state, t):
+                for content_id in contents:
+                    queues[receiver].append((t, int(content_id)))
+                    arrivals += 1
+            served = 0
+            hits = 0
+            latency = 0.0
+            waiting = 0.0
+            hops = 0
+            sessions: List[SessionResult] = []
+            for k in range(num_rsus):
+                queue = queues[k]
+                total_waiting = float(sum(t - issue for issue, _ in queue))
+                head_age = head_max = None
+                if queue:
+                    _, head_content = queue[0]
+                    age = view.cache_age(k, head_content)
+                    if age is not None:
+                        head_age = float(age)
+                        head_max = float(state.catalog.max_ages[head_content])
+                observation = ServiceObservation(
+                    time_slot=t,
+                    rsu_id=k,
+                    queue_backlog=total_waiting,
+                    service_cost=2.0 * view.path_delay(k, origin),
+                    departure=total_waiting,
+                    head_content_age=head_age,
+                    head_content_max_age=head_max,
+                )
+                serve = policy.decide(observation) and bool(queue)
+                if not serve:
+                    continue
+                while queue:
+                    issue_slot, content_id = queue.popleft()
+                    session = self._route_request(edge, state, t, k, content_id)
+                    sessions.append(session)
+                    served += 1
+                    hits += int(session.hit)
+                    latency += session.latency
+                    waiting += float(t - issue_slot)
+                    hops += session.hops
+            metrics.record_slot(
+                requests=arrivals,
+                served=served,
+                hits=hits,
+                latency=latency,
+                waiting=waiting,
+                hops=hops,
+                sessions=sessions,
+            )
+            self._advance(state, controller, t)
+
+
+class _StaticProbe:
+    """Routes a request over static caches without inserting copies.
+
+    Used by caching-role runs: walk the precomputed path toward the
+    origin, serve at the first node with a fresh-enough copy, account the
+    delivery leg back — but never call ``put_content``, so the cache state
+    remains exactly what the caching policy dictates.
+    """
+
+    def __init__(self, view: NetworkView, controller: NetworkController) -> None:
+        self._view = view
+        self._controller = controller
+
+    def route(
+        self, state: SystemState, time_slot: int, receiver: int, content_id: int
+    ) -> SessionResult:
+        view, controller = self._view, self._controller
+        content_id = int(content_id)
+        max_age = float(state.catalog.max_ages[content_id])
+        source = view.content_source(content_id)
+        path = view.shortest_path(receiver, source)
+        controller.start_session(time_slot, receiver, content_id, max_age=max_age)
+        serving_index = 0
+        if not controller.get_content(receiver):
+            for index in range(1, len(path)):
+                controller.forward_request_hop(path[index - 1], path[index])
+                if controller.get_content(path[index]):
+                    serving_index = index
+                    break
+        for index in range(serving_index, 0, -1):
+            controller.forward_content_hop(path[index], path[index - 1])
+        return controller.end_session()

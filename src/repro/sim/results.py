@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.net.content import ContentCatalog
 from repro.net.topology import RoadTopology
-from repro.sim.metrics import CacheMetrics, ServiceMetrics
+from repro.sim.metrics import CacheMetrics, MultihopMetrics, ServiceMetrics
 from repro.sim.scenario import ScenarioConfig
 
 
@@ -35,7 +35,7 @@ class SimulationResult:
     config: ScenarioConfig
 
     #: Which simulator produced this result: ``"cache"``, ``"service"``,
-    #: or ``"joint"``.
+    #: ``"joint"``, or ``"multihop"``.
     kind: ClassVar[str] = ""
 
     def summary(self) -> Dict[str, Any]:
@@ -112,6 +112,34 @@ class ServiceSimulationResult(SimulationResult):
     def time_average_cost(self) -> float:
         """Time-average service cost (the Eq. 4 objective)."""
         return self.metrics.time_average_cost
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics of the run."""
+        summary = self.metrics.summary()
+        summary["policy"] = self.policy_name
+        return summary
+
+
+@dataclass
+class MultihopSimulationResult(SimulationResult):
+    """Everything recorded by one multihop (graph-routed) run."""
+
+    policy_name: str
+    metrics: MultihopMetrics
+    catalog: ContentCatalog
+    topology: RoadTopology
+
+    kind: ClassVar[str] = "multihop"
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of routed requests served from an RSU cache."""
+        return self.metrics.hit_ratio
+
+    @property
+    def latency_history(self) -> np.ndarray:
+        """Cumulative network + waiting latency per slot (the run's trace)."""
+        return self.metrics.latency_history()
 
     def summary(self) -> Dict[str, float]:
         """Headline metrics of the run."""

@@ -91,6 +91,17 @@ class ScenarioConfig:
         service baselines; ``None`` disables deadlines.
     age_ceiling:
         Optional override of the MDP age-discretisation ceiling.
+    topology_kind:
+        Graph shape for the multihop network core: ``"star"`` (every RSU
+        wired straight to the MBS — the paper's implicit backhaul),
+        ``"line"`` (neighbouring RSUs chained, nearest RSU is the MBS
+        gateway), or ``"ring"``.  Only the ``multihop`` simulation kind
+        consumes this; the legacy kinds ignore it.
+    cache_capacity:
+        Copies each RSU node may hold in multihop mode; ``None`` keeps the
+        legacy fixed size (``contents_per_rsu``).
+    hop_delay:
+        Scale factor on every multihop link delay.
     seed:
         Master seed from which all component streams are derived.
     """
@@ -115,6 +126,9 @@ class ScenarioConfig:
     random_initial_ages: bool = True
     deadline_slots: Optional[int] = None
     age_ceiling: Optional[int] = None
+    topology_kind: str = "star"
+    cache_capacity: Optional[int] = None
+    hop_delay: float = 1.0
     seed: Optional[int] = 0
 
     # ------------------------------------------------------------------
@@ -179,6 +193,14 @@ class ScenarioConfig:
             check_positive_int(self.deadline_slots, "deadline_slots")
         if self.age_ceiling is not None:
             check_positive_int(self.age_ceiling, "age_ceiling")
+        if self.topology_kind not in ("star", "line", "ring"):
+            raise ConfigurationError(
+                "topology_kind must be 'star', 'line', or 'ring', "
+                f"got {self.topology_kind!r}"
+            )
+        if self.cache_capacity is not None:
+            check_positive_int(self.cache_capacity, "cache_capacity")
+        check_positive(self.hop_delay, "hop_delay")
 
     @property
     def num_regions(self) -> int:
@@ -358,6 +380,25 @@ class ScenarioConfig:
             weight=self.aoi_weight,
             discount=self.discount,
             age_ceiling=self.age_ceiling,
+        )
+
+    def build_network_model(
+        self, topology: Optional[RoadTopology] = None, rng: RandomSource = None
+    ) -> "NetworkModel":
+        """Instantiate the multihop network model over this scenario.
+
+        Link delays come from the RSU->UV (service) cost model, scaled by
+        ``hop_delay``; per-node cache capacity defaults to the legacy fixed
+        cache size.
+        """
+        from repro.net.model import NetworkModel
+
+        return NetworkModel(
+            topology if topology is not None else self.build_topology(),
+            kind=self.topology_kind,
+            cost_model=self.build_service_cost_model(rng),
+            cache_capacity=self.cache_capacity,
+            hop_delay=self.hop_delay,
         )
 
     def road_length(self) -> float:

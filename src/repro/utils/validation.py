@@ -96,6 +96,18 @@ def check_probability_vector(
     return array / array.sum()
 
 
+def check_index(value: int, size: int, *, label: str) -> int:
+    """Return *value* if it is a valid index into ``[0, size)``.
+
+    *label* names the index in the error message (e.g. ``"region id"`` or
+    ``"content id"``), matching the messages shared by the topology,
+    environment, and cache layers.
+    """
+    if not 0 <= value < size:
+        raise ValidationError(f"{label} {value} out of range [0, {size})")
+    return value
+
+
 def _check_finite_number(value: float, name: str) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
         raise ValidationError(f"{name} must be a number, got {value!r}")

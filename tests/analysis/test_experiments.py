@@ -14,10 +14,10 @@ from repro.exceptions import ValidationError
 
 
 class TestRegistry:
-    def test_all_eight_experiments_registered(self):
+    def test_all_nine_experiments_registered(self):
         experiments = available_experiments()
         assert sorted(experiments) == [
-            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
         ]
 
     def test_titles_are_non_empty(self):
@@ -101,6 +101,7 @@ class TestExperimentRuns:
             "E6",
             "E7",
             "E8",
+            "E9",
         ]
 
 

@@ -145,3 +145,63 @@ class TestMBSContentStore:
         store = MBSContentStore(catalog)
         with pytest.raises(ValidationError):
             store.age_of(17)
+
+
+class TestLruContentCache:
+    def make(self, capacity=3):
+        from repro.net.cache import LruContentCache
+
+        return LruContentCache(capacity)
+
+    def test_put_get_and_age(self):
+        cache = self.make()
+        assert cache.put(1, age=2.0) is None
+        assert cache.has(1)
+        assert cache.age_of(1) == 2.0
+        assert cache.get(1)
+        assert not cache.get(9)
+
+    def test_eviction_is_lru(self):
+        cache = self.make(capacity=2)
+        cache.put(1)
+        cache.put(2)
+        assert cache.get(1)  # promotes 1; 2 becomes LRU
+        evicted = cache.put(3)
+        assert evicted == 2
+        assert cache.has(1) and cache.has(3) and not cache.has(2)
+
+    def test_put_refreshes_existing_without_eviction(self):
+        cache = self.make(capacity=2)
+        cache.put(1, age=5.0)
+        cache.put(2)
+        assert cache.put(1, age=1.0) is None
+        assert cache.age_of(1) == 1.0
+        assert len(cache) == 2
+
+    def test_tick_ages_all_contents(self):
+        cache = self.make()
+        cache.put(1, age=1.0)
+        cache.put(2, age=3.0)
+        cache.tick(2)
+        assert cache.age_of(1) == 3.0
+        assert cache.age_of(2) == 5.0
+
+    def test_missing_age_raises(self):
+        from repro.exceptions import CacheError
+
+        cache = self.make()
+        with pytest.raises(CacheError):
+            cache.age_of(4)
+
+    def test_capacity_validated(self):
+        from repro.exceptions import ValidationError
+        from repro.net.cache import LruContentCache
+
+        with pytest.raises(ValidationError):
+            LruContentCache(0)
+
+    def test_clear(self):
+        cache = self.make()
+        cache.put(1)
+        cache.clear()
+        assert len(cache) == 0 and not cache.has(1)

@@ -1,0 +1,193 @@
+"""Tests for the graph-backed network core (model, view, controller)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError, ValidationError
+from repro.net.controller import NetworkController
+from repro.net.model import (
+    TOPOLOGY_KINDS,
+    NetworkModel,
+    build_network_graph,
+    deterministic_shortest_paths,
+)
+from repro.net.topology import RoadTopology
+from repro.net.view import NetworkView
+
+nx = pytest.importorskip("networkx")
+
+
+def make_topology(num_rsus: int = 4, regions_per_rsu: int = 3) -> RoadTopology:
+    return RoadTopology(num_rsus * regions_per_rsu, num_rsus)
+
+
+class TestBuildNetworkGraph:
+    def test_star_wires_every_rsu_to_origin(self):
+        topology = make_topology(4)
+        graph = build_network_graph(topology, kind="star")
+        origin = topology.num_rsus
+        assert sorted(graph.nodes) == [0, 1, 2, 3, origin]
+        assert sorted(graph.edges) == [(k, origin) for k in range(4)]
+        assert graph.nodes[origin]["role"] == "origin"
+
+    def test_line_is_a_chain_with_one_gateway(self):
+        topology = make_topology(4)
+        graph = build_network_graph(topology, kind="line")
+        origin = topology.num_rsus
+        chain = [(k, k + 1) for k in range(3)]
+        gateways = [
+            (u, v) for u, v in graph.edges if origin in (u, v)
+        ]
+        assert len(gateways) == 1
+        for edge in chain:
+            assert graph.has_edge(*edge)
+        assert graph.number_of_edges() == len(chain) + 1
+
+    def test_ring_closes_the_chain(self):
+        topology = make_topology(4)
+        graph = build_network_graph(topology, kind="ring")
+        assert graph.has_edge(0, 3)
+
+    def test_edge_delays_positive(self):
+        graph = build_network_graph(make_topology(3), kind="line")
+        for _, _, data in graph.edges(data=True):
+            assert data["delay"] > 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            build_network_graph(make_topology(3), kind="mesh")
+
+
+class TestNetworkModel:
+    def test_default_capacity_matches_coverage(self):
+        topology = make_topology(4, regions_per_rsu=3)
+        model = NetworkModel(topology)
+        assert model.cache_capacity == 3
+        assert list(model.cache_nodes()) == [0, 1, 2, 3]
+        assert not model.has_cache(model.origin)
+
+    def test_kinds_enumerated(self):
+        assert TOPOLOGY_KINDS == ("star", "line", "ring")
+        for kind in TOPOLOGY_KINDS:
+            model = NetworkModel(make_topology(3), kind=kind)
+            assert model.kind == kind
+
+    def test_paths_end_at_origin(self):
+        model = NetworkModel(make_topology(4), kind="line")
+        for node in range(4):
+            path = model.shortest_path(node, model.origin)
+            assert path[0] == node
+            assert path[-1] == model.origin
+
+    def test_path_delay_accumulates_edges(self):
+        model = NetworkModel(make_topology(4), kind="line")
+        path = model.shortest_path(0, model.origin)
+        total = sum(
+            model.edge_delay(path[i], path[i + 1]) for i in range(len(path) - 1)
+        )
+        assert model.path_delay(0, model.origin) == pytest.approx(total)
+
+    def test_missing_edge_rejected(self):
+        model = NetworkModel(make_topology(4), kind="star")
+        with pytest.raises(ValidationError):
+            model.edge_delay(0, 1)
+
+    def test_star_betweenness_peaks_at_origin(self):
+        model = NetworkModel(make_topology(4), kind="star")
+        origin = model.origin
+        assert model.betweenness(origin) >= max(
+            model.betweenness(k) for k in range(4)
+        )
+
+
+class TestDeterministicShortestPaths:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_rsus=st.integers(min_value=2, max_value=7),
+        kind=st.sampled_from(TOPOLOGY_KINDS),
+        permutation_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_invariant_under_node_order_permutation(
+        self, num_rsus, kind, permutation_seed
+    ):
+        """Routing is a pure function of the graph, not its insertion order."""
+        import random
+
+        graph = build_network_graph(make_topology(num_rsus), kind=kind)
+        shuffled = nx.Graph()
+        nodes = list(graph.nodes(data=True))
+        edges = list(graph.edges(data=True))
+        shuffler = random.Random(permutation_seed)
+        shuffler.shuffle(nodes)
+        shuffler.shuffle(edges)
+        shuffled.add_nodes_from(nodes)
+        shuffled.add_edges_from(edges)
+        paths_a, delays_a = deterministic_shortest_paths(graph)
+        paths_b, delays_b = deterministic_shortest_paths(shuffled)
+        assert paths_a == paths_b
+        assert delays_a == delays_b
+
+    def test_paths_are_contiguous_graph_walks(self):
+        graph = build_network_graph(make_topology(6), kind="ring")
+        paths, delays = deterministic_shortest_paths(graph)
+        for source, targets in paths.items():
+            for target, path in targets.items():
+                assert path[0] == source and path[-1] == target
+                for u, v in zip(path, path[1:]):
+                    assert graph.has_edge(u, v)
+                total = sum(
+                    graph.edges[u, v]["delay"] for u, v in zip(path, path[1:])
+                )
+                assert delays[source][target] == pytest.approx(total)
+
+
+class TestNetworkController:
+    def make(self, kind="line"):
+        model = NetworkModel(make_topology(4), kind=kind)
+        return model, NetworkView(model), NetworkController(model)
+
+    def test_origin_always_serves(self):
+        model, view, controller = self.make()
+        path = view.shortest_path(0, model.origin)
+        controller.start_session(0, 0, 0)
+        assert not controller.get_content(0)  # cold cache
+        for u, v in zip(path, path[1:]):
+            controller.forward_request_hop(u, v)
+        assert controller.get_content(model.origin)
+        result = controller.end_session()
+        assert not result.hit
+        assert result.serving_node == model.origin
+        assert result.hops == len(path) - 1
+        assert result.path == path
+
+    def test_cache_hit_accounting(self):
+        model, view, controller = self.make()
+        model.cache(2).put(7, age=1.0)
+        controller.start_session(0, 2, 7)
+        assert controller.get_content(2)
+        result = controller.end_session()
+        assert result.hit and result.hops == 0 and result.latency == 0.0
+
+    def test_stale_copy_is_not_served(self):
+        model, view, controller = self.make()
+        model.cache(1).put(3, age=9.0)
+        controller.start_session(0, 1, 3, max_age=5.0)
+        assert not controller.get_content(1)
+        controller.abort_session()
+
+    def test_double_start_rejected(self):
+        _, _, controller = self.make()
+        controller.start_session(0, 0, 0)
+        with pytest.raises(SimulationError):
+            controller.start_session(0, 1, 1)
+
+    def test_tick_ages_every_cache(self):
+        model, _, controller = self.make()
+        model.cache(0).put(1, age=1.0)
+        model.cache(3).put(2, age=4.0)
+        controller.tick(2)
+        assert model.cache(0).age_of(1) == pytest.approx(3.0)
+        assert model.cache(3).age_of(2) == pytest.approx(6.0)

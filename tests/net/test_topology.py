@@ -125,3 +125,46 @@ class TestRoadTopology:
             assert rsu is not None
             region = topology.region_at(float(position))
             assert region.region_id in rsu.covered_regions
+
+
+class TestRsuForPositions:
+    """The vectorised coverage query every scalar lookup routes through."""
+
+    def test_matches_scalar_lookup(self):
+        topology = RoadTopology(20, 4, region_length=50.0)
+        positions = np.array([0.0, 49.9, 250.0, 999.9, 1000.0, -1.0, np.nan])
+        expected = []
+        for position in positions:
+            rsu = topology.rsu_at(float(position))
+            expected.append(-1 if rsu is None else rsu.rsu_id)
+        assert topology.rsu_for_positions(positions).tolist() == expected
+
+    def test_off_road_maps_to_minus_one(self):
+        topology = RoadTopology(12, 3)
+        out = topology.rsu_for_positions(
+            np.array([-0.001, topology.road_length, np.inf, -np.inf, np.nan])
+        )
+        assert out.tolist() == [-1, -1, -1, -1, -1]
+
+    def test_dtype_and_shape(self):
+        topology = RoadTopology(12, 3)
+        positions = np.linspace(0.0, topology.road_length - 1.0, 7)
+        out = topology.rsu_for_positions(positions)
+        assert out.shape == positions.shape
+        assert out.dtype == np.int64
+        assert (out >= 0).all()
+
+    @given(
+        position=st.floats(
+            min_value=-100.0, max_value=1200.0, allow_nan=False
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_region_arithmetic(self, position):
+        topology = RoadTopology(20, 4, region_length=50.0)
+        result = int(topology.rsu_for_positions(np.array([position]))[0])
+        if 0.0 <= position < topology.road_length:
+            region = topology.region_at(position)
+            assert result == topology.rsu_for_region(region.region_id).rsu_id
+        else:
+            assert result == -1

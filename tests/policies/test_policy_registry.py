@@ -30,10 +30,17 @@ class TestCatalog:
         "fixed-probability", "lyapunov", "never-serve",
     }
 
+    EXPECTED_ONPATH = {
+        "cl4m", "edge", "lcd", "lce", "partition", "probcache",
+    }
+
     def test_every_builtin_policy_is_registered(self):
         assert set(list_policies("caching")) == self.EXPECTED_CACHING
         assert set(list_policies("service")) == self.EXPECTED_SERVICE
-        assert set(list_policies()) == self.EXPECTED_CACHING | self.EXPECTED_SERVICE
+        assert set(list_policies("onpath")) == self.EXPECTED_ONPATH
+        assert set(list_policies()) == (
+            self.EXPECTED_CACHING | self.EXPECTED_SERVICE | self.EXPECTED_ONPATH
+        )
 
     def test_available_policies_have_descriptions(self):
         for name, description in available_policies().items():

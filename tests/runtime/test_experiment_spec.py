@@ -239,3 +239,55 @@ class TestBatchExport:
         assert len(on_disk["rows"]) == 2
         assert len(on_disk["aggregate"]) == 1
         assert on_disk["aggregate"][0]["num_seeds"] == 2
+
+
+class TestMultihopSpecs:
+    def scenario(self):
+        return ScenarioConfig(
+            num_rsus=3,
+            contents_per_rsu=3,
+            num_slots=15,
+            seed=5,
+            topology_kind="line",
+            hop_delay=2.0,
+        )
+
+    def test_round_trip_is_lossless(self):
+        spec = ExperimentSpec(
+            kind="multihop",
+            scenario=self.scenario(),
+            policy="probcache:t_tw=5",
+            num_seeds=2,
+        )
+        rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.scenario.topology_kind == "line"
+        assert rebuilt.scenario.hop_delay == 2.0
+        assert rebuilt.policy.label() == "probcache(t_tw=5.0)"
+
+    def test_any_role_accepted(self):
+        for policy in ("lce", "mdp", "lyapunov"):
+            spec = ExperimentSpec(
+                kind="multihop", scenario=self.scenario(), policy=policy
+            )
+            assert spec.label == f"multihop:{policy}"
+
+    def test_service_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentSpec(
+                kind="multihop",
+                scenario=self.scenario(),
+                policy="lce",
+                service_policy="lyapunov",
+            )
+
+    def test_executes_through_the_runner(self):
+        spec = ExperimentSpec(
+            kind="multihop", scenario=self.scenario(), policy="lce", num_seeds=2
+        )
+        batch = ExperimentRunner(workers=1).run_grid([spec])
+        assert len(batch) == 2
+        for record in batch.records:
+            assert record.kind == "multihop"
+            assert 0.0 <= record.summary["hit_ratio"] <= 1.0
+            assert record.trace is not None

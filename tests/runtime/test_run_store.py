@@ -303,3 +303,59 @@ class TestResolveStore:
         # Construction alone must not touch the filesystem.
         assert not os.path.exists(store.directory)
         store.close()
+
+
+class TestMultihopCells:
+    """Multihop runs must address distinct cells and round-trip exactly."""
+
+    def test_kind_enters_the_key(self, tiny_scenario):
+        cache = make_spec(tiny_scenario, policy="mdp")
+        multihop = make_spec(tiny_scenario, policy="mdp", kind="multihop")
+        assert cell_key(cache, 3) is not None
+        assert cell_key(cache, 3) != cell_key(multihop, 3)
+
+    def test_topology_kind_enters_the_key(self, tiny_scenario):
+        star = make_spec(
+            tiny_scenario.with_overrides(topology_kind="star"),
+            policy="lce",
+            kind="multihop",
+        )
+        ring = make_spec(
+            tiny_scenario.with_overrides(topology_kind="ring"),
+            policy="lce",
+            kind="multihop",
+        )
+        assert cell_key(star, 3) != cell_key(ring, 3)
+
+    def test_onpath_policy_is_addressable(self, tiny_scenario):
+        spec = make_spec(
+            tiny_scenario, policy="probcache:t_tw=10", kind="multihop"
+        )
+        assert spec_payload(spec) is not None
+        assert cell_key(spec, 3) is not None
+
+    def test_onpath_parameters_enter_the_key(self, tiny_scenario):
+        a = make_spec(tiny_scenario, policy="probcache:t_tw=10", kind="multihop")
+        b = make_spec(tiny_scenario, policy="probcache:t_tw=20", kind="multihop")
+        assert cell_key(a, 3) != cell_key(b, 3)
+
+    def test_onpath_policy_unaddressable_under_cache_kind(self, tiny_scenario):
+        # Role coercion still applies outside multihop: an on-path name is
+        # not a caching policy, so the cell bypasses the store.
+        spec = make_spec(tiny_scenario, policy="lce")
+        assert spec_payload(spec) is None
+
+    def test_round_trip(self, tmp_path, tiny_scenario):
+        spec = make_spec(tiny_scenario, policy="lce", kind="multihop")
+        record = RunRecord(
+            label=spec.label,
+            seed=3,
+            kind="multihop",
+            summary={"hit_ratio": 0.5, "mean_hops": 1.25, "policy": "lce"},
+            trace=np.linspace(0.0, 9.0, 7),
+        )
+        with RunStore(str(tmp_path / "runs")) as store:
+            store.put(spec, 3, record)
+            loaded = store.get(spec, 3)
+        assert loaded is not None
+        assert loaded.matches(record)

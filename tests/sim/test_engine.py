@@ -212,3 +212,51 @@ class TestResultSurface:
     def test_spec_built_policies_with_params(self, config):
         result = simulate(config, PolicySpec.parse("threshold:threshold=0.5"))
         assert result.summary()["policy"] == "threshold"
+
+
+class TestMultihopDispatch:
+    """PR 8: the façade routes on-path policies through the network core."""
+
+    def test_onpath_name_infers_multihop(self, config):
+        pytest.importorskip("networkx")
+        result = simulate(config, "lce")
+        assert type(result).kind == "multihop"
+
+    def test_mixed_role_grid_runs_policy_major(self, config):
+        pytest.importorskip("networkx")
+        results = simulate(
+            config, ["lce", "probcache:t_tw=10", "mdp"], seeds=2
+        )
+        assert len(results) == 6
+        assert [r.policy_name for r in results] == [
+            "lce", "lce", "probcache", "probcache", "mdp", "mdp"
+        ]
+        assert all(type(r).kind == "multihop" for r in results)
+
+    def test_explicit_kind_runs_caching_policy_as_placement(self, config):
+        pytest.importorskip("networkx")
+        result = simulate(config, "mdp", kind="multihop")
+        assert type(result).kind == "multihop"
+        assert result.summary()["total_served"] == result.summary()[
+            "total_requests"
+        ]
+
+    def test_joint_pair_keeps_historical_meaning(self, config):
+        result = simulate(config, ("mdp", "lyapunov"))
+        assert isinstance(result, JointSimulationResult)
+
+    def test_kind_mismatch_rejected(self, config):
+        pytest.importorskip("networkx")
+        with pytest.raises(ConfigurationError, match="kind"):
+            simulate(config, "lce", kind="cache")
+
+    def test_service_batch_rejected(self, config):
+        pytest.importorskip("networkx")
+        with pytest.raises(ConfigurationError, match="service_batch"):
+            simulate(config, "lce", service_batch=2)
+
+    def test_modes_bit_identical(self, config):
+        pytest.importorskip("networkx")
+        reference = simulate(config, "lcd", mode="reference")
+        vectorized = simulate(config, "lcd", mode="vectorized")
+        assert reference.summary() == vectorized.summary()

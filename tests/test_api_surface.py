@@ -58,6 +58,9 @@ EXPECTED_ALL = {
     "ValidationError",
     # net
     "ContentCatalog",
+    "NetworkController",
+    "NetworkModel",
+    "NetworkView",
     "RequestGenerator",
     "RoadTopology",
     "RSUCache",
@@ -84,6 +87,8 @@ EXPECTED_ALL = {
     "CacheSimulator",
     "JointSimulationResult",
     "JointSimulator",
+    "MultihopSimulationResult",
+    "MultihopSimulator",
     "ScenarioConfig",
     "ServiceSimulationResult",
     "ServiceSimulator",
@@ -111,6 +116,10 @@ EXPECTED_SERVICE_POLICIES = [
     "lyapunov", "never-serve",
 ]
 
+EXPECTED_ONPATH_POLICIES = [
+    "cl4m", "edge", "lcd", "lce", "partition", "probcache",
+]
+
 
 class TestApiSurface:
     def test_all_snapshot(self):
@@ -136,12 +145,14 @@ class TestApiSurface:
     def test_policy_catalog_snapshot(self):
         assert list_policies("caching") == EXPECTED_CACHING_POLICIES
         assert list_policies("service") == EXPECTED_SERVICE_POLICIES
+        assert list_policies("onpath") == EXPECTED_ONPATH_POLICIES
 
     def test_simulation_modes_snapshot(self):
         from repro.runtime.spec import EXPERIMENT_MODES
         from repro.sim import METRICS_MODES, SIMULATION_KINDS, SIMULATION_MODES
 
-        assert SIMULATION_KINDS == ("cache", "service", "joint")
+        # PR 8: the multihop kind routes requests over the network graph.
+        assert SIMULATION_KINDS == ("cache", "service", "joint", "multihop")
         assert SIMULATION_MODES == ("auto", "reference", "vectorized", "batch")
         assert EXPERIMENT_MODES == SIMULATION_MODES
         # PR 5: the metric collection knob threaded through simulate(), the
