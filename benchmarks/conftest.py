@@ -9,7 +9,7 @@ Set the environment variable ``REPRO_FULL_HORIZON=1`` to run the paper's full
 shortened smoke-test horizon (used by the CI benchmark job).
 
 Benchmarks that call the ``bench_record`` fixture additionally emit their
-headline numbers to a machine-readable JSON file (``BENCH_PR8.json`` by
+headline numbers to a machine-readable JSON file (``BENCH_PR9.json`` by
 default, override with ``REPRO_BENCH_JSON``) at the end of the session; CI
 uploads that file as an artifact and ``benchmarks/check_regression.py``
 compares it against the committed baseline.
@@ -30,7 +30,7 @@ from repro.sim.scenario import ScenarioConfig
 _BENCH_RESULTS: List[Dict] = []
 
 #: Default output path of the machine-readable benchmark results.
-BENCH_JSON_DEFAULT = "BENCH_PR8.json"
+BENCH_JSON_DEFAULT = "BENCH_PR9.json"
 
 
 @pytest.fixture(scope="session")

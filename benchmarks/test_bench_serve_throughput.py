@@ -1,0 +1,79 @@
+"""Benchmark — serving-mode overhead: session step loop vs. batch run.
+
+The incremental :class:`~repro.serve.SimulationSession` executes exactly
+the per-slot stepper bodies the batch ``simulate()`` driver runs, so the
+only admissible cost is the thin per-slot dispatch around them.  This
+suite times both paths on the production-size 32x20 joint grid and gates
+the ratio: the session must retain at least 90% of batch throughput
+(``session_ratio >= 0.9``), recorded as the ``serve_throughput`` suite in
+the benchmark JSON and enforced by ``check_regression.py`` against
+``baseline_serve.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.serve import open_session
+from repro.sim.engine import simulate
+from repro.sim.scenario import ScenarioConfig
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+POLICIES = ("myopic", "lyapunov")
+
+
+def _best_of(repeats, fn):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_session_overhead_at_production_size(bench_record, bench_horizon):
+    """Session-stepped throughput must stay within 10% of batch ``run()``."""
+    num_slots = bench_horizon
+    scenario = ScenarioConfig(
+        num_rsus=32, contents_per_rsu=20, num_slots=num_slots, seed=0
+    )
+
+    def run_batch():
+        return simulate(scenario, POLICIES, num_slots=num_slots, metrics="summary")
+
+    def run_session():
+        session = open_session(scenario, POLICIES)
+        for _ in range(num_slots):
+            session.step()
+        return session.close()
+
+    # Warm shared caches (MDP solves) so neither path pays them in-loop.
+    warm_batch = run_batch()
+    warm_session = run_session()
+    # The session is the same engine: results must be byte-identical
+    # before the timings mean anything.
+    assert warm_session.summary() == warm_batch.summary()
+
+    repeats = 2 if QUICK else 3
+    batch_seconds, _ = _best_of(repeats, run_batch)
+    session_seconds, _ = _best_of(repeats, run_session)
+
+    batch_rate = num_slots / batch_seconds
+    session_rate = num_slots / session_seconds
+    session_ratio = session_rate / batch_rate
+
+    bench_record(
+        "serve_throughput",
+        "32x20",
+        num_slots=num_slots,
+        batch_slots_per_second=batch_rate,
+        session_slots_per_second=session_rate,
+        session_ratio=session_ratio,
+    )
+    if not QUICK:
+        assert session_ratio >= 0.9, (
+            f"session retains only {session_ratio:.2f} of batch throughput "
+            f"({session_rate:.0f} vs {batch_rate:.0f} slots/s)"
+        )

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Live serving: stream a recorded workload into ``repro.cli serve``.
+
+End-to-end tour of the serving mode:
+
+1. Export a request trace from the Fig. 1b scenario's own workload.
+2. Run the offline baseline: a batch ``simulate()`` over the trace.
+3. Spawn ``python -m repro.cli serve`` as a real subprocess bound to an
+   ephemeral port.
+4. Replay the trace over TCP with :class:`repro.ServeClient`, taking a
+   mid-run snapshot on the way, and close the session.
+5. Compare the served summary with the offline one — the serving path
+   runs the identical per-slot engine, so they must match exactly.
+
+The final line prints ``byte-identical: True``; CI greps for it.
+
+Usage::
+
+    python examples/live_serving.py [num_slots]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro import ScenarioConfig, ServeClient, export_trace, simulate
+from repro.sim.system import SystemState
+
+POLICIES = ("myopic", "lyapunov")
+
+
+def main(num_slots: int = 120) -> int:
+    base = ScenarioConfig.fig1b(seed=7).with_overrides(num_slots=num_slots)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        trace_path = os.path.join(workdir, "workload.jsonl")
+        written = export_trace(SystemState(base).workload, num_slots, trace_path)
+        print(f"Exported {written} requests over {num_slots} slots")
+
+        # The replayed trace is the scenario's workload from here on.
+        config = base.with_overrides(workload=f"trace:path={trace_path}")
+        scenario_path = os.path.join(workdir, "scenario.json")
+        with open(scenario_path, "w", encoding="utf-8") as handle:
+            json.dump(config.to_dict(), handle)
+
+        print("Running the offline baseline (batch simulate)...")
+        offline = simulate(
+            config, POLICIES, num_slots=num_slots, metrics="summary"
+        )
+
+        print("Spawning the serve subprocess on an ephemeral port...")
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--scenario", scenario_path,
+                "--policy", POLICIES[0], "--policy", POLICIES[1],
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            ready = server.stdout.readline().strip()
+            print(f"  {ready}")
+            port = int(ready.rsplit(":", 1)[1])
+
+            with ServeClient("127.0.0.1", port) as client:
+                sent = client.replay(trace_path)
+                snapshot = client.snapshot()
+                print(
+                    f"Streamed {sent} records; mid-run snapshot at slot "
+                    f"{snapshot['time_slot']} ({snapshot['pending']} pending)"
+                )
+                final = client.close()
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+        print(
+            f"Session closed at slot {final['time_slot']}: "
+            f"{final['requests']} requests applied, "
+            f"{final['dropped']} dropped, {final['late']} late"
+        )
+        served = final["summary"]
+        expected = offline.summary()
+        print("\nServed vs offline summary")
+        print("-" * 40)
+        for key in sorted(expected):
+            print(f"  {key:24s} {served[key]!s:>14} {expected[key]!s:>14}")
+        identical = served == expected
+        print(f"\nbyte-identical: {identical}")
+        return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 120))

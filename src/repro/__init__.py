@@ -30,6 +30,16 @@ the batched parallel runner::
     print(batch.aggregate())   # mean +- ci per grid point
     batch.to_json("results.json")
 
+Incremental sessions drive the same engines slot by slot — and serve
+them over TCP (``python -m repro.cli serve``)::
+
+    from repro import ScenarioConfig, open_session
+
+    session = open_session(ScenarioConfig.fig1b(), ("mdp", "lyapunov"))
+    session.step([(0, 3), (1, 17)])       # live (rsu, content) requests
+    print(session.snapshot()["summary"])  # run-so-far aggregates
+    final = session.close()               # same result type as simulate()
+
 All execution modes — scalar ``reference``, ``vectorized``, and seed-batched
 ``batch`` — produce bit-for-bit identical trajectories (enforced by the
 golden-trajectory equivalence tests).  The old per-kind entry points
@@ -124,6 +134,12 @@ from repro.sim import (
     SimulationResult,
     simulate,
 )
+from repro.serve import (
+    ServeClient,
+    SimulationSession,
+    SlotResult,
+    open_session,
+)
 from repro.workloads import (
     WorkloadModel,
     WorkloadSpec,
@@ -133,7 +149,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AlwaysServePolicy",
@@ -209,6 +225,10 @@ __all__ = [
     "expand_workloads",
     "load_specs",
     "save_specs",
+    "ServeClient",
+    "SimulationSession",
+    "SlotResult",
+    "open_session",
     "WorkloadModel",
     "WorkloadSpec",
     "available_workloads",

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction harness.
 
-Eight subcommands cover the common workflows without writing any Python:
+Nine subcommands cover the common workflows without writing any Python:
 
 * ``list`` — show every registered experiment (the E1-E8 index of DESIGN.md).
 * ``run`` — run registered experiments, or a declarative spec file.
@@ -11,6 +11,8 @@ Eight subcommands cover the common workflows without writing any Python:
 * ``results`` — list / filter / aggregate / export historical runs from
   the persistent run store.
 * ``store`` — inspect, clear, or compact the persistent run store.
+* ``serve`` — stream live what-if requests into a simulation over TCP
+  (JSONL wire format, the same one trace files use).
 
 Examples::
 
@@ -32,6 +34,7 @@ Examples::
     python -m repro.cli results --kind cache --csv --out history.csv
     python -m repro.cli store --stats
     python -m repro.cli store --vacuum
+    python -m repro.cli serve --scenario fig1b --policy myopic --policy lyapunov
 
 ``--workload`` and ``--policy`` share one ``name[:k=v,...]`` grammar; see
 the ``workloads`` and ``policies`` subcommands for the two catalogs.
@@ -321,6 +324,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="with --stats: emit the statistics as JSON (for CI artifacts)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the streaming what-if service (JSONL over TCP)",
+    )
+    serve_parser.add_argument(
+        "--scenario",
+        type=str,
+        default="small",
+        metavar="NAME|PATH",
+        help=(
+            "scenario to serve: fig1a, fig1b, small, or a JSON file of "
+            "ScenarioConfig fields (default: small)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "policy 'name[:k=v,...]'; repeat for a (caching, service) "
+            "pair (default: mdp)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workload",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="workload override 'name[:k=v,...]' applied to the scenario",
+    )
+    serve_parser.add_argument(
+        "--kind",
+        type=str,
+        default=None,
+        metavar="KIND",
+        help="explicit simulation kind (normally inferred from the policies)",
+    )
+    serve_parser.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="horizon sessions are padded to on close (default: the "
+        "client's declared meta line, else none)",
+    )
+    serve_parser.add_argument(
+        "--metrics",
+        type=str,
+        default="summary",
+        metavar="MODE",
+        help="metric collection mode: summary (default) or full",
+    )
+    serve_parser.add_argument(
+        "--service-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-slot service batch limit (service/joint kinds)",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-session bound on buffered requests before drop-oldest "
+        "backpressure kicks in",
+    )
+    serve_parser.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        metavar="HOST",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="port to bind; 0 picks an ephemeral port and prints it "
+        "(default: 0)",
     )
 
     return parser
@@ -770,6 +857,79 @@ def _command_store(arguments, out) -> int:
     return 0
 
 
+def _parse_serve_scenario(text: str) -> ScenarioConfig:
+    """Resolve the ``serve --scenario`` value: a factory name or JSON file."""
+    factories = {
+        "fig1a": ScenarioConfig.fig1a,
+        "fig1b": ScenarioConfig.fig1b,
+        "small": ScenarioConfig.small,
+    }
+    if text in factories:
+        return factories[text]()
+    if os.path.isfile(text):
+        import json
+
+        with open(text, "r", encoding="utf-8") as handle:
+            return ScenarioConfig.from_dict(json.load(handle))
+    from repro.exceptions import ConfigurationError
+
+    raise ConfigurationError(
+        f"--scenario must be one of {tuple(sorted(factories))} or a JSON "
+        f"file path, got {text!r}"
+    )
+
+
+def _command_serve(arguments, out) -> int:
+    """Run the JSONL-over-TCP streaming service until interrupted."""
+    from repro.exceptions import ReproError
+    from repro.serve import DEFAULT_MAX_PENDING, run_server
+
+    try:
+        scenario = _parse_serve_scenario(arguments.scenario)
+        workload = _parse_workload(arguments.workload)
+        if workload is not None:
+            scenario = scenario.with_overrides(workload=workload)
+        specs = arguments.policy if arguments.policy else ["mdp"]
+        if len(specs) == 1:
+            policies = specs[0]
+        elif len(specs) == 2:
+            # Order the pair by role so --policy order does not matter.
+            from repro.sim.engine import _role_of
+
+            roles = [_role_of(spec) for spec in specs]
+            if roles == ["service", "caching"]:
+                specs = [specs[1], specs[0]]
+            policies = tuple(specs)
+        else:
+            out.write("error: give one --policy, or two for a joint session\n")
+            return 2
+
+        def ready(host: str, port: int) -> None:
+            out.write(f"serving {arguments.scenario} on {host}:{port}\n")
+            out.flush()
+
+        run_server(
+            scenario,
+            policies,
+            kind=arguments.kind,
+            metrics=arguments.metrics,
+            service_batch=arguments.service_batch,
+            max_pending=(
+                arguments.max_pending
+                if arguments.max_pending is not None
+                else DEFAULT_MAX_PENDING
+            ),
+            num_slots=arguments.slots,
+            host=arguments.host,
+            port=arguments.port,
+            ready_callback=ready,
+        )
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    return 0
+
+
 def _profiled(fn, out) -> int:
     """Run *fn* under cProfile and append the top-20 cumulative hotspots."""
     profiler = cProfile.Profile()
@@ -806,6 +966,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_results(arguments, out)
     if arguments.command == "store":
         return _command_store(arguments, out)
+    if arguments.command == "serve":
+        return _command_serve(arguments, out)
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,32 @@
+"""Incremental sessions and the streaming what-if service.
+
+Layer 1 (:mod:`repro.serve.session`) exposes any simulation kind as a
+resumable :class:`SimulationSession` — ``step()`` one slot at a time,
+``snapshot()`` mid-run, ``close()`` into the same result object the
+batch :func:`~repro.sim.engine.simulate` returns, byte-identically.
+
+Layer 2 (:mod:`repro.serve.server` / :mod:`repro.serve.client`) puts a
+session behind a stdlib asyncio JSONL-over-TCP socket whose wire format
+is the trace file format, so recorded workloads replay straight into a
+live simulation (``repro.cli serve``).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import BackgroundServer, ServeServer, run_server
+from repro.serve.session import (
+    DEFAULT_MAX_PENDING,
+    SimulationSession,
+    SlotResult,
+    open_session,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_MAX_PENDING",
+    "ServeClient",
+    "ServeServer",
+    "SimulationSession",
+    "SlotResult",
+    "open_session",
+    "run_server",
+]

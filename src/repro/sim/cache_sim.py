@@ -268,6 +268,99 @@ class _BatchedCacheStage:
             state.mbs_store.tick(time_slot + 1)
 
 
+class CacheStepper:
+    """Resumable one-slot-at-a-time execution of the stage-1 loop.
+
+    Owns the ages matrix, :class:`~repro.sim.system.SystemState`, and the
+    staged metrics recorder that the batch ``run()`` loop previously built
+    inline; :meth:`step` runs exactly the vectorised per-slot body, so
+    driving a stepper to the horizon is byte-identical to
+    :meth:`CacheSimulator.run` — which is now a thin driver over this
+    class.  Stage 1 consumes no request arrivals, so the ``batches``
+    argument is accepted (for a uniform stepper surface) and ignored.
+    """
+
+    kind = "cache"
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: CachingPolicy,
+        *,
+        metrics: str = "full",
+        block_size: Optional[int] = None,
+        expected_slots: Optional[int] = None,
+    ) -> None:
+        if block_size is not None:
+            check_positive_int(block_size, "block_size")
+        expected = int(
+            expected_slots if expected_slots is not None else config.num_slots
+        )
+        self.config = config
+        self.policy = policy
+        self.state = SystemState(config)
+        self.metrics = CacheMetrics(
+            config.num_rsus,
+            config.contents_per_rsu,
+            self.state.max_ages,
+            mode=check_metrics_mode(metrics),
+            expected_slots=expected,
+        )
+        policy.reset()
+        self._ages = self.state.ages_matrix()
+        self._weight = config.aoi_weight
+        block = block_size if block_size else DEFAULT_BLOCK_SLOTS
+        shape = (config.num_rsus, config.contents_per_rsu)
+        self._recorder = _CacheBlockRecorder(
+            self.metrics, shape, max(1, min(int(block), max(1, expected)))
+        )
+        self.time_slot = 0
+
+    def step(self, batches=None) -> dict:
+        """Advance one slot; returns the slot's reward components."""
+        t = self.time_slot
+        state = self.state
+        ages = self._ages
+        observation = state.observation_vector(t, ages, copy=False)
+        actions = self.policy.decide(observation)
+        actions = CachingPolicy.validate_actions(actions, observation)
+        costs = observation.update_costs
+        # Inlined UtilityFunction.evaluate on the validated actions: the
+        # identical element-wise expressions and reductions, minus the
+        # per-slot revalidation and RewardBreakdown boxing.
+        acts = np.asarray(actions, dtype=float)
+        ages = np.where(acts > 0, 1.0, ages)
+        aoi = float(
+            np.sum((state.max_ages / np.maximum(ages, 1.0)) * state.popularity)
+        )
+        cost = float(np.sum(acts * costs))
+        self._recorder.add(t, ages, actions, aoi, cost, self._weight * aoi - cost)
+        # Advance time: cached copies age by one slot, the MBS regenerates.
+        self._ages = np.minimum(ages + 1.0, state.cache_ceilings)
+        state.mbs_store.tick(t + 1)
+        self.time_slot = t + 1
+        return {
+            "aoi_utility": aoi,
+            "update_cost": cost,
+            "reward": self._weight * aoi - cost,
+        }
+
+    def sync(self) -> None:
+        """Flush staged metric blocks (byte-identical at any boundary)."""
+        self._recorder.flush()
+
+    def result(self) -> CacheSimulationResult:
+        """The run so far, wrapped exactly like :meth:`CacheSimulator.run`."""
+        self.sync()
+        return CacheSimulationResult(
+            config=self.config,
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            metrics=self.metrics,
+            catalog=self.state.catalog,
+            topology=self.state.topology,
+        )
+
+
 class CacheSimulator:
     """Stage-1 simulator: MBS cache management over the RSU caches.
 
@@ -349,20 +442,28 @@ class CacheSimulator:
             num_slots if num_slots is not None else self._config.num_slots,
             "num_slots",
         )
-        state = SystemState(self._config)
-        metrics = self._make_metrics(state, num_slots)
-        self._policy.reset()
         if self._reference:
+            state = SystemState(self._config)
+            metrics = self._make_metrics(state, num_slots)
+            self._policy.reset()
             self._run_reference(state, metrics, num_slots)
-        else:
-            self._run_vectorized(state, metrics, num_slots)
-        return CacheSimulationResult(
-            config=self._config,
-            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
-            metrics=metrics,
-            catalog=state.catalog,
-            topology=state.topology,
+            return CacheSimulationResult(
+                config=self._config,
+                policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+                metrics=metrics,
+                catalog=state.catalog,
+                topology=state.topology,
+            )
+        stepper = CacheStepper(
+            self._config,
+            self._policy,
+            metrics=self._metrics_mode,
+            block_size=self._block_size,
+            expected_slots=num_slots,
         )
+        for _ in range(num_slots):
+            stepper.step()
+        return stepper.result()
 
     def run_batch(
         self,
@@ -461,45 +562,3 @@ class CacheSimulator:
             for cache in state.caches:
                 cache.tick(1)
             state.mbs_store.tick(t + 1)
-
-    def _run_vectorized(
-        self, state: SystemState, metrics: CacheMetrics, num_slots: int
-    ) -> None:
-        """Array-based hot loop over the (num_rsus, contents_per_rsu) matrices.
-
-        Reproduces the reference loop slot for slot: the ages live in one
-        matrix instead of per-RSU :class:`~repro.net.cache.RSUCache` objects,
-        applying the chosen updates is a ``where`` and advancing time is a
-        clipped add.  Initial ages still come from the caches built by
-        :class:`SystemState` so the RNG stream consumption is unchanged.
-
-        The reward components are the inlined expressions of
-        :meth:`~repro.core.reward.UtilityFunction.evaluate` (identical float
-        operations on already-validated actions) and metrics are emitted in
-        ``block_size``-slot blocks — both byte-identical to the per-slot
-        reference accounting.
-        """
-        ages = state.ages_matrix()
-        max_ages = state.max_ages
-        popularity = state.popularity
-        weight = self._config.aoi_weight
-        shape = (self._config.num_rsus, self._config.contents_per_rsu)
-        recorder = _CacheBlockRecorder(metrics, shape, self._block(num_slots))
-
-        for t in range(num_slots):
-            observation = state.observation_vector(t, ages, copy=False)
-            actions = self._policy.decide(observation)
-            actions = CachingPolicy.validate_actions(actions, observation)
-            costs = observation.update_costs
-            # Inlined UtilityFunction.evaluate on the validated actions: the
-            # identical element-wise expressions and reductions, minus the
-            # per-slot revalidation and RewardBreakdown boxing.
-            acts = np.asarray(actions, dtype=float)
-            ages = np.where(acts > 0, 1.0, ages)
-            aoi = float(np.sum((max_ages / np.maximum(ages, 1.0)) * popularity))
-            cost = float(np.sum(acts * costs))
-            recorder.add(t, ages, actions, aoi, cost, weight * aoi - cost)
-            # Advance time: cached copies age by one slot, the MBS regenerates.
-            ages = np.minimum(ages + 1.0, state.cache_ceilings)
-            state.mbs_store.tick(t + 1)
-        recorder.flush()

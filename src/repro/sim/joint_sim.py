@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.policies import CachingPolicy, ServiceObservation, ServicePolicy
+from repro.core.policies import CachingPolicy, ServicePolicy
 from repro.core.reward import UtilityFunction
 from repro.net.queueing import RequestQueue
 from repro.sim.cache_sim import _BatchedCacheStage, _CacheBlockRecorder
@@ -33,10 +33,146 @@ from repro.sim.service_sim import (
     _ServiceBlockRecorder,
     _VectorQueues,
     _check_horizons,
+    _enqueue_batches,
+    _reference_service_slot,
     _vector_service_slot,
 )
 from repro.sim.system import SystemState, _expand_batch_policies
 from repro.utils.validation import check_positive_int
+
+class JointStepper:
+    """Resumable one-slot-at-a-time execution of the coupled two-stage loop.
+
+    :meth:`step` runs exactly the vectorised per-slot body — stage 1 cache
+    management on the live ages matrix, stage 2 service with the AoI guard
+    reading the post-update (pre-tick) ages — so driving a stepper to the
+    horizon is byte-identical to :meth:`JointSimulator.run`, which is now a
+    thin driver over this class.  ``batches=None`` draws the slot's
+    arrivals from the scenario workload; a live session passes explicit
+    ``(rsu_id, content_ids)`` batches instead.
+    """
+
+    kind = "joint"
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        caching_policy: CachingPolicy,
+        service_policy: ServicePolicy,
+        *,
+        service_batch: Optional[int] = None,
+        metrics: str = "full",
+        block_size: Optional[int] = None,
+        expected_slots: Optional[int] = None,
+    ) -> None:
+        if service_batch is not None:
+            check_positive_int(service_batch, "service_batch")
+        if block_size is not None:
+            check_positive_int(block_size, "block_size")
+        expected = int(
+            expected_slots if expected_slots is not None else config.num_slots
+        )
+        mode = check_metrics_mode(metrics)
+        self.config = config
+        self.caching_policy = caching_policy
+        self.service_policy = service_policy
+        self.state = SystemState(config)
+        self.cache_metrics = CacheMetrics(
+            config.num_rsus,
+            config.contents_per_rsu,
+            self.state.max_ages,
+            mode=mode,
+            expected_slots=expected,
+        )
+        self.service_metrics = ServiceMetrics(
+            config.num_rsus, mode=mode, expected_slots=expected
+        )
+        caching_policy.reset()
+        service_policy.reset()
+        self._service_batch = service_batch
+        self._queues = _VectorQueues(config.num_rsus, config.deadline_slots)
+        self._ages = self.state.ages_matrix()
+        self._weight = config.aoi_weight
+        self._distance = 0.5 * self.state.topology.region_length
+        block = block_size if block_size else DEFAULT_BLOCK_SLOTS
+        block = max(1, min(int(block), max(1, expected)))
+        shape = (config.num_rsus, config.contents_per_rsu)
+        self._cache_recorder = _CacheBlockRecorder(
+            self.cache_metrics, shape, block
+        )
+        self._service_recorder = _ServiceBlockRecorder(
+            self.service_metrics, config.num_rsus, block
+        )
+        self.time_slot = 0
+
+    def step(self, batches=None) -> dict:
+        """Advance one slot; returns both stages' per-slot aggregates."""
+        t = self.time_slot
+        state = self.state
+        ages = self._ages
+        # ---- Stage 1: cache management -----------------------------------
+        observation = state.observation_vector(t, ages, copy=False)
+        actions = self.caching_policy.decide(observation)
+        actions = CachingPolicy.validate_actions(actions, observation)
+        costs = observation.update_costs
+        # Inlined UtilityFunction.evaluate on the validated actions (see
+        # CacheStepper.step).
+        acts = np.asarray(actions, dtype=float)
+        ages = np.where(acts > 0, 1.0, ages)
+        aoi = float(
+            np.sum((state.max_ages / np.maximum(ages, 1.0)) * state.popularity)
+        )
+        cost_total = float(np.sum(acts * costs))
+        self._cache_recorder.add(
+            t, ages, actions, aoi, cost_total, self._weight * aoi - cost_total
+        )
+        # ---- Stage 2: content service ------------------------------------
+        # The AoI guard reads the live post-update (pre-tick) ages.
+        if batches is None:
+            batches = state.workload.generate_slot_contents(t)
+        arrivals = _enqueue_batches(self._queues, t, batches)
+        cost = state.service_cost_model.cost(
+            distance=self._distance, size=1.0, time_slot=t
+        )
+        backlog, latency, spent, served = _vector_service_slot(
+            state, self._queues, self.service_policy, self._service_batch,
+            self._service_recorder, t, cost, ages,
+        )
+        # ---- Advance time ------------------------------------------------
+        self._ages = np.minimum(ages + 1.0, state.cache_ceilings)
+        state.mbs_store.tick(t + 1)
+        self.time_slot = t + 1
+        return {
+            "aoi_utility": aoi,
+            "update_cost": cost_total,
+            "reward": self._weight * aoi - cost_total,
+            "arrivals": float(arrivals),
+            "backlog": backlog,
+            "latency": latency,
+            "cost": spent,
+            "served": served,
+        }
+
+    def sync(self) -> None:
+        """Flush staged metric blocks (byte-identical at any boundary)."""
+        self._cache_recorder.flush()
+        self._service_recorder.flush()
+
+    def result(self) -> JointSimulationResult:
+        """The run so far, wrapped exactly like :meth:`JointSimulator.run`."""
+        self.sync()
+        return JointSimulationResult(
+            config=self.config,
+            caching_policy_name=getattr(
+                self.caching_policy, "name", type(self.caching_policy).__name__
+            ),
+            service_policy_name=getattr(
+                self.service_policy, "name", type(self.service_policy).__name__
+            ),
+            cache_metrics=self.cache_metrics,
+            service_metrics=self.service_metrics,
+        )
+
 
 class JointSimulator:
     """Full two-stage simulator coupling cache management and content service.
@@ -112,25 +248,35 @@ class JointSimulator:
             num_slots if num_slots is not None else self._config.num_slots,
             "num_slots",
         )
-        state = SystemState(self._config)
-        cache_metrics, service_metrics = self._make_metrics(state, num_slots)
-        self._caching_policy.reset()
-        self._service_policy.reset()
         if self._reference:
+            state = SystemState(self._config)
+            cache_metrics, service_metrics = self._make_metrics(state, num_slots)
+            self._caching_policy.reset()
+            self._service_policy.reset()
             self._run_reference(state, cache_metrics, service_metrics, num_slots)
-        else:
-            self._run_vectorized(state, cache_metrics, service_metrics, num_slots)
-        return JointSimulationResult(
-            config=self._config,
-            caching_policy_name=getattr(
-                self._caching_policy, "name", type(self._caching_policy).__name__
-            ),
-            service_policy_name=getattr(
-                self._service_policy, "name", type(self._service_policy).__name__
-            ),
-            cache_metrics=cache_metrics,
-            service_metrics=service_metrics,
+            return JointSimulationResult(
+                config=self._config,
+                caching_policy_name=getattr(
+                    self._caching_policy, "name", type(self._caching_policy).__name__
+                ),
+                service_policy_name=getattr(
+                    self._service_policy, "name", type(self._service_policy).__name__
+                ),
+                cache_metrics=cache_metrics,
+                service_metrics=service_metrics,
+            )
+        stepper = JointStepper(
+            self._config,
+            self._caching_policy,
+            self._service_policy,
+            service_batch=self._service_batch,
+            metrics=self._metrics_mode,
+            block_size=self._block_size,
+            expected_slots=num_slots,
         )
+        for _ in range(num_slots):
+            stepper.step()
+        return stepper.result()
 
     def run_batch(
         self,
@@ -209,8 +355,7 @@ class JointSimulator:
             stage.step(t, cache_recorders)
             # ---- Stage 2: content service, AoI guard on live ages --------
             for s, state in enumerate(states):
-                for rsu_id, content_ids in horizons[s].slot_batches(t):
-                    queues[s].enqueue(rsu_id, t, content_ids)
+                _enqueue_batches(queues[s], t, horizons[s].slot_batches(t))
                 distance = 0.5 * state.topology.region_length
                 cost = state.service_cost_model.cost(
                     distance=distance, size=1.0, time_slot=t
@@ -270,126 +415,13 @@ class JointSimulator:
             cache_metrics.record_slot(t, state.ages_matrix(), actions, breakdown)
 
             # ---- Stage 2: content service ---------------------------------
-            requests = state.request_generator.generate_slot(
-                t, deadline_slots=self._config.deadline_slots
-            )
-            for request in requests:
-                queues[request.rsu_id].enqueue(request)
-            backlogs, latencies, spent_costs, decisions, served_counts = (
-                [], [], [], [], []
-            )
-            for k, queue in enumerate(queues):
-                queue.expire(t)
-                latency = float(queue.total_waiting(t))
-                backlog = float(queue.backlog)
-                distance = 0.5 * state.topology.region_length
-                cost = state.service_cost_model.cost(
-                    distance=distance, size=1.0, time_slot=t
-                )
-                head = queue.head()
-                head_age = head_max = slack = None
-                if head is not None:
-                    cache = state.caches[k]
-                    if cache.holds(head.content_id):
-                        head_age = cache.age_of(head.content_id)
-                        head_max = state.catalog[head.content_id].max_age
-                    if head.deadline is not None:
-                        slack = float(head.deadline - t)
-                service_observation = ServiceObservation(
-                    time_slot=t,
-                    rsu_id=k,
-                    queue_backlog=latency,
-                    service_cost=cost,
-                    departure=latency,
-                    head_content_age=head_age,
-                    head_content_max_age=head_max,
-                    head_deadline_slack=slack,
-                )
-                serve = self._service_policy.decide(service_observation)
-                serve = serve and not queue.is_empty
-                served = []
-                spent = 0.0
-                if serve:
-                    batch = (
-                        queue.backlog
-                        if self._service_batch is None
-                        else min(self._service_batch, queue.backlog)
-                    )
-                    served = queue.serve(t, batch)
-                    spent = cost * len(served)
-                backlogs.append(backlog)
-                latencies.append(latency)
-                spent_costs.append(spent)
-                decisions.append(bool(serve))
-                served_counts.append(len(served))
-            service_metrics.record_slot(
-                backlogs, latencies, spent_costs, decisions, served_counts
+            _reference_service_slot(
+                state, queues, self._service_policy, self._service_batch,
+                service_metrics, t,
+                deadline_slots=self._config.deadline_slots,
             )
 
             # ---- Advance time ---------------------------------------------
             for cache in state.caches:
                 cache.tick(1)
             state.mbs_store.tick(t + 1)
-
-    def _run_vectorized(
-        self,
-        state: SystemState,
-        cache_metrics: CacheMetrics,
-        service_metrics: ServiceMetrics,
-        num_slots: int,
-    ) -> None:
-        """Vectorised two-stage loop sharing one live ages matrix.
-
-        Stage 1 updates the ages matrix exactly like the vectorised
-        :class:`CacheSimulator`; stage 2's AoI-validity guard then reads the
-        post-update (pre-tick) ages, preserving the reference coupling.
-        Both stages' metrics are emitted in blocks (byte-identical to the
-        per-slot reference accounting).
-        """
-        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
-        ages = state.ages_matrix()
-        max_ages = state.max_ages
-        popularity = state.popularity
-        weight = self._config.aoi_weight
-        distance = 0.5 * state.topology.region_length
-        horizon = state.workload.generate_horizon(num_slots)
-        block = self._block(num_slots)
-        shape = (self._config.num_rsus, self._config.contents_per_rsu)
-        cache_recorder = _CacheBlockRecorder(cache_metrics, shape, block)
-        service_recorder = _ServiceBlockRecorder(
-            service_metrics, self._config.num_rsus, block
-        )
-
-        for t in range(num_slots):
-            # ---- Stage 1: cache management -------------------------------
-            observation = state.observation_vector(t, ages, copy=False)
-            actions = self._caching_policy.decide(observation)
-            actions = CachingPolicy.validate_actions(actions, observation)
-            costs = observation.update_costs
-            # Inlined UtilityFunction.evaluate on the validated actions (see
-            # CacheSimulator._run_vectorized).
-            acts = np.asarray(actions, dtype=float)
-            ages = np.where(acts > 0, 1.0, ages)
-            aoi = float(np.sum((max_ages / np.maximum(ages, 1.0)) * popularity))
-            cost_total = float(np.sum(acts * costs))
-            cache_recorder.add(
-                t, ages, actions, aoi, cost_total, weight * aoi - cost_total
-            )
-
-            # ---- Stage 2: content service ---------------------------------
-            # The AoI guard reads the live post-update (pre-tick) ages.
-            for rsu_id, content_ids in horizon.slot_batches(t):
-                queues.enqueue(rsu_id, t, content_ids)
-            cost = state.service_cost_model.cost(
-                distance=distance, size=1.0, time_slot=t
-            )
-            _vector_service_slot(
-                state, queues, self._service_policy, self._service_batch,
-                service_recorder, t, cost, ages,
-            )
-
-            # ---- Advance time ---------------------------------------------
-            ages = np.minimum(ages + 1.0, state.cache_ceilings)
-            state.mbs_store.tick(t + 1)
-        cache_recorder.flush()
-        service_recorder.flush()

@@ -31,7 +31,7 @@ per-request graph walk has no tensor twin yet).
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -61,6 +61,289 @@ def _policy_role(policy: MultihopPolicy) -> str:
         "a multihop policy must be an OnPathStrategy, CachingPolicy, or "
         f"ServicePolicy instance; got {type(policy).__name__}"
     )
+
+
+def _warm_network_caches(
+    config: ScenarioConfig, state: SystemState, network: NetworkModel, role: str
+) -> None:
+    """Seed the network caches with the legacy warm placement.
+
+    Each RSU node starts holding its covered contents at the exact ages
+    the :class:`~repro.sim.system.SystemState` drew (randomised when
+    ``random_initial_ages``) — the same starting state every legacy
+    simulator sees.
+    """
+    if role == "caching" and (
+        network.cache_capacity < config.contents_per_rsu
+    ):
+        raise ConfigurationError(
+            "caching-role multihop runs keep the legacy static placement "
+            f"and need cache_capacity >= contents_per_rsu "
+            f"({config.contents_per_rsu}), got {network.cache_capacity}"
+        )
+    for k, cache in enumerate(state.caches):
+        node_cache = network.cache(k)
+        for content_id in cache.content_ids:
+            node_cache.put(content_id, age=cache.age_of(content_id))
+
+
+def _route_request(
+    strategy: OnPathStrategy,
+    state: SystemState,
+    time_slot: int,
+    receiver: int,
+    content_id: int,
+) -> SessionResult:
+    max_age = float(state.catalog.max_ages[int(content_id)])
+    return strategy.process_request(
+        time_slot, receiver, int(content_id), max_age=max_age
+    )
+
+
+class MultihopStepper:
+    """Resumable one-slot-at-a-time execution of the multihop loop.
+
+    Construction replays exactly what :meth:`MultihopSimulator.run` builds
+    up front (network graph, warm caches, view/controller, role dispatch);
+    :meth:`step` then runs one slot of the role-specific body, so driving
+    a stepper to the horizon is byte-identical to ``run()`` — which is now
+    a thin driver over this class.  ``batches=None`` draws the slot's
+    requests from the scenario workload; a live session passes explicit
+    ``(receiver, content_ids)`` batches instead.
+    """
+
+    kind = "multihop"
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: MultihopPolicy,
+        *,
+        metrics: str = "full",
+        expected_slots: Optional[int] = None,
+    ) -> None:
+        expected = int(
+            expected_slots if expected_slots is not None else config.num_slots
+        )
+        self.config = config
+        self.policy = policy
+        self.role = _policy_role(policy)
+        self.state = SystemState(config)
+        self.network = NetworkModel(
+            self.state.topology,
+            kind=config.topology_kind,
+            cost_model=self.state.service_cost_model,
+            cache_capacity=config.cache_capacity,
+            hop_delay=config.hop_delay,
+        )
+        _warm_network_caches(config, self.state, self.network, self.role)
+        self.view = NetworkView(self.network)
+        self.controller = NetworkController(self.network)
+        self.metrics = MultihopMetrics(
+            mode=check_metrics_mode(metrics), expected_slots=expected
+        )
+        policy_reset = getattr(policy, "reset", None)
+        if callable(policy_reset):
+            policy_reset()
+        if self.role == "onpath":
+            policy.attach(self.view, self.controller)
+            self._step_slot = self._step_onpath
+        elif self.role == "caching":
+            self._content_ids = self.state.content_ids
+            self._probe = _StaticProbe(self.view, self.controller)
+            self._step_slot = self._step_caching
+        else:
+            self._queues: List[deque] = [deque() for _ in range(config.num_rsus)]
+            self._edge = EdgeCaching()
+            self._edge.attach(self.view, self.controller)
+            self._origin = self.view.origin
+            self._step_slot = self._step_service
+        self.time_slot = 0
+
+    def step(self, batches=None) -> dict:
+        """Advance one slot; returns the slot's routing aggregates."""
+        t = self.time_slot
+        if batches is None:
+            batches = self.state.workload.generate_slot_contents(t)
+        row = self._step_slot(t, batches)
+        self.controller.tick(1)
+        self.state.mbs_store.tick(t + 1)
+        self.time_slot = t + 1
+        return row
+
+    def _step_onpath(self, t: int, batches) -> dict:
+        state = self.state
+        strategy = self.policy
+        sessions: List[SessionResult] = []
+        for receiver, contents in batches:
+            for content_id in contents:
+                sessions.append(
+                    _route_request(strategy, state, t, receiver, content_id)
+                )
+        hits = sum(1 for s in sessions if s.hit)
+        latency = float(sum(s.latency for s in sessions))
+        hops = sum(s.hops for s in sessions)
+        self.metrics.record_slot(
+            requests=len(sessions),
+            served=len(sessions),
+            hits=hits,
+            latency=latency,
+            hops=hops,
+            sessions=sessions,
+        )
+        return {
+            "requests": float(len(sessions)),
+            "served": float(len(sessions)),
+            "hits": float(hits),
+            "latency": latency,
+            "hops": float(hops),
+        }
+
+    def _step_caching(self, t: int, batches) -> dict:
+        """Static placement + MDP-style refreshes, with on-path routing.
+
+        The cache state each slot is exactly what the caching policy
+        dictates: requests never insert or evict copies (a fetched copy is
+        consumed by the requester, not cached), so the age trajectories
+        match the legacy stage-1 simulator slot for slot.
+        """
+        state = self.state
+        policy = self.policy
+        network = self.network
+        controller = self.controller
+        content_ids = self._content_ids
+        num_rsus, per_rsu = content_ids.shape
+        # 1. The MBS decides and pushes refreshes (stage-1 semantics).
+        ages = np.empty((num_rsus, per_rsu), dtype=float)
+        for k in range(num_rsus):
+            node_cache = network.cache(k)
+            for slot in range(per_rsu):
+                ages[k, slot] = node_cache.age_of(content_ids[k, slot])
+        observation = state.observation_vector(t, ages)
+        actions = policy.decide(observation)
+        actions = CachingPolicy.validate_actions(actions, observation)
+        costs = observation.update_costs
+        updates = 0
+        update_cost = 0.0
+        for k in range(num_rsus):
+            for slot in range(per_rsu):
+                if actions[k, slot]:
+                    controller.refresh_content(
+                        k, content_ids[k, slot], age=1.0
+                    )
+                    updates += 1
+                    update_cost += float(costs[k, slot])
+        # 2. Requests route over the refreshed caches.
+        sessions: List[SessionResult] = []
+        for receiver, contents in batches:
+            for content_id in contents:
+                sessions.append(self._probe.route(state, t, receiver, content_id))
+        hits = sum(1 for s in sessions if s.hit)
+        latency = float(sum(s.latency for s in sessions))
+        hops = sum(s.hops for s in sessions)
+        self.metrics.record_slot(
+            requests=len(sessions),
+            served=len(sessions),
+            hits=hits,
+            latency=latency,
+            hops=hops,
+            updates=updates,
+            update_cost=update_cost,
+            sessions=sessions,
+        )
+        return {
+            "requests": float(len(sessions)),
+            "served": float(len(sessions)),
+            "hits": float(hits),
+            "latency": latency,
+            "hops": float(hops),
+            "updates": float(updates),
+            "update_cost": update_cost,
+        }
+
+    def _step_service(self, t: int, batches) -> dict:
+        """Per-RSU queues gated by the service policy, edge-style routing.
+
+        Mirrors the stage-2 simulator's observation conventions: the
+        ``queue_backlog``/``departure`` fields carry the queue's total
+        waiting time, and a ``True`` decision drains the whole queue.
+        """
+        state = self.state
+        policy = self.policy
+        view = self.view
+        queues = self._queues
+        arrivals = 0
+        for receiver, contents in batches:
+            for content_id in contents:
+                queues[receiver].append((t, int(content_id)))
+                arrivals += 1
+        served = 0
+        hits = 0
+        latency = 0.0
+        waiting = 0.0
+        hops = 0
+        sessions: List[SessionResult] = []
+        for k in range(self.config.num_rsus):
+            queue = queues[k]
+            total_waiting = float(sum(t - issue for issue, _ in queue))
+            head_age = head_max = None
+            if queue:
+                _, head_content = queue[0]
+                age = view.cache_age(k, head_content)
+                if age is not None:
+                    head_age = float(age)
+                    head_max = float(state.catalog.max_ages[head_content])
+            observation = ServiceObservation(
+                time_slot=t,
+                rsu_id=k,
+                queue_backlog=total_waiting,
+                service_cost=2.0 * view.path_delay(k, self._origin),
+                departure=total_waiting,
+                head_content_age=head_age,
+                head_content_max_age=head_max,
+            )
+            serve = policy.decide(observation) and bool(queue)
+            if not serve:
+                continue
+            while queue:
+                issue_slot, content_id = queue.popleft()
+                session = _route_request(self._edge, state, t, k, content_id)
+                sessions.append(session)
+                served += 1
+                hits += int(session.hit)
+                latency += session.latency
+                waiting += float(t - issue_slot)
+                hops += session.hops
+        self.metrics.record_slot(
+            requests=arrivals,
+            served=served,
+            hits=hits,
+            latency=latency,
+            waiting=waiting,
+            hops=hops,
+            sessions=sessions,
+        )
+        return {
+            "requests": float(arrivals),
+            "served": float(served),
+            "hits": float(hits),
+            "latency": latency,
+            "hops": float(hops),
+            "waiting": waiting,
+        }
+
+    def sync(self) -> None:
+        """No-op (multihop metrics record slot by slot); kept for parity."""
+
+    def result(self) -> MultihopSimulationResult:
+        """The run so far, wrapped exactly like :meth:`MultihopSimulator.run`."""
+        return MultihopSimulationResult(
+            config=self.config,
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            metrics=self.metrics,
+            catalog=self.state.catalog,
+            topology=self.state.topology,
+        )
 
 
 class MultihopSimulator:
@@ -140,40 +423,15 @@ class MultihopSimulator:
             num_slots if num_slots is not None else self._config.num_slots,
             "num_slots",
         )
-        config = self._config
-        role = _policy_role(self._policy)
-        state = SystemState(config)
-        network = NetworkModel(
-            state.topology,
-            kind=config.topology_kind,
-            cost_model=state.service_cost_model,
-            cache_capacity=config.cache_capacity,
-            hop_delay=config.hop_delay,
+        stepper = MultihopStepper(
+            self._config,
+            self._policy,
+            metrics=self._metrics_mode,
+            expected_slots=num_slots,
         )
-        self._warm_caches(state, network, role)
-        view = NetworkView(network)
-        controller = NetworkController(network)
-        metrics = MultihopMetrics(
-            mode=self._metrics_mode, expected_slots=num_slots
-        )
-        policy = self._policy
-        policy_reset = getattr(policy, "reset", None)
-        if callable(policy_reset):
-            policy_reset()
-        if role == "onpath":
-            policy.attach(view, controller)
-            self._run_onpath(state, controller, metrics, num_slots)
-        elif role == "caching":
-            self._run_caching(state, network, view, controller, metrics, num_slots)
-        else:
-            self._run_service(state, view, controller, metrics, num_slots)
-        return MultihopSimulationResult(
-            config=config,
-            policy_name=getattr(policy, "name", type(policy).__name__),
-            metrics=metrics,
-            catalog=state.catalog,
-            topology=state.topology,
-        )
+        for _ in range(num_slots):
+            stepper.step()
+        return stepper.result()
 
     def run_batch(
         self,
@@ -201,214 +459,6 @@ class MultihopSimulator:
             ).run(num_slots=num_slots)
             for seed, policy in zip(seeds, policies)
         ]
-
-    # ------------------------------------------------------------------
-    # Shared pieces
-    # ------------------------------------------------------------------
-    def _warm_caches(
-        self, state: SystemState, network: NetworkModel, role: str
-    ) -> None:
-        """Seed the network caches with the legacy warm placement.
-
-        Each RSU node starts holding its covered contents at the exact ages
-        the :class:`~repro.sim.system.SystemState` drew (randomised when
-        ``random_initial_ages``) — the same starting state every legacy
-        simulator sees.
-        """
-        if role == "caching" and (
-            network.cache_capacity < self._config.contents_per_rsu
-        ):
-            raise ConfigurationError(
-                "caching-role multihop runs keep the legacy static placement "
-                f"and need cache_capacity >= contents_per_rsu "
-                f"({self._config.contents_per_rsu}), got {network.cache_capacity}"
-            )
-        for k, cache in enumerate(state.caches):
-            node_cache = network.cache(k)
-            for content_id in cache.content_ids:
-                node_cache.put(content_id, age=cache.age_of(content_id))
-
-    def _slot_requests(
-        self, state: SystemState, time_slot: int
-    ) -> List[Tuple[int, np.ndarray]]:
-        return state.workload.generate_slot_contents(time_slot)
-
-    def _route_request(
-        self,
-        strategy: OnPathStrategy,
-        state: SystemState,
-        time_slot: int,
-        receiver: int,
-        content_id: int,
-    ) -> SessionResult:
-        max_age = float(state.catalog.max_ages[int(content_id)])
-        return strategy.process_request(
-            time_slot, receiver, int(content_id), max_age=max_age
-        )
-
-    def _advance(self, state: SystemState, controller: NetworkController, t: int) -> None:
-        controller.tick(1)
-        state.mbs_store.tick(t + 1)
-
-    # ------------------------------------------------------------------
-    # Role-specific loops
-    # ------------------------------------------------------------------
-    def _run_onpath(
-        self,
-        state: SystemState,
-        controller: NetworkController,
-        metrics: MultihopMetrics,
-        num_slots: int,
-    ) -> None:
-        strategy = self._policy
-        for t in range(num_slots):
-            sessions: List[SessionResult] = []
-            for receiver, contents in self._slot_requests(state, t):
-                for content_id in contents:
-                    sessions.append(
-                        self._route_request(strategy, state, t, receiver, content_id)
-                    )
-            metrics.record_slot(
-                requests=len(sessions),
-                served=len(sessions),
-                hits=sum(1 for s in sessions if s.hit),
-                latency=float(sum(s.latency for s in sessions)),
-                hops=sum(s.hops for s in sessions),
-                sessions=sessions,
-            )
-            self._advance(state, controller, t)
-
-    def _run_caching(
-        self,
-        state: SystemState,
-        network: NetworkModel,
-        view: NetworkView,
-        controller: NetworkController,
-        metrics: MultihopMetrics,
-        num_slots: int,
-    ) -> None:
-        """Static placement + MDP-style refreshes, with on-path routing.
-
-        The cache state each slot is exactly what the caching policy
-        dictates: requests never insert or evict copies (a fetched copy is
-        consumed by the requester, not cached), so the age trajectories
-        match the legacy stage-1 simulator slot for slot.
-        """
-        policy = self._policy
-        content_ids = state.content_ids
-        num_rsus, per_rsu = content_ids.shape
-        probe = _StaticProbe(view, controller)
-        for t in range(num_slots):
-            # 1. The MBS decides and pushes refreshes (stage-1 semantics).
-            ages = np.empty((num_rsus, per_rsu), dtype=float)
-            for k in range(num_rsus):
-                node_cache = network.cache(k)
-                for slot in range(per_rsu):
-                    ages[k, slot] = node_cache.age_of(content_ids[k, slot])
-            observation = state.observation_vector(t, ages)
-            actions = policy.decide(observation)
-            actions = CachingPolicy.validate_actions(actions, observation)
-            costs = observation.update_costs
-            updates = 0
-            update_cost = 0.0
-            for k in range(num_rsus):
-                for slot in range(per_rsu):
-                    if actions[k, slot]:
-                        controller.refresh_content(
-                            k, content_ids[k, slot], age=1.0
-                        )
-                        updates += 1
-                        update_cost += float(costs[k, slot])
-            # 2. Requests route over the refreshed caches.
-            sessions: List[SessionResult] = []
-            for receiver, contents in self._slot_requests(state, t):
-                for content_id in contents:
-                    sessions.append(probe.route(state, t, receiver, content_id))
-            metrics.record_slot(
-                requests=len(sessions),
-                served=len(sessions),
-                hits=sum(1 for s in sessions if s.hit),
-                latency=float(sum(s.latency for s in sessions)),
-                hops=sum(s.hops for s in sessions),
-                updates=updates,
-                update_cost=update_cost,
-                sessions=sessions,
-            )
-            self._advance(state, controller, t)
-
-    def _run_service(
-        self,
-        state: SystemState,
-        view: NetworkView,
-        controller: NetworkController,
-        metrics: MultihopMetrics,
-        num_slots: int,
-    ) -> None:
-        """Per-RSU queues gated by the service policy, edge-style routing.
-
-        Mirrors the stage-2 simulator's observation conventions: the
-        ``queue_backlog``/``departure`` fields carry the queue's total
-        waiting time, and a ``True`` decision drains the whole queue.
-        """
-        policy = self._policy
-        num_rsus = self._config.num_rsus
-        queues: List[deque] = [deque() for _ in range(num_rsus)]
-        edge = EdgeCaching()
-        edge.attach(view, controller)
-        origin = view.origin
-        for t in range(num_slots):
-            arrivals = 0
-            for receiver, contents in self._slot_requests(state, t):
-                for content_id in contents:
-                    queues[receiver].append((t, int(content_id)))
-                    arrivals += 1
-            served = 0
-            hits = 0
-            latency = 0.0
-            waiting = 0.0
-            hops = 0
-            sessions: List[SessionResult] = []
-            for k in range(num_rsus):
-                queue = queues[k]
-                total_waiting = float(sum(t - issue for issue, _ in queue))
-                head_age = head_max = None
-                if queue:
-                    _, head_content = queue[0]
-                    age = view.cache_age(k, head_content)
-                    if age is not None:
-                        head_age = float(age)
-                        head_max = float(state.catalog.max_ages[head_content])
-                observation = ServiceObservation(
-                    time_slot=t,
-                    rsu_id=k,
-                    queue_backlog=total_waiting,
-                    service_cost=2.0 * view.path_delay(k, origin),
-                    departure=total_waiting,
-                    head_content_age=head_age,
-                    head_content_max_age=head_max,
-                )
-                serve = policy.decide(observation) and bool(queue)
-                if not serve:
-                    continue
-                while queue:
-                    issue_slot, content_id = queue.popleft()
-                    session = self._route_request(edge, state, t, k, content_id)
-                    sessions.append(session)
-                    served += 1
-                    hits += int(session.hit)
-                    latency += session.latency
-                    waiting += float(t - issue_slot)
-                    hops += session.hops
-            metrics.record_slot(
-                requests=arrivals,
-                served=served,
-                hits=hits,
-                latency=latency,
-                waiting=waiting,
-                hops=hops,
-                sessions=sessions,
-            )
-            self._advance(state, controller, t)
 
 
 class _StaticProbe:

@@ -164,13 +164,15 @@ def _vector_service_slot(
     time_slot: int,
     cost: float,
     ages: np.ndarray,
-) -> None:
+) -> Tuple[float, float, float, float]:
     """One slot of the vectorised stage-2 loop across all RSUs.
 
     Shared by :class:`ServiceSimulator` (frozen *ages*) and
     :class:`JointSimulator` (the live stage-1 ages matrix): expire, account
     latency/backlog, build the per-RSU observation with the AoI-guard head
     lookup, apply the policy decision, and stage the slot on *recorder*.
+    Returns the slot's ``(backlog, latency, cost, served)`` totals across
+    RSUs so incremental steppers can report per-slot aggregates.
     """
     row = recorder.begin_slot()
     backlogs = recorder.backlogs[row]
@@ -217,7 +219,98 @@ def _vector_service_slot(
         spent_costs[k] = spent
         decisions[k] = float(bool(serve))
         served_counts[k] = served
+    totals = (
+        float(np.sum(backlogs)),
+        float(np.sum(latencies)),
+        float(np.sum(spent_costs)),
+        float(np.sum(served_counts)),
+    )
     recorder.end_slot()
+    return totals
+
+
+def _enqueue_batches(queues: _VectorQueues, time_slot: int, batches) -> int:
+    """Enqueue one slot's ``(rsu_id, content_ids)`` arrival batches.
+
+    The single enqueue path of every vectorised loop (service and joint,
+    batch and stepped); returns the number of requests enqueued.
+    """
+    total = 0
+    for rsu_id, content_ids in batches:
+        queues.enqueue(rsu_id, time_slot, content_ids)
+        total += int(content_ids.size)
+    return total
+
+
+def _reference_service_slot(
+    state: SystemState,
+    queues: List[RequestQueue],
+    policy: ServicePolicy,
+    service_batch: Optional[int],
+    metrics: ServiceMetrics,
+    time_slot: int,
+    *,
+    deadline_slots: Optional[int],
+) -> None:
+    """One slot of the scalar stage-2 reference loop.
+
+    The single source of truth for per-slot request sampling and per-RSU
+    scalar service accounting, shared by ``ServiceSimulator._run_reference``
+    and ``JointSimulator._run_reference`` (which previously carried
+    duplicated copies of this body).
+    """
+    t = time_slot
+    requests = state.request_generator.generate_slot(
+        t, deadline_slots=deadline_slots
+    )
+    for request in requests:
+        queues[request.rsu_id].enqueue(request)
+
+    backlogs, latencies, costs, decisions, served_counts = ([], [], [], [], [])
+    for k, queue in enumerate(queues):
+        queue.expire(t)
+        latency = float(queue.total_waiting(t))
+        backlog = float(queue.backlog)
+        distance = 0.5 * state.topology.region_length
+        cost = state.service_cost_model.cost(
+            distance=distance, size=1.0, time_slot=t
+        )
+        head = queue.head()
+        head_age = head_max = slack = None
+        if head is not None:
+            cache = state.caches[k]
+            if cache.holds(head.content_id):
+                head_age = cache.age_of(head.content_id)
+                head_max = state.catalog[head.content_id].max_age
+            if head.deadline is not None:
+                slack = float(head.deadline - t)
+        observation = ServiceObservation(
+            time_slot=t,
+            rsu_id=k,
+            queue_backlog=latency,
+            service_cost=cost,
+            departure=latency,
+            head_content_age=head_age,
+            head_content_max_age=head_max,
+            head_deadline_slack=slack,
+        )
+        serve = policy.decide(observation) and not queue.is_empty
+        served = []
+        spent = 0.0
+        if serve:
+            batch = (
+                queue.backlog
+                if service_batch is None
+                else min(service_batch, queue.backlog)
+            )
+            served = queue.serve(t, batch)
+            spent = cost * len(served)
+        backlogs.append(backlog)
+        latencies.append(latency)
+        costs.append(spent)
+        decisions.append(bool(serve))
+        served_counts.append(len(served))
+    metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
 
 
 def _check_horizons(horizons, seeds) -> None:
@@ -225,6 +318,95 @@ def _check_horizons(horizons, seeds) -> None:
     if len(horizons) != len(seeds):
         raise ValidationError(
             f"got {len(horizons)} precomputed horizons for {len(seeds)} seeds"
+        )
+
+
+class ServiceStepper:
+    """Resumable one-slot-at-a-time execution of the stage-2 loop.
+
+    Owns the same state the batch ``run()`` loop builds once up front
+    (:class:`~repro.sim.system.SystemState`, vector queues, the staged
+    metrics recorder) and exposes it slot by slot: :meth:`step` runs
+    exactly the vectorised per-slot body, so driving a stepper to the
+    horizon is byte-identical to :meth:`ServiceSimulator.run` — which is
+    now a thin driver over this class.  ``batches=None`` draws the slot's
+    arrivals from the scenario workload; a live session passes explicit
+    ``(rsu_id, content_ids)`` batches instead.
+    """
+
+    kind = "service"
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        policy: ServicePolicy,
+        *,
+        service_batch: Optional[int] = None,
+        metrics: str = "full",
+        block_size: Optional[int] = None,
+        expected_slots: Optional[int] = None,
+    ) -> None:
+        if service_batch is not None:
+            check_positive_int(service_batch, "service_batch")
+        if block_size is not None:
+            check_positive_int(block_size, "block_size")
+        expected = int(
+            expected_slots if expected_slots is not None else config.num_slots
+        )
+        self.config = config
+        self.policy = policy
+        self.state = SystemState(config)
+        self.metrics = ServiceMetrics(
+            config.num_rsus,
+            mode=check_metrics_mode(metrics),
+            expected_slots=expected,
+        )
+        policy.reset()
+        self._service_batch = service_batch
+        self._queues = _VectorQueues(config.num_rsus, config.deadline_slots)
+        self._static_ages = self.state.ages_matrix()
+        self._distance = 0.5 * self.state.topology.region_length
+        block = block_size if block_size else DEFAULT_BLOCK_SLOTS
+        self._recorder = _ServiceBlockRecorder(
+            self.metrics, config.num_rsus, max(1, min(int(block), max(1, expected)))
+        )
+        self.time_slot = 0
+
+    def step(self, batches=None) -> dict:
+        """Advance one slot; returns the slot's aggregate service metrics."""
+        t = self.time_slot
+        state = self.state
+        if batches is None:
+            batches = state.workload.generate_slot_contents(t)
+        arrivals = _enqueue_batches(self._queues, t, batches)
+        cost = state.service_cost_model.cost(
+            distance=self._distance, size=1.0, time_slot=t
+        )
+        backlog, latency, spent, served = _vector_service_slot(
+            state, self._queues, self.policy, self._service_batch,
+            self._recorder, t, cost, self._static_ages,
+        )
+        state.mbs_store.tick(t + 1)
+        self.time_slot = t + 1
+        return {
+            "arrivals": float(arrivals),
+            "backlog": backlog,
+            "latency": latency,
+            "cost": spent,
+            "served": served,
+        }
+
+    def sync(self) -> None:
+        """Flush staged metric blocks (byte-identical at any boundary)."""
+        self._recorder.flush()
+
+    def result(self) -> ServiceSimulationResult:
+        """The run so far, wrapped exactly like :meth:`ServiceSimulator.run`."""
+        self.sync()
+        return ServiceSimulationResult(
+            config=self.config,
+            policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+            metrics=self.metrics,
         )
 
 
@@ -312,18 +494,27 @@ class ServiceSimulator:
             num_slots if num_slots is not None else self._config.num_slots,
             "num_slots",
         )
-        state = SystemState(self._config)
-        metrics = self._make_metrics(num_slots)
-        self._policy.reset()
         if self._reference:
+            state = SystemState(self._config)
+            metrics = self._make_metrics(num_slots)
+            self._policy.reset()
             self._run_reference(state, metrics, num_slots)
-        else:
-            self._run_vectorized(state, metrics, num_slots)
-        return ServiceSimulationResult(
-            config=self._config,
-            policy_name=getattr(self._policy, "name", type(self._policy).__name__),
-            metrics=metrics,
+            return ServiceSimulationResult(
+                config=self._config,
+                policy_name=getattr(self._policy, "name", type(self._policy).__name__),
+                metrics=metrics,
+            )
+        stepper = ServiceStepper(
+            self._config,
+            self._policy,
+            service_batch=self._service_batch,
+            metrics=self._metrics_mode,
+            block_size=self._block_size,
+            expected_slots=num_slots,
         )
+        for _ in range(num_slots):
+            stepper.step()
+        return stepper.result()
 
     def run_batch(
         self,
@@ -370,50 +561,31 @@ class ServiceSimulator:
                 ).run(num_slots=num_slots)
                 for config, policy in zip(configs, policies)
             ]
-        states = [SystemState(config) for config in configs]
-        metrics = [self._make_metrics(num_slots) for _ in configs]
-        for policy in policies:
-            policy.reset()
-        queues = [
-            _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
-            for _ in states
+        steppers = [
+            ServiceStepper(
+                config,
+                policy,
+                service_batch=self._service_batch,
+                metrics=self._metrics_mode,
+                block_size=self._block_size,
+                expected_slots=num_slots,
+            )
+            for config, policy in zip(configs, policies)
         ]
-        static_ages = [state.ages_matrix() for state in states]
         # Replay precomputed arrival tensors: the hot loop never calls back
         # into the workload models (the tensors either arrive from the
         # dispatching runner or are generated here, identically).
         if horizons is None:
-            horizons = [state.workload.generate_horizon(num_slots) for state in states]
+            horizons = [
+                stepper.state.workload.generate_horizon(num_slots)
+                for stepper in steppers
+            ]
         else:
             _check_horizons(horizons, seeds)
-        block = self._block(num_slots)
-        recorders = [
-            _ServiceBlockRecorder(metric, self._config.num_rsus, block)
-            for metric in metrics
-        ]
         for t in range(num_slots):
-            for s, state in enumerate(states):
-                for rsu_id, content_ids in horizons[s].slot_batches(t):
-                    queues[s].enqueue(rsu_id, t, content_ids)
-                distance = 0.5 * state.topology.region_length
-                cost = state.service_cost_model.cost(
-                    distance=distance, size=1.0, time_slot=t
-                )
-                _vector_service_slot(
-                    state, queues[s], policies[s], self._service_batch,
-                    recorders[s], t, cost, static_ages[s],
-                )
-                state.mbs_store.tick(t + 1)
-        for recorder in recorders:
-            recorder.flush()
-        return [
-            ServiceSimulationResult(
-                config=config,
-                policy_name=getattr(policy, "name", type(policy).__name__),
-                metrics=metric,
-            )
-            for config, policy, metric in zip(configs, policies, metrics)
-        ]
+            for s, stepper in enumerate(steppers):
+                stepper.step(horizons[s].slot_batches(t))
+        return [stepper.result() for stepper in steppers]
 
     def _run_reference(
         self, state: SystemState, metrics: ServiceMetrics, num_slots: int
@@ -422,94 +594,11 @@ class ServiceSimulator:
         queues = [RequestQueue(rsu.rsu_id) for rsu in state.topology.rsus]
 
         for t in range(num_slots):
-            requests = state.request_generator.generate_slot(
-                t, deadline_slots=self._config.deadline_slots
+            _reference_service_slot(
+                state, queues, self._policy, self._service_batch, metrics, t,
+                deadline_slots=self._config.deadline_slots,
             )
-            for request in requests:
-                queues[request.rsu_id].enqueue(request)
-
-            backlogs, latencies, costs, decisions, served_counts = (
-                [], [], [], [], []
-            )
-            for k, queue in enumerate(queues):
-                queue.expire(t)
-                latency = float(queue.total_waiting(t))
-                backlog = float(queue.backlog)
-                distance = 0.5 * state.topology.region_length
-                cost = state.service_cost_model.cost(
-                    distance=distance, size=1.0, time_slot=t
-                )
-                head = queue.head()
-                head_age = head_max = slack = None
-                if head is not None:
-                    cache = state.caches[k]
-                    if cache.holds(head.content_id):
-                        head_age = cache.age_of(head.content_id)
-                        head_max = state.catalog[head.content_id].max_age
-                    if head.deadline is not None:
-                        slack = float(head.deadline - t)
-                observation = ServiceObservation(
-                    time_slot=t,
-                    rsu_id=k,
-                    queue_backlog=latency,
-                    service_cost=cost,
-                    departure=latency,
-                    head_content_age=head_age,
-                    head_content_max_age=head_max,
-                    head_deadline_slack=slack,
-                )
-                serve = self._policy.decide(observation) and not queue.is_empty
-                served = []
-                spent = 0.0
-                if serve:
-                    batch = (
-                        queue.backlog
-                        if self._service_batch is None
-                        else min(self._service_batch, queue.backlog)
-                    )
-                    served = queue.serve(t, batch)
-                    spent = cost * len(served)
-                backlogs.append(backlog)
-                latencies.append(latency)
-                costs.append(spent)
-                decisions.append(bool(serve))
-                served_counts.append(len(served))
-            metrics.record_slot(backlogs, latencies, costs, decisions, served_counts)
             # The stage-2-only simulator assumes cache management (stage 1)
             # keeps cached copies valid, so cache ages are not advanced here;
             # the coupled behaviour is exercised by JointSimulator.
             state.mbs_store.tick(t + 1)
-
-    def _run_vectorized(
-        self, state: SystemState, metrics: ServiceMetrics, num_slots: int
-    ) -> None:
-        """Flat-array service loop: same trajectories, no request objects.
-
-        The whole arrival tensor is precomputed through
-        :meth:`~repro.net.requests.RequestGenerator.generate_horizon`, which
-        performs the identical RNG draws as the reference loop's per-slot
-        calls; the per-slot service cost is evaluated once (every RSU sees
-        the same distance), and queue accounting runs on
-        :class:`_VectorQueues` aggregates.  Cache ages are static here, so
-        the AoI guard reads a frozen ages matrix.
-        """
-        queues = _VectorQueues(self._config.num_rsus, self._config.deadline_slots)
-        static_ages = state.ages_matrix()
-        distance = 0.5 * state.topology.region_length
-        horizon = state.workload.generate_horizon(num_slots)
-        recorder = _ServiceBlockRecorder(
-            metrics, self._config.num_rsus, self._block(num_slots)
-        )
-
-        for t in range(num_slots):
-            for rsu_id, content_ids in horizon.slot_batches(t):
-                queues.enqueue(rsu_id, t, content_ids)
-            cost = state.service_cost_model.cost(
-                distance=distance, size=1.0, time_slot=t
-            )
-            _vector_service_slot(
-                state, queues, self._policy, self._service_batch, recorder,
-                t, cost, static_ages,
-            )
-            state.mbs_store.tick(t + 1)
-        recorder.flush()

@@ -1,0 +1,151 @@
+"""Shared record codec for trace files and the serving wire format.
+
+One ``(time_slot, rsu_id, content_id)`` record encoding is shared by trace
+files on disk (:mod:`repro.workloads.trace`), the lazy streaming replay,
+and the JSONL-over-TCP serving protocol (:mod:`repro.serve`):
+
+* **JSONL** — one JSON object per line with keys ``t``, ``rsu``,
+  ``content``; an optional ``{"meta": {"num_slots": N}}`` line declares
+  the horizon.
+* **CSV** — header ``time_slot,rsu_id,content_id`` (files only; the wire
+  format is always JSONL).
+
+:func:`iter_trace_records` streams a file without materialising it, which
+keeps :class:`~repro.workloads.trace.TraceWorkload` memory-flat in the
+trace length and gives the server a single source of truth for parsing
+ingest lines.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "FORMATS",
+    "decode_jsonl_line",
+    "encode_meta",
+    "encode_record",
+    "group_record_batches",
+    "iter_trace_records",
+    "resolve_format",
+]
+
+#: Accepted trace formats (``auto`` infers from the file extension).
+FORMATS = ("auto", "jsonl", "csv")
+
+
+def resolve_format(path: str, format: str) -> str:
+    """Resolve ``auto`` to a concrete format from the file extension."""
+    if format not in FORMATS:
+        raise ConfigurationError(
+            f"trace format must be one of {FORMATS}, got {format!r}"
+        )
+    if format != "auto":
+        return format
+    extension = os.path.splitext(path)[1].lower()
+    if extension in (".jsonl", ".json"):
+        return "jsonl"
+    if extension == ".csv":
+        return "csv"
+    raise ConfigurationError(
+        f"cannot infer trace format from {path!r}; pass format='jsonl' or 'csv'"
+    )
+
+
+def encode_meta(num_slots: int) -> str:
+    """The JSONL horizon-declaration line (no trailing newline)."""
+    return json.dumps({"meta": {"num_slots": int(num_slots)}})
+
+
+def encode_record(time_slot: int, rsu_id: int, content_id: int) -> str:
+    """One JSONL request record (no trailing newline)."""
+    return json.dumps(
+        {"t": int(time_slot), "rsu": int(rsu_id), "content": int(content_id)}
+    )
+
+
+def decode_jsonl_line(
+    line: str,
+) -> Optional[Tuple[str, object]]:
+    """Decode one JSONL trace line.
+
+    Returns ``("meta", num_slots_or_None)`` for a horizon line,
+    ``("record", (time_slot, rsu_id, content_id))`` for a request record,
+    or ``None`` for a blank line.  Malformed lines raise the underlying
+    ``ValueError``/``KeyError``/``TypeError`` for the caller to wrap with
+    file or connection context.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    row = json.loads(line)
+    if "meta" in row:
+        meta_slots = row["meta"].get("num_slots")
+        return ("meta", int(meta_slots) if meta_slots is not None else None)
+    return ("record", (int(row["t"]), int(row["rsu"]), int(row["content"])))
+
+
+def iter_trace_records(
+    path: str, *, format: str = "auto"
+) -> Iterator[Tuple[str, object]]:
+    """Stream *path* as ``("meta", n)`` / ``("record", (t, rsu, content))``.
+
+    One bounded-memory forward pass; malformed content raises
+    :class:`~repro.exceptions.ConfigurationError` at the offending line.
+    """
+    resolved = resolve_format(path, format)
+    if not os.path.isfile(path):
+        raise ConfigurationError(f"trace file not found: {path!r}")
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        try:
+            if resolved == "jsonl":
+                for line in handle:
+                    decoded = decode_jsonl_line(line)
+                    if decoded is not None:
+                        yield decoded
+            else:
+                reader = csv.DictReader(handle)
+                for row in reader:
+                    yield (
+                        "record",
+                        (
+                            int(row["time_slot"]),
+                            int(row["rsu_id"]),
+                            int(row["content_id"]),
+                        ),
+                    )
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"malformed trace file {path!r}: {error}"
+            ) from error
+
+
+def group_record_batches(
+    records: Iterable[Tuple[int, int]],
+) -> List[Tuple[int, np.ndarray]]:
+    """Group one slot's ``(rsu_id, content_id)`` pairs into arrival batches.
+
+    Consecutive same-RSU runs become one ``(rsu_id, content_ids)`` batch,
+    mirroring how the synthetic generators emit per-slot arrivals — so a
+    replayed trace produces the identical batch structure in every
+    execution mode.
+    """
+    batches: List[Tuple[int, np.ndarray]] = []
+    run_rsu: Optional[int] = None
+    run_contents: List[int] = []
+    for rsu_id, content_id in records:
+        if rsu_id != run_rsu:
+            if run_contents:
+                batches.append((run_rsu, np.asarray(run_contents, dtype=int)))
+            run_rsu, run_contents = rsu_id, []
+        run_contents.append(content_id)
+    if run_contents:
+        batches.append((run_rsu, np.asarray(run_contents, dtype=int)))
+    return batches

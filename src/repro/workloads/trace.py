@@ -16,14 +16,18 @@ can be exported — see :func:`export_trace`) and
 :class:`TraceWorkload` replays a file through the same three entry points
 the synthetic models expose, drawing nothing from the RNG: a replayed
 trace is the same workload in every execution mode by construction.
+
+Replay streams the file instead of materialising it: construction makes
+one bounded-memory validation pass (which also measures how far out of
+slot order the file is), and ``_slot_batches`` reads forward through a
+reorder window of exactly that size.  Memory stays flat in the trace
+length; random backward access simply reopens the file.
 """
 
 from __future__ import annotations
 
 import csv
-import json
-import os
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,28 +37,17 @@ from repro.net.requests import ArrivalProcess, Request
 from repro.net.topology import RoadTopology
 from repro.utils.rng import RandomSource
 from repro.workloads.base import WorkloadModel
+from repro.workloads.codec import (
+    FORMATS as _FORMATS,
+    encode_meta,
+    encode_record,
+    group_record_batches,
+    iter_trace_records,
+    resolve_format as _resolve_format,
+)
 from repro.workloads.registry import register_workload
 
 __all__ = ["TraceWorkload", "export_trace", "read_trace", "write_trace"]
-
-_FORMATS = ("auto", "jsonl", "csv")
-
-
-def _resolve_format(path: str, format: str) -> str:
-    if format not in _FORMATS:
-        raise ConfigurationError(
-            f"trace format must be one of {_FORMATS}, got {format!r}"
-        )
-    if format != "auto":
-        return format
-    extension = os.path.splitext(path)[1].lower()
-    if extension in (".jsonl", ".json"):
-        return "jsonl"
-    if extension == ".csv":
-        return "csv"
-    raise ConfigurationError(
-        f"cannot infer trace format from {path!r}; pass format='jsonl' or 'csv'"
-    )
 
 
 def write_trace(
@@ -75,16 +68,12 @@ def write_trace(
     with open(path, "w", encoding="utf-8", newline="") as handle:
         if resolved == "jsonl":
             if num_slots is not None:
-                handle.write(json.dumps({"meta": {"num_slots": int(num_slots)}}))
+                handle.write(encode_meta(num_slots))
                 handle.write("\n")
             for request in requests:
                 handle.write(
-                    json.dumps(
-                        {
-                            "t": int(request.time_slot),
-                            "rsu": int(request.rsu_id),
-                            "content": int(request.content_id),
-                        }
+                    encode_record(
+                        request.time_slot, request.rsu_id, request.content_id
                     )
                 )
                 handle.write("\n")
@@ -123,39 +112,14 @@ def read_trace(
     ``num_slots`` is the declared horizon from the JSONL meta line, or
     ``None`` when the file does not declare one.
     """
-    resolved = _resolve_format(path, format)
-    if not os.path.isfile(path):
-        raise ConfigurationError(f"trace file not found: {path!r}")
     records: List[Tuple[int, int, int]] = []
     declared: Optional[int] = None
-    try:
-        with open(path, "r", encoding="utf-8", newline="") as handle:
-            if resolved == "jsonl":
-                for line_number, line in enumerate(handle, start=1):
-                    line = line.strip()
-                    if not line:
-                        continue
-                    row = json.loads(line)
-                    if "meta" in row:
-                        meta_slots = row["meta"].get("num_slots")
-                        if meta_slots is not None:
-                            declared = int(meta_slots)
-                        continue
-                    records.append(
-                        (int(row["t"]), int(row["rsu"]), int(row["content"]))
-                    )
-            else:
-                reader = csv.DictReader(handle)
-                for row in reader:
-                    records.append(
-                        (
-                            int(row["time_slot"]),
-                            int(row["rsu_id"]),
-                            int(row["content_id"]),
-                        )
-                    )
-    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
-        raise ConfigurationError(f"malformed trace file {path!r}: {error}") from error
+    for kind, payload in iter_trace_records(path, format=format):
+        if kind == "meta":
+            if payload is not None:
+                declared = int(payload)
+        else:
+            records.append(payload)
     return records, declared
 
 
@@ -170,6 +134,10 @@ class TraceWorkload(WorkloadModel):
     :meth:`~repro.net.requests.RequestGenerator.content_population` is the
     *empirical* per-RSU request frequency of the trace, so the MDP stage
     weights contents by how often the trace actually asks for them.
+
+    The file is never held in memory: sequential replay streams through a
+    reorder window sized to the file's measured slot disorder (zero for a
+    sorted trace), and jumping backwards reopens the file.
     """
 
     PARAM_DEFAULTS: Dict[str, Any] = {
@@ -223,15 +191,38 @@ class TraceWorkload(WorkloadModel):
             {"path": path, "format": format, "num_slots": num_slots}
         )
         self._path = params["path"]
-        records, declared = read_trace(self._path, format=params["format"])
-        # Stable sort by slot: intra-slot file order (and therefore batch
-        # structure) is preserved, while out-of-order files still replay.
-        records.sort(key=lambda record: record[0])
+        self._format = _resolve_format(self._path, params["format"])
+        limit = int(params["num_slots"]) or None
         rsu_of_content: Dict[int, int] = {}
         for rsu in topology.rsus:
             for content_id in rsu.covered_regions:
                 rsu_of_content[content_id] = rsu.rsu_id
-        for t, rsu_id, content_id in records:
+        # One streaming validation pass over the file: it checks every
+        # record, measures the horizon and the slot disorder (how far a
+        # record can trail the max slot seen before it — the replay's
+        # reorder-window size), and buckets the empirical per-RSU
+        # popularity, all without materialising the trace.
+        slot_of = {
+            rsu.rsu_id: {
+                int(h): i
+                for i, h in enumerate(self._local_content_arrays[rsu.rsu_id])
+            }
+            for rsu in topology.rsus
+        }
+        counts = {
+            rsu.rsu_id: np.zeros(self._local_content_arrays[rsu.rsu_id].size)
+            for rsu in topology.rsus
+        }
+        declared: Optional[int] = None
+        max_slot = -1
+        disorder = 0
+        replayed = 0
+        for kind, payload in iter_trace_records(self._path, format=self._format):
+            if kind == "meta":
+                if payload is not None:
+                    declared = int(payload)
+                continue
+            t, rsu_id, content_id = payload
             if t < 0:
                 raise ConfigurationError(
                     f"trace {self._path!r}: negative time_slot {t}"
@@ -245,60 +236,32 @@ class TraceWorkload(WorkloadModel):
                     f"trace {self._path!r}: content {content_id} is not cached "
                     f"by RSU {rsu_id}"
                 )
-        inferred = (records[-1][0] + 1) if records else 0
-        self._trace_slots = int(params["num_slots"]) or max(
-            declared or 0, inferred
-        )
+            if t > max_slot:
+                max_slot = t
+            elif max_slot - t > disorder:
+                disorder = max_slot - t
+            if limit is None or t < limit:
+                replayed += 1
+                counts[rsu_id][slot_of[rsu_id][content_id]] += 1.0
+        inferred = max_slot + 1
+        self._trace_slots = limit or max(declared or 0, inferred)
         if self._trace_slots <= 0:
             raise ConfigurationError(
                 f"trace {self._path!r} is empty and declares no horizon; "
                 "pass num_slots explicitly"
             )
-        # Pre-group records into per-slot batches: consecutive same-RSU runs
-        # within a slot become one (rsu_id, content_ids) batch, mirroring
-        # how the synthetic generators emit them.
-        self._batches: List[List[Tuple[int, np.ndarray]]] = [
-            [] for _ in range(self._trace_slots)
-        ]
-        run_slot = run_rsu = None
-        run_contents: List[int] = []
-        for t, rsu_id, content_id in records:
-            if t >= self._trace_slots:
-                continue
-            if (t, rsu_id) != (run_slot, run_rsu):
-                if run_contents:
-                    self._batches[run_slot].append(
-                        (run_rsu, np.asarray(run_contents, dtype=int))
-                    )
-                run_slot, run_rsu, run_contents = t, rsu_id, []
-            run_contents.append(content_id)
-        if run_contents:
-            self._batches[run_slot].append(
-                (run_rsu, np.asarray(run_contents, dtype=int))
-            )
-        # Empirical per-RSU popularity of the replayed requests, bucketed in
-        # one pass over the batches; RSUs the trace never touches keep
-        # their base (catalog) profile.
-        slot_of = {
-            rsu.rsu_id: {
-                int(h): i
-                for i, h in enumerate(self._local_content_arrays[rsu.rsu_id])
-            }
-            for rsu in topology.rsus
-        }
-        counts = {
-            rsu.rsu_id: np.zeros(self._local_content_arrays[rsu.rsu_id].size)
-            for rsu in topology.rsus
-        }
-        for batches in self._batches:
-            for batch_rsu, content_ids in batches:
-                bucket = counts[batch_rsu]
-                indices = slot_of[batch_rsu]
-                for content_id in content_ids:
-                    bucket[indices[int(content_id)]] += 1.0
+        self._replayed_records = replayed
+        self._window = disorder
         for rsu_id, bucket in counts.items():
             if bucket.sum() > 0:
                 self._local_popularity[rsu_id] = self._normalized(bucket)
+        # Streaming replay state: a forward record iterator plus a bounded
+        # buffer of slots within the reorder window of the read position.
+        self._stream: Optional[Iterator[Tuple[int, int, int]]] = None
+        self._buffer: Dict[int, List[Tuple[int, int]]] = {}
+        self._next_slot = 0
+        self._max_seen = -1
+        self._exhausted = False
 
     @property
     def path(self) -> str:
@@ -313,12 +276,38 @@ class TraceWorkload(WorkloadModel):
     @property
     def mean_load_per_rsu(self) -> float:
         """Average replayed requests per RSU per slot."""
-        total = sum(
-            int(content_ids.size)
-            for batches in self._batches
-            for _, content_ids in batches
+        return self._replayed_records / (
+            self._trace_slots * self._topology.num_rsus
         )
-        return total / (self._trace_slots * self._topology.num_rsus)
+
+    def _record_stream(self) -> Iterator[Tuple[int, int, int]]:
+        for kind, payload in iter_trace_records(self._path, format=self._format):
+            if kind == "record":
+                yield payload
+
+    def _rewind(self) -> None:
+        self._stream = self._record_stream()
+        self._buffer = {}
+        self._next_slot = 0
+        self._max_seen = -1
+        self._exhausted = False
+
+    def _fill(self, time_slot: int) -> None:
+        # Read until no record for *time_slot* can still appear: by the
+        # measured disorder bound, once the max slot seen exceeds
+        # ``time_slot + window`` every record of this slot is buffered.
+        while not self._exhausted and self._max_seen <= time_slot + self._window:
+            record = next(self._stream, None)
+            if record is None:
+                self._exhausted = True
+                break
+            t, rsu_id, content_id = record
+            if t >= self._trace_slots:
+                continue
+            if t > self._max_seen:
+                self._max_seen = t
+            if t >= self._next_slot:
+                self._buffer.setdefault(t, []).append((rsu_id, content_id))
 
     def _slot_batches(self, time_slot: int) -> List[Tuple[int, np.ndarray]]:
         if time_slot < 0:
@@ -329,7 +318,13 @@ class TraceWorkload(WorkloadModel):
                 f"({self._trace_slots} slots in {self._path!r}); shorten the "
                 "simulation or extend the trace with num_slots"
             )
-        return [
-            (rsu_id, content_ids.copy())
-            for rsu_id, content_ids in self._batches[time_slot]
-        ]
+        if self._stream is None or time_slot < self._next_slot:
+            self._rewind()
+        while self._next_slot < time_slot:
+            self._fill(self._next_slot)
+            self._buffer.pop(self._next_slot, None)
+            self._next_slot += 1
+        self._fill(time_slot)
+        pairs = self._buffer.pop(time_slot, [])
+        self._next_slot = time_slot + 1
+        return group_record_batches(pairs)

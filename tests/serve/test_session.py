@@ -1,0 +1,256 @@
+"""Step-equivalence and driving semantics of :mod:`repro.serve.session`.
+
+The core guarantee: a session stepped over a trace's per-slot record
+groups produces byte-identical ``summary()`` / ``rows()`` output to an
+offline ``simulate()`` over the same trace — for every simulation kind,
+and for *any* chunking of the record stream through :meth:`feed`
+(hypothesis-checked).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, SimulationError, ValidationError
+from repro.serve import SimulationSession, SlotResult, open_session
+from repro.sim.engine import simulate
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.system import SystemState
+from repro.workloads.trace import export_trace, read_trace
+
+NUM_SLOTS = 30
+
+KIND_POLICIES = {
+    "cache": "mdp",
+    "service": "lyapunov",
+    "joint": ("myopic", "lyapunov"),
+    "multihop": "lce",
+}
+
+
+@pytest.fixture(scope="module")
+def trace_env(tmp_path_factory):
+    """A trace exported from the small scenario, plus its replay config."""
+    base = ScenarioConfig.small(seed=11)
+    path = str(tmp_path_factory.mktemp("serve") / "workload.jsonl")
+    export_trace(SystemState(base).workload, NUM_SLOTS, path)
+    records, declared = read_trace(path)
+    assert declared == NUM_SLOTS
+    config = base.with_overrides(workload=f"trace:path={path}")
+    by_slot = {}
+    for time_slot, rsu_id, content_id in records:
+        by_slot.setdefault(time_slot, []).append((rsu_id, content_id))
+    return config, records, by_slot
+
+
+class TestStepEquivalence:
+    @pytest.mark.parametrize("kind", sorted(KIND_POLICIES))
+    def test_stepped_replay_matches_offline_simulate(self, trace_env, kind):
+        config, _, by_slot = trace_env
+        policies = KIND_POLICIES[kind]
+        offline = simulate(config, policies, num_slots=NUM_SLOTS, metrics="summary")
+        session = open_session(config, policies)
+        assert session.kind == kind
+        for time_slot in range(NUM_SLOTS):
+            result = session.step(by_slot.get(time_slot, []))
+            assert isinstance(result, SlotResult)
+            assert result.time_slot == time_slot
+        final = session.close()
+        assert final.summary() == offline.summary()
+        assert final.rows() == offline.rows()
+
+    @pytest.mark.parametrize("kind", sorted(KIND_POLICIES))
+    def test_workload_driven_steps_match_offline_simulate(self, trace_env, kind):
+        # step(None) draws from the scenario workload — the session is a
+        # strict superset of the batch loop even without external records.
+        config, _, _ = trace_env
+        policies = KIND_POLICIES[kind]
+        offline = simulate(config, policies, num_slots=NUM_SLOTS, metrics="summary")
+        session = open_session(config, policies)
+        for _ in range(NUM_SLOTS):
+            session.step()
+        assert session.close().summary() == offline.summary()
+
+    def test_full_metrics_mode_matches_too(self, trace_env):
+        config, _, by_slot = trace_env
+        offline = simulate(
+            config, ("myopic", "lyapunov"), num_slots=NUM_SLOTS, metrics="full"
+        )
+        session = open_session(config, ("myopic", "lyapunov"), metrics="full")
+        for time_slot in range(NUM_SLOTS):
+            session.step(by_slot.get(time_slot, []))
+        assert session.close().summary() == offline.summary()
+
+    @settings(max_examples=20, deadline=None)
+    @given(chunks=st.lists(st.integers(min_value=1, max_value=40), max_size=60))
+    def test_any_feed_chunking_is_equivalent(self, trace_env, chunks):
+        # feed() in arbitrary chunk sizes + close(num_slots) must land on
+        # the same trajectory as the offline run, for every chunking.
+        config, records, _ = trace_env
+        offline = simulate(
+            config, ("myopic", "lyapunov"), num_slots=NUM_SLOTS, metrics="summary"
+        )
+        session = open_session(config, ("myopic", "lyapunov"))
+        position = 0
+        for size in chunks:
+            if position >= len(records):
+                break
+            session.feed(records[position : position + size])
+            position += size
+        session.feed(records[position:])
+        final = session.close(num_slots=NUM_SLOTS)
+        assert final.summary() == offline.summary()
+        assert session.dropped == 0 and session.late == 0
+
+
+class TestSessionSemantics:
+    def test_snapshot_reports_progress_and_counters(self, trace_env):
+        config, records, by_slot = trace_env
+        session = open_session(config, "lyapunov")
+        session.step(by_slot.get(0, []))
+        snapshot = session.snapshot()
+        assert snapshot["kind"] == "service"
+        assert snapshot["time_slot"] == 1
+        assert snapshot["policy"] == "lyapunov"
+        assert snapshot["requests"] == len(by_slot.get(0, []))
+        assert snapshot["pending"] == 0
+        assert snapshot["dropped"] == 0
+        assert snapshot["late"] == 0
+        assert snapshot["summary"]["num_slots"] == 1.0
+        session.close()
+
+    def test_snapshot_is_a_pure_observation(self, trace_env):
+        # Snapshotting mid-run (which flushes staged metric blocks) must
+        # not perturb the trajectory.
+        config, _, by_slot = trace_env
+        offline = simulate(
+            config, ("myopic", "lyapunov"), num_slots=NUM_SLOTS, metrics="summary"
+        )
+        session = open_session(config, ("myopic", "lyapunov"))
+        for time_slot in range(NUM_SLOTS):
+            session.step(by_slot.get(time_slot, []))
+            session.snapshot()
+        assert session.close().summary() == offline.summary()
+
+    def test_joint_snapshot_names_both_policies(self, trace_env):
+        config, _, _ = trace_env
+        session = open_session(config, ("myopic", "lyapunov"))
+        policy = session.snapshot()["policy"]
+        assert set(policy) == {"caching", "service"}
+        session.close()
+
+    def test_late_records_are_counted_and_dropped(self, trace_env):
+        config, records, _ = trace_env
+        _, rsu_id, content_id = records[0]
+        session = open_session(config, "lyapunov")
+        # A slot-2 record closes slots 0 and 1 (slot-boundary batching).
+        session.feed([(0, rsu_id, content_id), (2, rsu_id, content_id)])
+        assert session.time_slot == 2
+        session.feed([(1, rsu_id, content_id)])  # already executed
+        assert session.late == 1
+        session.close()
+
+    def test_backpressure_drops_oldest_and_counts(self, trace_env):
+        config, records, _ = trace_env
+        _, rsu_id, content_id = records[0]
+        session = open_session(config, "lyapunov", max_pending=4)
+        session.feed([(0, rsu_id, content_id)] * 6)
+        assert session.pending == 4
+        assert session.dropped == 2
+        completed = session.feed([(1, rsu_id, content_id)])
+        assert completed[0].time_slot == 0
+        assert completed[0].requests == 4  # the two oldest were shed
+        assert session.close(num_slots=5).summary()["num_slots"] == 5
+
+    def test_close_pads_to_the_declared_horizon(self, trace_env):
+        config, _, by_slot = trace_env
+        session = open_session(config, "lyapunov")
+        session.step(by_slot.get(0, []))
+        final = session.close(num_slots=NUM_SLOTS)
+        assert final.summary()["num_slots"] == NUM_SLOTS
+
+    def test_closed_session_rejects_everything(self, trace_env):
+        config, _, _ = trace_env
+        session = open_session(config, "lyapunov")
+        session.close()
+        assert session.closed
+        for call in (
+            lambda: session.step([]),
+            lambda: session.feed([(0, 0, 0)]),
+            session.snapshot,
+            session.close,
+        ):
+            with pytest.raises(SimulationError):
+                call()
+
+    def test_record_shapes_are_interchangeable(self, trace_env):
+        config, records, by_slot = trace_env
+        slot0 = by_slot.get(0, [])
+        as_pairs = open_session(config, "lyapunov")
+        reward_pairs = as_pairs.step(slot0)
+        as_dicts = open_session(config, "lyapunov")
+        reward_dicts = as_dicts.step(
+            [{"rsu": rsu, "content": content} for rsu, content in slot0]
+        )
+        as_triples = open_session(config, "lyapunov")
+        reward_triples = as_triples.step(
+            [(0, rsu, content) for rsu, content in slot0]
+        )
+        assert reward_pairs.metrics == reward_dicts.metrics == reward_triples.metrics
+
+    def test_invalid_records_are_rejected(self, trace_env):
+        config, _, _ = trace_env
+        session = open_session(config, "lyapunov")
+        with pytest.raises(ValidationError, match="unknown rsu_id"):
+            session.step([(999, 0)])
+        with pytest.raises(ValidationError, match="not cached by RSU"):
+            session.step([(0, 10**9)])
+        with pytest.raises(ValidationError, match="malformed|must be"):
+            session.step([(1,)])
+        with pytest.raises(ValidationError, match="time_slot"):
+            session.feed([(-1, 0, 0)])
+        session.close()
+
+
+class TestOpenSessionValidation:
+    def test_unknown_kind_and_metrics_rejected(self):
+        config = ScenarioConfig.small(seed=0)
+        with pytest.raises(ConfigurationError, match="kind must be one of"):
+            open_session(config, "mdp", kind="nope")
+        with pytest.raises(ConfigurationError, match="metrics must be one of"):
+            open_session(config, "mdp", metrics="nope")
+
+    def test_kind_mismatch_rejected(self):
+        config = ScenarioConfig.small(seed=0)
+        with pytest.raises(ConfigurationError, match="does not match"):
+            open_session(config, "mdp", kind="service")
+        with pytest.raises(ConfigurationError, match="does not match"):
+            open_session(config, "lce", kind="cache")
+
+    def test_service_batch_scoping(self):
+        config = ScenarioConfig.small(seed=0)
+        with pytest.raises(ConfigurationError, match="service_batch"):
+            open_session(config, "mdp", service_batch=4)
+        with pytest.raises(ConfigurationError, match="service_batch"):
+            open_session(config, "lce", service_batch=4)
+
+    def test_multihop_takes_exactly_one_policy(self):
+        config = ScenarioConfig.small(seed=0)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            open_session(config, ("lce", "lcd"))
+        session = open_session(config, "lce", kind="multihop")
+        assert session.kind == "multihop"
+        session.close()
+
+    def test_max_pending_must_be_positive(self):
+        config = ScenarioConfig.small(seed=0)
+        with pytest.raises(ValidationError, match="max_pending"):
+            open_session(config, "mdp", max_pending=0)
+
+    def test_session_exports_are_public(self):
+        import repro
+
+        assert repro.open_session is open_session
+        assert repro.SimulationSession is SimulationSession

@@ -94,6 +94,11 @@ EXPECTED_ALL = {
     "ServiceSimulator",
     "SimulationResult",
     "simulate",
+    # serve
+    "ServeClient",
+    "SimulationSession",
+    "SlotResult",
+    "open_session",
     # workloads
     "WorkloadModel",
     "WorkloadSpec",

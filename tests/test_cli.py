@@ -572,3 +572,81 @@ class TestStoreCommand:
             build_parser().parse_args(
                 ["store", "--dir", store_dir, "--clear", "--vacuum"]
             )
+
+
+class TestServeCommand:
+    def test_serve_command_parses_with_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.scenario == "small"
+        assert arguments.policy is None
+        assert arguments.metrics == "summary"
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 0
+
+    def test_serve_rejects_unknown_scenario(self):
+        out = io.StringIO()
+        assert main(["serve", "--scenario", "nope"], out=out) == 2
+        assert "--scenario" in out.getvalue()
+
+    def test_serve_rejects_three_policies(self):
+        out = io.StringIO()
+        code = main(
+            ["serve", "--policy", "mdp", "--policy", "lyapunov",
+             "--policy", "myopic"],
+            out=out,
+        )
+        assert code == 2
+        assert "one --policy" in out.getvalue()
+
+    def test_serve_rejects_bad_policy_combination(self):
+        out = io.StringIO()
+        code = main(["serve", "--policy", "lce", "--policy", "lcd"], out=out)
+        assert code == 2
+        assert "error:" in out.getvalue()
+
+    def test_serve_subprocess_round_trip(self, tmp_path):
+        import json as json_module
+        import os
+        import subprocess
+        import sys
+
+        from repro.serve import ServeClient
+        from repro.sim.engine import simulate
+        from repro.sim.scenario import ScenarioConfig
+        from repro.sim.system import SystemState
+        from repro.workloads.trace import export_trace
+
+        base = ScenarioConfig.small(seed=21)
+        num_slots = 15
+        trace_path = str(tmp_path / "workload.jsonl")
+        export_trace(SystemState(base).workload, num_slots, trace_path)
+        config = base.with_overrides(workload=f"trace:path={trace_path}")
+        scenario_path = str(tmp_path / "scenario.json")
+        with open(scenario_path, "w", encoding="utf-8") as handle:
+            json_module.dump(config.to_dict(), handle)
+
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(repo_src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--scenario", scenario_path, "--policy", "lyapunov"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            ready = process.stdout.readline()
+            assert "serving" in ready
+            port = int(ready.strip().rsplit(":", 1)[1])
+            with ServeClient("127.0.0.1", port) as client:
+                client.replay(trace_path)
+                final = client.close()
+            offline = simulate(
+                config, "lyapunov", num_slots=num_slots, metrics="summary"
+            )
+            assert final["summary"] == offline.summary()
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
